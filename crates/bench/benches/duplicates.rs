@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the duplicate finders (Experiment E12):
+//! per-letter processing cost and end-to-end cost on a full length-(n+1)
+//! stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lps_duplicates::{DuplicateFinder, ShortStreamDuplicateFinder};
+use lps_hash::SeedSequence;
+use lps_stream::duplicate_stream_n_plus_1;
+
+fn bench_duplicate_finders(c: &mut Criterion) {
+    let n: u64 = 1 << 10;
+    let mut group = c.benchmark_group("duplicates");
+
+    let mut seeds = SeedSequence::new(1);
+    let mut finder = DuplicateFinder::new(n, 0.25, &mut seeds);
+    group.bench_function("theorem3_process_letter", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            finder.process_letter(i % n);
+            i += 1;
+        })
+    });
+
+    let mut seeds = SeedSequence::new(2);
+    let mut short = ShortStreamDuplicateFinder::new(n, 16, 0.25, &mut seeds);
+    group.bench_function("theorem4_process_letter", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            short.process_letter(i % n);
+            i += 1;
+        })
+    });
+
+    // end to end on a full stream, construction included
+    let mut gen = SeedSequence::new(3);
+    let (stream, _) = duplicate_stream_n_plus_1(n, 3, &mut gen);
+    group.sample_size(10);
+    group.bench_function("theorem3_end_to_end_n1024", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            let mut seeds = SeedSequence::new(100 + t);
+            t += 1;
+            let mut finder = DuplicateFinder::new(n, 0.25, &mut seeds);
+            finder.process_stream(&stream);
+            finder.report()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_duplicate_finders
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the heavy hitter structures (Experiment
+//! E12): update throughput and reporting cost for count-sketch vs count-min.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lps_hash::SeedSequence;
+use lps_heavy::{CountMinHeavyHitters, CountSketchHeavyHitters};
+use lps_stream::zipf_stream;
+
+fn bench_heavy_hitters(c: &mut Criterion) {
+    let n: u64 = 1 << 14;
+    let mut group = c.benchmark_group("heavy_hitters");
+    for &phi in &[0.125f64, 0.03125] {
+        let mut seeds = SeedSequence::new(1);
+        let mut cs = CountSketchHeavyHitters::new(n, 1.0, phi, &mut seeds);
+        group.bench_with_input(BenchmarkId::new("count_sketch_update", phi), &phi, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                cs.update(i % n, 1);
+                i += 1;
+            })
+        });
+        let mut cm = CountMinHeavyHitters::new(n, phi, &mut seeds);
+        group.bench_with_input(BenchmarkId::new("count_min_update", phi), &phi, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                cm.update(i % n, 1);
+                i += 1;
+            })
+        });
+    }
+
+    // reporting cost on a realistic stream (smaller n: reporting scans all coordinates)
+    let n_small: u64 = 1 << 12;
+    let mut gen = SeedSequence::new(2);
+    let stream = zipf_stream(n_small, 20_000, 1.3, &mut gen);
+    let mut seeds = SeedSequence::new(3);
+    let mut loaded = CountSketchHeavyHitters::new(n_small, 1.0, 0.125, &mut seeds);
+    loaded.process(&stream);
+    group.sample_size(10);
+    group.bench_function("count_sketch_report_n4096", |b| b.iter(|| loaded.report()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_heavy_hitters
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the samplers (Experiment E12): update
+//! throughput and recovery (sample) cost of the precision Lp sampler and the
+//! L0 sampler, against the AKO and FIS baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lps_core::{AkoSampler, FisL0Sampler, L0Sampler, LpSampler, PrecisionLpSampler};
+use lps_hash::SeedSequence;
+use lps_stream::{sparse_vector_stream, Update};
+
+fn bench_precision_sampler(c: &mut Criterion) {
+    let n: u64 = 1 << 14;
+    let mut group = c.benchmark_group("precision_lp_sampler");
+    for &(p, eps) in &[(1.0f64, 0.25f64), (1.5, 0.25)] {
+        let mut seeds = SeedSequence::new(1);
+        let mut sampler = PrecisionLpSampler::new(n, p, eps, &mut seeds);
+        group.bench_with_input(BenchmarkId::new("update", format!("p{p}_eps{eps}")), &p, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                sampler.process_update(Update::new(i % n, 1));
+                i += 1;
+            })
+        });
+    }
+    // recovery on a small instance (decoding is O(n log n))
+    let n_small: u64 = 1 << 10;
+    let mut seeds = SeedSequence::new(2);
+    let stream = sparse_vector_stream(n_small, 50, 20, &mut seeds);
+    let mut sampler = PrecisionLpSampler::new(n_small, 1.0, 0.25, &mut seeds);
+    sampler.process_stream(&stream);
+    group.bench_function("sample_n1024", |b| b.iter(|| sampler.sample()));
+    group.finish();
+}
+
+fn bench_ako_baseline(c: &mut Criterion) {
+    let n: u64 = 1 << 14;
+    let mut group = c.benchmark_group("ako_baseline");
+    let mut seeds = SeedSequence::new(3);
+    let mut sampler = AkoSampler::new(n, 1.0, 0.25, &mut seeds);
+    group.bench_function("update", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            sampler.process_update(Update::new(i % n, 1));
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_l0_samplers(c: &mut Criterion) {
+    let n: u64 = 1 << 14;
+    let mut group = c.benchmark_group("l0_samplers");
+    let mut seeds = SeedSequence::new(4);
+    let mut ours = L0Sampler::new(n, 0.25, &mut seeds);
+    group.bench_function("theorem2_update", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            ours.process_update(Update::new(i % n, 1));
+            i += 1;
+        })
+    });
+    let mut fis = FisL0Sampler::new(n, &mut seeds);
+    group.bench_function("fis_update", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            fis.process_update(Update::new(i % n, 1));
+            i += 1;
+        })
+    });
+    // recovery cost
+    let mut seeds = SeedSequence::new(5);
+    let stream = sparse_vector_stream(n, 100, 9, &mut seeds);
+    let mut loaded = L0Sampler::new(n, 0.25, &mut seeds);
+    loaded.process_stream(&stream);
+    group.bench_function("theorem2_sample", |b| b.iter(|| loaded.sample()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_precision_sampler, bench_ako_baseline, bench_l0_samplers
+}
+criterion_main!(benches);

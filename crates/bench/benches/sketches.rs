@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the linear sketches (Experiment E12):
+//! update throughput and recovery cost of count-sketch, AMS, the p-stable
+//! norm estimator and exact sparse recovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lps_hash::SeedSequence;
+use lps_sketch::{AmsSketch, CountSketch, LinearSketch, PStableSketch, SparseRecovery};
+
+fn bench_count_sketch(c: &mut Criterion) {
+    let n: u64 = 1 << 16;
+    let mut group = c.benchmark_group("count_sketch");
+    for &m in &[8usize, 64] {
+        let mut seeds = SeedSequence::new(1);
+        let mut cs = CountSketch::with_default_rows(n, m, &mut seeds);
+        group.bench_with_input(BenchmarkId::new("update", m), &m, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                cs.update(i % n, 1.0);
+                i += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("estimate", m), &m, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let v = cs.estimate(i % n);
+                i += 1;
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ams_and_pstable(c: &mut Criterion) {
+    let n: u64 = 1 << 16;
+    let mut group = c.benchmark_group("norm_sketches");
+    let mut seeds = SeedSequence::new(2);
+    let mut ams = AmsSketch::with_default_shape(n, &mut seeds);
+    group.bench_function("ams_update", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            ams.update(i % n, 1.0);
+            i += 1;
+        })
+    });
+    let mut ps = PStableSketch::with_default_rows(n, 1.0, &mut seeds);
+    group.bench_function("pstable_update_p1", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            ps.update(i % n, 1.0);
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_sparse_recovery(c: &mut Criterion) {
+    let n: u64 = 1 << 16;
+    let mut group = c.benchmark_group("sparse_recovery");
+    for &cap in &[8usize, 64] {
+        let mut seeds = SeedSequence::new(3);
+        let mut rec = SparseRecovery::new(n, cap, &mut seeds);
+        group.bench_with_input(BenchmarkId::new("update", cap), &cap, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                rec.update(i % n, 1);
+                i += 1;
+            })
+        });
+        // recovery of a vector at the sparsity capacity
+        let mut seeds = SeedSequence::new(4);
+        let mut full = SparseRecovery::new(n, cap, &mut seeds);
+        for k in 0..cap as u64 {
+            full.update(k * 97 % n, 3);
+        }
+        group.bench_with_input(BenchmarkId::new("recover", cap), &cap, |b, _| {
+            b.iter(|| full.recover())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_count_sketch, bench_ams_and_pstable, bench_sparse_recovery
+}
+criterion_main!(benches);

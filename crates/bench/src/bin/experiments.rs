@@ -1,0 +1,55 @@
+//! Experiment harness entry point.
+//!
+//! Usage:
+//!   cargo run --release -p lps-bench --bin experiments -- all [--full]
+//!   cargo run --release -p lps-bench --bin experiments -- e1 e5 e9
+//!
+//! Without `--full` the harness runs in "quick" mode (fewer trials), which is
+//! what EXPERIMENTS.md reports; `--full` multiplies the trial counts.
+
+use lps_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let quick = !full;
+    let selected: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let run_everything = selected.is_empty() || selected.iter().any(|s| s == "all");
+
+    let wants = |id: &str| run_everything || selected.iter().any(|s| s == id);
+
+    if wants("e1") || wants("e4") {
+        println!("{}", e1_sampler_accuracy(quick).render());
+    }
+    if wants("e2") {
+        println!("{}", e2_sampler_space(quick).render());
+    }
+    if wants("e3") {
+        for t in e3_l0_sampler(quick) {
+            println!("{}", t.render());
+        }
+    }
+    if wants("e5") {
+        println!("{}", e5_duplicates(quick).render());
+    }
+    if wants("e6") {
+        println!("{}", e6_duplicates_short(quick).render());
+    }
+    if wants("e7") {
+        println!("{}", e7_duplicates_long(quick).render());
+    }
+    if wants("e8") {
+        println!("{}", e8_heavy_hitters(quick).render());
+    }
+    if wants("e9") {
+        println!("{}", e9_ur_protocol(quick).render());
+    }
+    if wants("e10") {
+        for t in e10_reductions(quick) {
+            println!("{}", t.render());
+        }
+    }
+    if wants("e11") {
+        println!("{}", e11_hh_reduction(quick).render());
+    }
+}

@@ -1,0 +1,101 @@
+//! Experiment E8: heavy hitters with count-sketch at m = 1/φ^p (Section 4.4
+//! upper bound) against the count-min baseline, across p and φ.
+
+use lps_hash::SeedSequence;
+use lps_heavy::{is_valid_heavy_hitter_set, CountMinHeavyHitters, CountSketchHeavyHitters};
+use lps_stream::{zipf_stream, SpaceUsage, TruthVector, Update};
+
+use crate::report::{f3, int, Table};
+
+/// E8: validity rate and space of the count-sketch heavy hitter algorithm.
+pub fn e8_heavy_hitters(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E8: heavy hitters on a Zipf stream with corrections — count-sketch (all p) vs count-min (p=1)",
+        &["algorithm", "p", "phi", "trials", "valid_rate", "avg_reported", "exact_heavy", "bits"],
+    );
+    let n: u64 = 1 << 12;
+    let trials: u64 = if quick { 12 } else { 40 };
+
+    // Zipfian traffic with 10% corrections on the heavy coordinates.
+    let mut gen = SeedSequence::new(0xE8);
+    let mut stream = zipf_stream(n, 40_000, 1.3, &mut gen);
+    let before = TruthVector::from_stream(&stream);
+    for i in 0..n {
+        let v = before.get(i);
+        if v > 100 {
+            stream.push(Update::new(i, -(v / 10)));
+        }
+    }
+    let truth = TruthVector::from_stream(&stream);
+
+    for &(p, phi) in &[(0.5, 0.0625), (1.0, 0.125), (1.0, 0.0625), (1.5, 0.125), (2.0, 0.25)] {
+        let exact = lps_heavy::exact_heavy_hitters(&truth, p, phi);
+        let mut valid = 0u64;
+        let mut reported_total = 0u64;
+        let mut bits = 0u64;
+        for t in 0..trials {
+            let mut seeds = SeedSequence::new(5_000 + t);
+            let mut hh = CountSketchHeavyHitters::new(n, p, phi, &mut seeds);
+            hh.process(&stream);
+            bits = hh.bits_used();
+            let reported = hh.report_with_norm(truth.lp_norm(p));
+            reported_total += reported.len() as u64;
+            if is_valid_heavy_hitter_set(&truth, p, phi, &reported).is_valid() {
+                valid += 1;
+            }
+        }
+        table.row(&[
+            "count-sketch".to_string(),
+            f3(p),
+            f3(phi),
+            int(trials),
+            f3(valid as f64 / trials as f64),
+            f3(reported_total as f64 / trials as f64),
+            int(exact.len() as u64),
+            int(bits),
+        ]);
+    }
+
+    // count-min baseline, p = 1 only
+    for &phi in &[0.125, 0.0625] {
+        let exact = lps_heavy::exact_heavy_hitters(&truth, 1.0, phi);
+        let mut valid = 0u64;
+        let mut reported_total = 0u64;
+        let mut bits = 0u64;
+        for t in 0..trials {
+            let mut seeds = SeedSequence::new(6_000 + t);
+            let mut hh = CountMinHeavyHitters::new(n, phi, &mut seeds);
+            hh.process(&stream);
+            bits = hh.bits_used();
+            let reported = hh.report_with_norm(truth.lp_norm(1.0));
+            reported_total += reported.len() as u64;
+            if is_valid_heavy_hitter_set(&truth, 1.0, phi, &reported).is_valid() {
+                valid += 1;
+            }
+        }
+        table.row(&[
+            "count-min".to_string(),
+            f3(1.0),
+            f3(phi),
+            int(trials),
+            f3(valid as f64 / trials as f64),
+            f3(reported_total as f64 / trials as f64),
+            int(exact.len() as u64),
+            int(bits),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_grows_as_phi_shrinks() {
+        let mut s = SeedSequence::new(1);
+        let coarse = CountSketchHeavyHitters::new(1 << 10, 1.0, 0.25, &mut s);
+        let fine = CountSketchHeavyHitters::new(1 << 10, 1.0, 0.03125, &mut s);
+        assert!(fine.bits_used() > 3 * coarse.bits_used());
+    }
+}

@@ -1,0 +1,194 @@
+//! Experiments E9–E11: the universal relation protocol (Proposition 5) and
+//! the executable lower-bound reductions (Theorems 6, 7 and 9).
+
+use lps_commgames::{
+    augmented_indexing_lower_bound_bits, ur_deterministic_protocol, AugmentedIndexingInstance,
+    DuplicatesToUr, HeavyHittersToAugmentedIndexing, UrInstance, UrSketchProtocol,
+    UrToAugmentedIndexing,
+};
+use lps_hash::SeedSequence;
+
+use crate::report::{f1, f3, int, Table};
+
+/// E9: one-round UR protocol — correctness and message size vs the
+/// deterministic n-bit protocol as n grows.
+pub fn e9_ur_protocol(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E9: universal relation — one-round L0-sketch protocol (Prop. 5) vs deterministic n bits",
+        &["log2(n)", "trials", "correct_rate", "wrong_rate", "sketch_msg_bits", "deterministic_bits", "msg/n"],
+    );
+    let trials: u64 = if quick { 25 } else { 80 };
+    let protocol = UrSketchProtocol::new(0.2);
+    for &log_n in &[8u32, 10, 12, 14] {
+        let n = 1u64 << log_n;
+        let mut seeds = SeedSequence::new(0xE9 + log_n as u64);
+        let mut correct = 0u64;
+        let mut wrong = 0u64;
+        let mut msg_bits = 0u64;
+        for t in 0..trials {
+            let diffs = 1 + (t % 6);
+            let inst = UrInstance::random(n, diffs, &mut seeds);
+            let out = protocol.run(&inst, &mut seeds);
+            msg_bits = out.message_bits;
+            match out.answer {
+                Some(i) if inst.is_valid_answer(i) => correct += 1,
+                Some(_) => wrong += 1,
+                None => {}
+            }
+        }
+        let det = ur_deterministic_protocol(&UrInstance::random(n, 1, &mut seeds));
+        table.row(&[
+            int(log_n as u64),
+            int(trials),
+            f3(correct as f64 / trials as f64),
+            f3(wrong as f64 / trials as f64),
+            int(msg_bits),
+            int(det.message_bits),
+            f1(msg_bits as f64 / n as f64),
+        ]);
+    }
+    table
+}
+
+/// E10: the reduction chain augmented indexing → UR → L0 sampling
+/// (Theorem 6) and UR → duplicates (Theorem 7).
+pub fn e10_reductions(quick: bool) -> Vec<Table> {
+    let trials: u64 = if quick { 25 } else { 80 };
+
+    let mut t6 = Table::new(
+        "E10a: Theorem 6 — augmented indexing solved through the UR sketch protocol",
+        &["s", "t", "ur_dim", "trials", "correct_rate", "guess_rate", "msg_bits", "mnsw_bound_bits"],
+    );
+    for &(s, t_bits) in &[(4u32, 3u32), (6, 4), (8, 5)] {
+        let red = UrToAugmentedIndexing::new(s, t_bits, 0.2);
+        let mut seeds = SeedSequence::new(0x10A + s as u64);
+        let mut correct = 0u64;
+        let mut msg_bits = 0u64;
+        for _ in 0..trials {
+            let inst = AugmentedIndexingInstance::random(s as usize, 1 << t_bits, &mut seeds);
+            let out = red.run(&inst, &mut seeds);
+            msg_bits = out.message_bits;
+            if out.correct {
+                correct += 1;
+            }
+        }
+        t6.row(&[
+            int(s as u64),
+            int(t_bits as u64),
+            int(red.ur_dimension()),
+            int(trials),
+            f3(correct as f64 / trials as f64),
+            f3(1.0 / (1u64 << t_bits) as f64),
+            int(msg_bits),
+            f1(augmented_indexing_lower_bound_bits(s as usize, 1 << t_bits, 0.5)),
+        ]);
+    }
+
+    let mut t7 = Table::new(
+        "E10b: Theorem 7 — UR solved through the Theorem 3 duplicates algorithm",
+        &["log2(n)", "trials", "answered_rate", "correct_of_answered", "msg_bits"],
+    );
+    for &log_n in &[6u32, 8, 10] {
+        let n = 1u64 << log_n;
+        let red = DuplicatesToUr::new(0.2);
+        let mut seeds = SeedSequence::new(0x10B + log_n as u64);
+        let mut answered = 0u64;
+        let mut correct = 0u64;
+        let mut msg_bits = 0u64;
+        for t in 0..trials {
+            let inst = UrInstance::random(n, 1 + (t % 4), &mut seeds);
+            let out = red.run(&inst, &mut seeds);
+            msg_bits = out.message_bits;
+            if let Some(i) = out.answer {
+                answered += 1;
+                if inst.is_valid_answer(i) {
+                    correct += 1;
+                }
+            }
+        }
+        t7.row(&[
+            int(log_n as u64),
+            int(trials),
+            f3(answered as f64 / trials as f64),
+            f3(if answered > 0 { correct as f64 / answered as f64 } else { 0.0 }),
+            int(msg_bits),
+        ]);
+    }
+    vec![t6, t7]
+}
+
+/// E11: Theorem 9 — augmented indexing through a heavy hitters algorithm,
+/// with an exact oracle (validating the construction) and with the real
+/// count-sketch structure (validating the full pipeline).
+pub fn e11_hh_reduction(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E11: Theorem 9 — augmented indexing via heavy hitters (geometric block weights)",
+        &["oracle", "s", "t", "p", "phi", "trials", "correct_rate", "msg_bits"],
+    );
+    let trials: u64 = if quick { 25 } else { 80 };
+    for &(p, phi) in &[(1.0, 0.25), (1.5, 0.25)] {
+        let s = 8u32;
+        let t_bits = 4u32;
+        let red = HeavyHittersToAugmentedIndexing::new(s, t_bits, p, phi);
+
+        // exact oracle: the reduction itself must be loss-free
+        let mut seeds = SeedSequence::new(0x11A + (p * 10.0) as u64);
+        let mut correct = 0u64;
+        for _ in 0..trials {
+            let inst = AugmentedIndexingInstance::random(s as usize, 1 << t_bits, &mut seeds);
+            if red.run_with_exact_oracle(&inst).correct {
+                correct += 1;
+            }
+        }
+        table.row(&[
+            "exact".to_string(),
+            int(s as u64),
+            int(t_bits as u64),
+            f3(p),
+            f3(phi),
+            int(trials),
+            f3(correct as f64 / trials as f64),
+            int(0),
+        ]);
+
+        // real count-sketch heavy hitter structure
+        let mut seeds = SeedSequence::new(0x11B + (p * 10.0) as u64);
+        let mut correct = 0u64;
+        let mut msg_bits = 0u64;
+        for _ in 0..trials {
+            let inst = AugmentedIndexingInstance::random(s as usize, 1 << t_bits, &mut seeds);
+            let out = red.run(&inst, &mut seeds);
+            msg_bits = out.message_bits;
+            if out.correct {
+                correct += 1;
+            }
+        }
+        table.row(&[
+            "count-sketch".to_string(),
+            int(s as u64),
+            int(t_bits as u64),
+            f3(p),
+            f3(phi),
+            int(trials),
+            f3(correct as f64 / trials as f64),
+            int(msg_bits),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_exact_oracle_rows_are_perfect() {
+        // cheap structural property: the exact-oracle reduction is loss-free
+        let red = HeavyHittersToAugmentedIndexing::new(6, 3, 1.0, 0.25);
+        let mut seeds = SeedSequence::new(2);
+        for _ in 0..10 {
+            let inst = AugmentedIndexingInstance::random(6, 8, &mut seeds);
+            assert!(red.run_with_exact_oracle(&inst).correct);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # lps-bench
+//!
+//! The experiment harness of the reproduction: every experiment listed in
+//! EXPERIMENTS.md (E1–E11) has a function here that regenerates its table,
+//! and the `experiments` binary runs them (`cargo run --release -p lps-bench
+//! --bin experiments -- all`). Criterion micro-benchmarks for update
+//! throughput (E12) live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e_duplicates;
+pub mod e_heavy;
+pub mod e_lower;
+pub mod e_samplers;
+pub mod report;
+
+pub use e_duplicates::{e5_duplicates, e6_duplicates_short, e7_duplicates_long};
+pub use e_heavy::e8_heavy_hitters;
+pub use e_lower::{e10_reductions, e11_hh_reduction, e9_ur_protocol};
+pub use e_samplers::{e1_sampler_accuracy, e2_sampler_space, e3_l0_sampler};
+pub use report::Table;
+
+/// Run every experiment and return the rendered tables in order.
+pub fn run_all(quick: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(e1_sampler_accuracy(quick).render());
+    out.push(e2_sampler_space(quick).render());
+    for t in e3_l0_sampler(quick) {
+        out.push(t.render());
+    }
+    out.push(e5_duplicates(quick).render());
+    out.push(e6_duplicates_short(quick).render());
+    out.push(e7_duplicates_long(quick).render());
+    out.push(e8_heavy_hitters(quick).render());
+    out.push(e9_ur_protocol(quick).render());
+    for t in e10_reductions(quick) {
+        out.push(t.render());
+    }
+    out.push(e11_hh_reduction(quick).render());
+    out
+}

@@ -1,0 +1,112 @@
+//! The augmented indexing communication problem (Section 4).
+//!
+//! Alice holds a string `x ∈ [k]^m`; Bob holds an index `i ∈ [m]` together
+//! with the prefix `x_1, …, x_{i−1}`. Alice sends one message and Bob must
+//! output `x_i`. Miltersen, Nisan, Safra and Wigderson (Lemma 6 of the paper)
+//! show that any protocol with success probability `1 − δ > 3/(2k)` requires
+//! a message of `Ω((1 − δ) m log k)` bits — this is the hard problem every
+//! lower bound in the paper reduces from.
+//!
+//! We cannot "run" an information-theoretic lower bound, but we *can* run the
+//! reductions: this module provides problem instances and scoring, and the
+//! [`crate::reductions`] module turns streaming algorithms into augmented
+//! indexing protocols exactly as in Theorems 6, 7 and 9. Experiments measure
+//! the success rate of those protocols together with the actual message sizes
+//! (the memory footprint of the streaming structure handed from Alice to
+//! Bob), whose growth is what the lower bounds say cannot be avoided.
+
+use lps_hash::SeedSequence;
+
+/// One instance of augmented indexing: Alice's string, Bob's index, and the
+/// prefix Bob is given for free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AugmentedIndexingInstance {
+    /// Alphabet size k (symbols are `0..k`).
+    pub alphabet: u64,
+    /// Alice's string `x ∈ [k]^m`.
+    pub string: Vec<u64>,
+    /// Bob's index `i ∈ [0, m)` (0-based).
+    pub index: usize,
+}
+
+impl AugmentedIndexingInstance {
+    /// Draw a uniformly random instance with string length `m` over `[k]`.
+    pub fn random(m: usize, alphabet: u64, seeds: &mut SeedSequence) -> Self {
+        assert!(m >= 1 && alphabet >= 2);
+        let string = (0..m).map(|_| seeds.next_below(alphabet)).collect();
+        let index = seeds.next_below(m as u64) as usize;
+        AugmentedIndexingInstance { alphabet, string, index }
+    }
+
+    /// String length m.
+    pub fn len(&self) -> usize {
+        self.string.len()
+    }
+
+    /// True if the string is empty (never for valid instances).
+    pub fn is_empty(&self) -> bool {
+        self.string.is_empty()
+    }
+
+    /// The symbol Bob must output, `x_i`.
+    pub fn target(&self) -> u64 {
+        self.string[self.index]
+    }
+
+    /// The prefix `x_1 … x_{i−1}` Bob knows.
+    pub fn prefix(&self) -> &[u64] {
+        &self.string[..self.index]
+    }
+
+    /// Score a protocol answer.
+    pub fn is_correct(&self, answer: u64) -> bool {
+        answer == self.target()
+    }
+}
+
+/// The Miltersen–Nisan–Safra–Wigderson bound (Lemma 6): a lower bound, in
+/// bits, on the one-way message length of any protocol solving augmented
+/// indexing on `[k]^m` with failure probability δ. The constant is not
+/// specified by the lemma; we report the information-theoretic core
+/// `(1 − δ)·m·log₂ k` which the experiments plot next to measured message
+/// sizes.
+pub fn augmented_indexing_lower_bound_bits(m: usize, alphabet: u64, delta: f64) -> f64 {
+    assert!(alphabet >= 2);
+    (1.0 - delta).max(0.0) * m as f64 * (alphabet as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_instances_are_well_formed() {
+        let mut seeds = SeedSequence::new(1);
+        for _ in 0..50 {
+            let inst = AugmentedIndexingInstance::random(16, 8, &mut seeds);
+            assert_eq!(inst.len(), 16);
+            assert!(inst.index < 16);
+            assert!(inst.string.iter().all(|&s| s < 8));
+            assert!(inst.target() < 8);
+            assert_eq!(inst.prefix().len(), inst.index);
+            assert!(inst.is_correct(inst.target()));
+            assert!(!inst.is_correct(inst.target() + 8));
+        }
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        let b = augmented_indexing_lower_bound_bits(10, 16, 0.25);
+        assert!((b - 0.75 * 10.0 * 4.0).abs() < 1e-9);
+        assert_eq!(augmented_indexing_lower_bound_bits(10, 16, 1.0), 0.0);
+        // the bound grows with both m and log k
+        assert!(
+            augmented_indexing_lower_bound_bits(20, 16, 0.25)
+                > augmented_indexing_lower_bound_bits(10, 16, 0.25)
+        );
+        assert!(
+            augmented_indexing_lower_bound_bits(10, 256, 0.25)
+                > augmented_indexing_lower_bound_bits(10, 16, 0.25)
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # lps-commgames
+//!
+//! Communication games and the lower-bound reduction machinery of Section 4
+//! of Jowhari–Sağlam–Tardos (PODS 2011).
+//!
+//! * [`augmented_indexing`] — the hard problem everything reduces from
+//!   (Lemma 6 reference bound included).
+//! * [`universal_relation`] — UR^n, the one-round randomized protocol of
+//!   Proposition 5 built on the Theorem 2 L0 sampler, the deterministic
+//!   baseline, and Lemma 7's symmetrisation wrapper.
+//! * [`reductions`] — executable versions of the reductions behind
+//!   Theorems 6 (UR), 7 (duplicates) and 9 (heavy hitters), with message-size
+//!   accounting so the experiments can plot measured message growth against
+//!   the Ω(log² n) / Ω(φ^{-p} log² n) statements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augmented_indexing;
+pub mod reductions;
+pub mod universal_relation;
+
+pub use augmented_indexing::{augmented_indexing_lower_bound_bits, AugmentedIndexingInstance};
+pub use reductions::{
+    DuplicatesToUr, HeavyHittersToAugmentedIndexing, ReductionOutcome, UrToAugmentedIndexing,
+};
+pub use universal_relation::{
+    run_symmetrised, ur_deterministic_protocol, UrInstance, UrOutcome, UrSketchProtocol,
+};

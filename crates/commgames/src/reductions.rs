@@ -1,0 +1,469 @@
+//! Executable versions of the paper's lower-bound reductions (Theorems 6, 7
+//! and 9).
+//!
+//! Each reduction turns a protocol/streaming algorithm for the "easy-looking"
+//! problem into a protocol for augmented indexing. The paper uses them to
+//! conclude Ω(log² n) (respectively Ω(φ^{-p} log² n)) space lower bounds; we
+//! use them to *validate the reduction machinery end to end*: running the
+//! reduction on top of the actual streaming algorithms of this workspace must
+//! solve augmented indexing with the advantage the proofs claim, and the
+//! measured message (memory-state) sizes show the growth that the lower
+//! bounds say is unavoidable.
+//!
+//! * [`UrToAugmentedIndexing`] — Theorem 6: an UR^n protocol yields an
+//!   augmented-indexing protocol over strings in `[2^t]^s` with
+//!   `n = (2^s − 1)·2^t`.
+//! * [`DuplicatesToUr`] — Theorem 7: a duplicates algorithm yields a UR^{n}
+//!   protocol (and hence, composed with Theorem 6, an augmented-indexing
+//!   protocol).
+//! * [`HeavyHittersToAugmentedIndexing`] — Theorem 9: a heavy hitters
+//!   algorithm in the strict turnstile model yields an augmented-indexing
+//!   protocol via geometrically growing block weights.
+
+use lps_duplicates::{DuplicateFinder, DuplicateResult};
+use lps_hash::SeedSequence;
+use lps_heavy::CountSketchHeavyHitters;
+use lps_stream::{sample_distinct, SpaceUsage};
+
+use crate::augmented_indexing::AugmentedIndexingInstance;
+use crate::universal_relation::{UrInstance, UrOutcome, UrSketchProtocol};
+
+/// Outcome of running a reduction-based protocol on one instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionOutcome {
+    /// Bob's answer, or `None` if the underlying algorithm failed.
+    pub answer: Option<u64>,
+    /// Whether the answer equals the target symbol.
+    pub correct: bool,
+    /// Message (memory-state) bits Alice sent to Bob.
+    pub message_bits: u64,
+}
+
+/// Theorem 6: reduce augmented indexing over `[2^t]^s` to UR^n with
+/// `n = (2^s − 1)·2^t`, then solve UR with the one-round sketch protocol.
+#[derive(Debug, Clone)]
+pub struct UrToAugmentedIndexing {
+    /// Block bit-width t (alphabet 2^t).
+    pub t: u32,
+    /// Number of blocks s (string length).
+    pub s: u32,
+    /// Failure probability of the inner UR protocol.
+    pub delta: f64,
+}
+
+impl UrToAugmentedIndexing {
+    /// Create a reduction for strings of length `s` over alphabet `2^t`.
+    pub fn new(s: u32, t: u32, delta: f64) -> Self {
+        assert!(s >= 1 && t >= 1);
+        assert!(s < 20, "dimension (2^s - 1)·2^t explodes for large s");
+        UrToAugmentedIndexing { t, s, delta }
+    }
+
+    /// Dimension of the universal-relation instance the reduction builds.
+    pub fn ur_dimension(&self) -> u64 {
+        ((1u64 << self.s) - 1) * (1u64 << self.t)
+    }
+
+    /// Build Alice's vector `u`: the concatenation, for `j = 1..s`, of
+    /// `2^{s−j}` copies of the unit vector `e_{z_j}` in dimension `2^t`.
+    /// Returns the positions set to 1.
+    pub fn alice_positions(&self, string: &[u64]) -> Vec<u64> {
+        assert_eq!(string.len(), self.s as usize);
+        let block = 1u64 << self.t;
+        let mut positions = Vec::new();
+        let mut offset = 0u64;
+        for (j, &symbol) in string.iter().enumerate() {
+            assert!(symbol < block);
+            let copies = 1u64 << (self.s as u64 - 1 - j as u64);
+            for c in 0..copies {
+                positions.push(offset + c * block + symbol);
+            }
+            offset += copies * block;
+        }
+        positions
+    }
+
+    /// Build Bob's vector `v`: the same blocks for `j < i`, zeros afterwards.
+    pub fn bob_positions(&self, prefix: &[u64]) -> Vec<u64> {
+        assert!(prefix.len() <= self.s as usize);
+        let block = 1u64 << self.t;
+        let mut positions = Vec::new();
+        let mut offset = 0u64;
+        for (j, &symbol) in prefix.iter().enumerate() {
+            let copies = 1u64 << (self.s as u64 - 1 - j as u64);
+            for c in 0..copies {
+                positions.push(offset + c * block + symbol);
+            }
+            offset += copies * block;
+        }
+        positions
+    }
+
+    /// Map a differing index of `u − v` back to `(block j, symbol)`.
+    pub fn decode_index(&self, index: u64) -> (usize, u64) {
+        let block = 1u64 << self.t;
+        let mut offset = 0u64;
+        for j in 0..self.s as u64 {
+            let copies = 1u64 << (self.s as u64 - 1 - j);
+            let span = copies * block;
+            if index < offset + span {
+                return (j as usize, (index - offset) % block);
+            }
+            offset += span;
+        }
+        panic!("index {index} outside the constructed dimension");
+    }
+
+    /// Run the full protocol on an augmented-indexing instance.
+    pub fn run(&self, instance: &AugmentedIndexingInstance, seeds: &mut SeedSequence) -> ReductionOutcome {
+        assert_eq!(instance.len(), self.s as usize);
+        assert_eq!(instance.alphabet, 1u64 << self.t);
+        let n = self.ur_dimension();
+        let alice = self.alice_positions(&instance.string);
+        let bob = self.bob_positions(instance.prefix());
+        let mut x = vec![false; n as usize];
+        for p in &alice {
+            x[*p as usize] = true;
+        }
+        let mut y = vec![false; n as usize];
+        for p in &bob {
+            y[*p as usize] = true;
+        }
+        // x != y is guaranteed: block i of u is non-zero while block i of v is zero.
+        let ur = UrInstance::new(x, y);
+        let protocol = UrSketchProtocol::new(self.delta);
+        let UrOutcome { answer, message_bits } = protocol.run(&ur, seeds);
+        match answer {
+            Some(idx) => {
+                let (j, symbol) = self.decode_index(idx);
+                // Bob learns z_j for some j >= i; the answer is useful when j = i.
+                let correct = j == instance.index && instance.is_correct(symbol);
+                ReductionOutcome { answer: Some(symbol), correct, message_bits }
+            }
+            None => ReductionOutcome { answer: None, correct: false, message_bits },
+        }
+    }
+}
+
+/// Theorem 7: reduce UR^n to finding duplicates in a stream of length n + 1
+/// over `[2n]`, then solve duplicates with the Theorem 3 finder.
+#[derive(Debug, Clone)]
+pub struct DuplicatesToUr {
+    /// Failure probability of the inner duplicates algorithm.
+    pub delta: f64,
+}
+
+impl DuplicatesToUr {
+    /// Create the reduction.
+    pub fn new(delta: f64) -> Self {
+        DuplicatesToUr { delta }
+    }
+
+    /// Alice's set `S = {2i − 1 + x_i}` (1-based in the paper; 0-based here:
+    /// position i contributes `2i + x_i`).
+    pub fn alice_set(x: &[bool]) -> Vec<u64> {
+        x.iter().enumerate().map(|(i, &b)| 2 * i as u64 + b as u64).collect()
+    }
+
+    /// Bob's set `T = {2i − y_i}` (0-based: position i contributes `2i + 1 − y_i`).
+    pub fn bob_set(y: &[bool]) -> Vec<u64> {
+        y.iter().enumerate().map(|(i, &b)| 2 * i as u64 + 1 - b as u64).collect()
+    }
+
+    /// Run the protocol on a UR instance. Returns the reported differing
+    /// index (if any) and the message size.
+    ///
+    /// The duplicates algorithm is run over the alphabet `P` (|P| = n): both
+    /// players know `P` from shared randomness, so they relabel its elements
+    /// to `[0, n)` before feeding them. Alice feeds `S ∩ P`, Bob feeds enough
+    /// elements of `T ∩ P` to reach n + 1 letters in total; by pigeonhole a
+    /// duplicate then exists, and any duplicate lies in `S ∩ T`, i.e. it
+    /// encodes a position where x and y differ.
+    pub fn run(&self, instance: &UrInstance, seeds: &mut SeedSequence) -> UrOutcome {
+        let n = instance.len() as u64;
+        let domain = 2 * n;
+        let s_set = Self::alice_set(&instance.x);
+        let t_set = Self::bob_set(&instance.y);
+        // Shared randomness: a random subset P of [2n] of size n.
+        let mut p_sorted = sample_distinct(domain, n, seeds);
+        p_sorted.sort_unstable();
+        let rank_of = |v: u64| p_sorted.binary_search(&v).ok().map(|r| r as u64);
+        let s_in_p: Vec<u64> = s_set.iter().copied().filter_map(&rank_of).collect();
+        let t_in_p: Vec<u64> = t_set.iter().copied().filter_map(&rank_of).collect();
+
+        // Alice runs the duplicates algorithm (alphabet P, relabelled to [0, n))
+        // on her elements and sends the memory state plus |S ∩ P|.
+        let mut shared = seeds.split();
+        let mut finder = DuplicateFinder::new(n, self.delta, &mut shared);
+        for &v in &s_in_p {
+            finder.process_letter(v);
+        }
+        let message_bits = finder.bits_used() + 64;
+
+        // Bob aborts unless |S ∩ P| + |T ∩ P| ≥ n + 1 (happens with constant
+        // probability by the counting argument in the proof).
+        let needed = (n + 1).saturating_sub(s_in_p.len() as u64) as usize;
+        if t_in_p.len() < needed {
+            return UrOutcome { answer: None, message_bits };
+        }
+        for &v in t_in_p.iter().take(needed) {
+            finder.process_letter(v);
+        }
+        let answer = match finder.report() {
+            DuplicateResult::Duplicate(rank) => {
+                // map the relabelled duplicate back to an element of S ∩ T,
+                // which encodes the differing position ⌊a/2⌋.
+                Some(p_sorted[rank as usize] / 2)
+            }
+            _ => None,
+        };
+        UrOutcome { answer, message_bits }
+    }
+}
+
+/// Theorem 9: reduce augmented indexing over `[2^t]^s` to Lp heavy hitters
+/// with parameter φ, using geometrically growing block weights
+/// `b = (1 − (2φ)^p)^{−1/p}`.
+#[derive(Debug, Clone)]
+pub struct HeavyHittersToAugmentedIndexing {
+    /// Block bit-width t (alphabet 2^t).
+    pub t: u32,
+    /// Number of blocks s.
+    pub s: u32,
+    /// Norm exponent p.
+    pub p: f64,
+    /// Heaviness threshold φ.
+    pub phi: f64,
+}
+
+impl HeavyHittersToAugmentedIndexing {
+    /// Create the reduction. Requires `(2φ)^p < 1` so the geometric weight is finite.
+    pub fn new(s: u32, t: u32, p: f64, phi: f64) -> Self {
+        assert!(s >= 1 && t >= 1);
+        assert!(p > 0.0 && p <= 2.0);
+        assert!(phi > 0.0 && 2.0 * phi < 1.0, "need (2φ)^p < 1");
+        HeavyHittersToAugmentedIndexing { t, s, p, phi }
+    }
+
+    /// The geometric base `b = (1 − (2φ)^p)^{−1/p}`.
+    pub fn base(&self) -> f64 {
+        (1.0 - (2.0 * self.phi).powf(self.p)).powf(-1.0 / self.p)
+    }
+
+    /// Dimension of the heavy-hitters vector, `s·2^t`.
+    pub fn dimension(&self) -> u64 {
+        self.s as u64 * (1u64 << self.t)
+    }
+
+    /// The weight `⌈b^{s−j}⌉` given to block `j` (0-based; the last block has
+    /// weight 1, earlier blocks grow geometrically).
+    pub fn block_weight(&self, j: usize) -> i64 {
+        let exp = (self.s as i32 - 1 - j as i32).max(0);
+        self.base().powi(exp).ceil() as i64
+    }
+
+    /// Alice's non-zero entries `(index, weight)`.
+    pub fn alice_entries(&self, string: &[u64]) -> Vec<(u64, i64)> {
+        assert_eq!(string.len(), self.s as usize);
+        let block = 1u64 << self.t;
+        string
+            .iter()
+            .enumerate()
+            .map(|(j, &symbol)| {
+                assert!(symbol < block);
+                (j as u64 * block + symbol, self.block_weight(j))
+            })
+            .collect()
+    }
+
+    /// Run the protocol: Alice feeds her increments into the heavy hitter
+    /// sketch, Bob removes the blocks he knows (j < i) and reads the smallest
+    /// reported index, which must be block i's symbol if the heavy hitter
+    /// algorithm is correct.
+    pub fn run(&self, instance: &AugmentedIndexingInstance, seeds: &mut SeedSequence) -> ReductionOutcome {
+        assert_eq!(instance.len(), self.s as usize);
+        assert_eq!(instance.alphabet, 1u64 << self.t);
+        let n = self.dimension();
+        let block = 1u64 << self.t;
+        let mut hh = CountSketchHeavyHitters::new(n, self.p, self.phi, seeds);
+        // Alice's updates.
+        for (idx, w) in self.alice_entries(&instance.string) {
+            hh.update(idx, w);
+        }
+        let message_bits = hh.bits_used();
+        // Bob's updates: remove every block he already knows.
+        for (j, &symbol) in instance.prefix().iter().enumerate() {
+            let idx = j as u64 * block + symbol;
+            hh.update(idx, -self.block_weight(j));
+        }
+        // Bob reads the heavy hitter set and decodes the smallest index.
+        let reported = hh.report();
+        let answer = reported
+            .iter()
+            .copied()
+            .min()
+            .and_then(|idx| {
+                let j = (idx / block) as usize;
+                if j == instance.index {
+                    Some(idx % block)
+                } else {
+                    None
+                }
+            });
+        let correct = answer.map(|a| instance.is_correct(a)).unwrap_or(false);
+        ReductionOutcome { answer, correct, message_bits }
+    }
+
+    /// Run the protocol against an *exact* heavy hitter oracle instead of the
+    /// sketch. This isolates the reduction's own correctness (it should then
+    /// succeed always), which is how the experiments validate Theorem 9's
+    /// construction independently of sketch error.
+    pub fn run_with_exact_oracle(&self, instance: &AugmentedIndexingInstance) -> ReductionOutcome {
+        assert_eq!(instance.len(), self.s as usize);
+        let block = 1u64 << self.t;
+        let n = self.dimension();
+        let mut values = vec![0i64; n as usize];
+        for (idx, w) in self.alice_entries(&instance.string) {
+            values[idx as usize] += w;
+        }
+        for (j, &symbol) in instance.prefix().iter().enumerate() {
+            values[(j as u64 * block + symbol) as usize] -= self.block_weight(j);
+        }
+        let truth = lps_stream::TruthVector::from_values(values);
+        let reported = lps_heavy::exact_heavy_hitters(&truth, self.p, self.phi);
+        let answer = reported.iter().copied().min().and_then(|idx| {
+            let j = (idx / block) as usize;
+            if j == instance.index {
+                Some(idx % block)
+            } else {
+                None
+            }
+        });
+        let correct = answer.map(|a| instance.is_correct(a)).unwrap_or(false);
+        ReductionOutcome { answer, correct, message_bits: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeds(seed: u64) -> SeedSequence {
+        SeedSequence::new(seed)
+    }
+
+    #[test]
+    fn theorem6_vector_construction_shapes() {
+        let red = UrToAugmentedIndexing::new(4, 3, 0.25);
+        assert_eq!(red.ur_dimension(), 15 * 8);
+        let string = vec![1u64, 7, 0, 5];
+        let alice = red.alice_positions(&string);
+        // total copies = 8 + 4 + 2 + 1 = 15 positions set
+        assert_eq!(alice.len(), 15);
+        // every position decodes back to its block and symbol
+        for &pos in &alice {
+            let (j, symbol) = red.decode_index(pos);
+            assert_eq!(symbol, string[j]);
+        }
+        // Bob with prefix of length 2 sets 8 + 4 positions
+        assert_eq!(red.bob_positions(&string[..2]).len(), 12);
+    }
+
+    #[test]
+    fn theorem6_end_to_end_advantage() {
+        // The reduction run over the real L0-sampling UR protocol must answer
+        // augmented indexing correctly more often than guessing (1/2^t) and
+        // in fact better than 1/2 (the proof gives error (1+δ)/2 for a
+        // uniform differing index; our sampler's distribution is uniform).
+        let red = UrToAugmentedIndexing::new(5, 3, 0.2);
+        let mut s = seeds(1);
+        let trials = 30;
+        let mut correct = 0;
+        for _ in 0..trials {
+            let inst = AugmentedIndexingInstance::random(5, 8, &mut s);
+            let out = red.run(&inst, &mut s);
+            if out.correct {
+                correct += 1;
+            }
+            assert!(out.message_bits > 0);
+        }
+        assert!(correct * 3 >= trials, "correct {correct}/{trials} — advantage too small");
+    }
+
+    #[test]
+    fn theorem7_set_construction_encodes_differences() {
+        let x = vec![true, false, true, true];
+        let y = vec![true, true, true, false];
+        let s = DuplicatesToUr::alice_set(&x);
+        let t = DuplicatesToUr::bob_set(&y);
+        assert_eq!(s.len(), 4);
+        assert_eq!(t.len(), 4);
+        let s_set: std::collections::HashSet<u64> = s.into_iter().collect();
+        let common: Vec<u64> = t.into_iter().filter(|v| s_set.contains(v)).collect();
+        // positions 1 and 3 differ; their shared elements decode back to them
+        let mut decoded: Vec<u64> = common.iter().map(|v| v / 2).collect();
+        decoded.sort_unstable();
+        assert_eq!(decoded, vec![1, 3]);
+    }
+
+    #[test]
+    fn theorem7_protocol_reports_only_true_differences() {
+        let red = DuplicatesToUr::new(0.25);
+        let mut s = seeds(2);
+        let trials = 25;
+        let mut answered = 0;
+        for t in 0..trials {
+            let inst = UrInstance::random(128, 1 + (t % 5), &mut s);
+            let out = red.run(&inst, &mut s);
+            if let Some(i) = out.answer {
+                assert!(inst.is_valid_answer(i), "reported index {i} does not differ");
+                answered += 1;
+            }
+        }
+        // the proof only promises constant success probability (> 1/32 here);
+        // empirically it is far higher
+        assert!(answered >= 5, "answered only {answered}/{trials}");
+    }
+
+    #[test]
+    fn theorem9_base_and_weights() {
+        let red = HeavyHittersToAugmentedIndexing::new(6, 4, 1.0, 0.25);
+        let b = red.base();
+        assert!((b - 2.0).abs() < 1e-12, "for p=1, φ=1/4: b = 1/(1-1/2) = 2");
+        assert_eq!(red.block_weight(5), 1);
+        assert_eq!(red.block_weight(4), 2);
+        assert_eq!(red.block_weight(0), 32);
+        assert_eq!(red.dimension(), 6 * 16);
+    }
+
+    #[test]
+    fn theorem9_exact_oracle_always_correct() {
+        // With an exact heavy hitter oracle the construction itself must
+        // always reveal x_i: the first surviving block's weight exceeds φ
+        // times the norm of the remaining geometric tail.
+        let red = HeavyHittersToAugmentedIndexing::new(8, 4, 1.0, 0.25);
+        let mut s = seeds(3);
+        for _ in 0..50 {
+            let inst = AugmentedIndexingInstance::random(8, 16, &mut s);
+            let out = red.run_with_exact_oracle(&inst);
+            assert!(out.correct, "exact-oracle reduction failed on {inst:?}");
+        }
+    }
+
+    #[test]
+    fn theorem9_with_real_sketch_succeeds_mostly() {
+        let red = HeavyHittersToAugmentedIndexing::new(6, 3, 1.0, 0.2);
+        let mut s = seeds(4);
+        let trials = 20;
+        let mut correct = 0;
+        for _ in 0..trials {
+            let inst = AugmentedIndexingInstance::random(6, 8, &mut s);
+            let out = red.run(&inst, &mut s);
+            if out.correct {
+                correct += 1;
+            }
+            assert!(out.message_bits > 0);
+        }
+        assert!(correct * 2 >= trials, "correct {correct}/{trials}");
+    }
+}

@@ -1,0 +1,151 @@
+//! An exact (full-memory) Lp sampler used as ground truth in experiments.
+//!
+//! This sampler stores the entire frequency vector, computes the exact Lp
+//! distribution of Definition 1 and samples from it. It is *not* a streaming
+//! algorithm (Θ(n log n) bits); its only purpose is to provide the reference
+//! distribution and reference estimates the sketched samplers are compared
+//! against in EXPERIMENTS.md.
+
+use lps_hash::SeedSequence;
+use lps_stream::{SpaceBreakdown, SpaceUsage, TruthVector, Update};
+
+use crate::traits::{LpSampler, Sample};
+
+/// A full-memory exact Lp sampler (ground truth only).
+#[derive(Debug, Clone)]
+pub struct ExactSampler {
+    p: f64,
+    vector: TruthVector,
+    rng_seed: u64,
+    draws: std::cell::Cell<u64>,
+}
+
+impl ExactSampler {
+    /// Create an exact sampler for the given exponent (`p ≥ 0`).
+    pub fn new(dimension: u64, p: f64, seeds: &mut SeedSequence) -> Self {
+        assert!(p >= 0.0);
+        ExactSampler {
+            p,
+            vector: TruthVector::zeros(dimension),
+            rng_seed: seeds.next_u64(),
+            draws: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Access the exact aggregated vector.
+    pub fn vector(&self) -> &TruthVector {
+        &self.vector
+    }
+
+    /// Draw an independent sample (unlike sketched samplers, the exact
+    /// sampler can produce as many independent samples as desired).
+    pub fn draw(&self) -> Option<Sample> {
+        let dist = self.vector.lp_distribution(self.p)?;
+        let draw_index = self.draws.get();
+        self.draws.set(draw_index + 1);
+        let mut rng = SeedSequence::new(self.rng_seed ^ draw_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let mut acc = 0.0;
+        for (i, &pmass) in dist.iter().enumerate() {
+            acc += pmass;
+            if u < acc {
+                return Some(Sample { index: i as u64, estimate: self.vector.get(i as u64) as f64 });
+            }
+        }
+        // numerical slack: return the last non-zero coordinate
+        dist.iter()
+            .rposition(|&v| v > 0.0)
+            .map(|i| Sample { index: i as u64, estimate: self.vector.get(i as u64) as f64 })
+    }
+}
+
+impl LpSampler for ExactSampler {
+    fn process_update(&mut self, update: Update) {
+        self.vector.apply(update);
+    }
+
+    fn sample(&self) -> Option<Sample> {
+        self.draw()
+    }
+
+    fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn dimension(&self) -> u64 {
+        self.vector.dimension()
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+impl SpaceUsage for ExactSampler {
+    fn space(&self) -> SpaceBreakdown {
+        let n = self.vector.dimension();
+        SpaceBreakdown::new(n, lps_stream::counter_bits_for(n, self.vector.max_abs().unsigned_abs().max(2)), 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_stream::{EmpiricalDistribution, TurnstileModel, UpdateStream};
+
+    #[test]
+    fn exact_sampler_matches_lp_distribution() {
+        let n = 16u64;
+        let mut stream = UpdateStream::new(n, TurnstileModel::General);
+        stream.push(Update::new(0, 1));
+        stream.push(Update::new(1, -3));
+        stream.push(Update::new(5, 6));
+        let mut seeds = SeedSequence::new(1);
+        let mut sampler = ExactSampler::new(n, 1.0, &mut seeds);
+        sampler.process_stream(&stream);
+        let reference = sampler.vector().lp_distribution(1.0).unwrap();
+        let mut empirical = EmpiricalDistribution::new(n);
+        for _ in 0..20_000 {
+            empirical.record(sampler.draw().unwrap().index);
+        }
+        assert!(empirical.total_variation(&reference) < 0.02);
+    }
+
+    #[test]
+    fn zero_vector_fails() {
+        let mut seeds = SeedSequence::new(2);
+        let sampler = ExactSampler::new(8, 1.0, &mut seeds);
+        assert!(sampler.sample().is_none());
+    }
+
+    #[test]
+    fn l0_mode_uniform_over_support() {
+        let n = 8u64;
+        let mut stream = UpdateStream::new(n, TurnstileModel::General);
+        stream.push(Update::new(0, 100));
+        stream.push(Update::new(3, 1));
+        let mut seeds = SeedSequence::new(3);
+        let mut sampler = ExactSampler::new(n, 0.0, &mut seeds);
+        sampler.process_stream(&stream);
+        let mut counts = [0u64; 2];
+        for _ in 0..4000 {
+            match sampler.draw().unwrap().index {
+                0 => counts[0] += 1,
+                3 => counts[1] += 1,
+                other => panic!("sampled {other}, not in support"),
+            }
+        }
+        let frac = counts[0] as f64 / 4000.0;
+        assert!((frac - 0.5).abs() < 0.05, "L0 sampling should ignore magnitudes, got {frac}");
+    }
+
+    #[test]
+    fn estimates_are_exact() {
+        let mut seeds = SeedSequence::new(4);
+        let mut sampler = ExactSampler::new(8, 1.0, &mut seeds);
+        sampler.process_update(Update::new(2, -9));
+        let s = sampler.sample().unwrap();
+        assert_eq!(s.index, 2);
+        assert_eq!(s.estimate, -9.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! A Frahling–Indyk–Sohler-style O(log³ n)-bit L0 sampler baseline.
+//!
+//! The paper improves the L0-sampling space bound from the O(log³ n) bits of
+//! Frahling, Indyk and Sohler (SCG'05) to O(log² n) bits (Theorem 2). This
+//! module implements the classic log³-style construction so Experiment E3 can
+//! compare the two: `⌊log n⌋ + 1` geometric subsampling levels, each level
+//! holding `O(log n)` independent 1-sparse detection cells (each cell is
+//! O(log n) bits), giving O(log² n) counters ≈ O(log³ n) bits.
+//!
+//! Recovery scans the levels for any cell that currently holds exactly one
+//! coordinate and returns it. With a support of size `2^k`, the level whose
+//! sampling rate is `≈ 2^{-k}` isolates a single support element in any fixed
+//! cell with constant probability, so some cell on that level succeeds with
+//! high probability; conditioned on success the recovered element is (close
+//! to) uniform over the support by symmetry.
+
+use lps_hash::{Fp, SeedSequence, TabulationHash};
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
+use lps_sketch::{CellState, OneSparseCell};
+
+use crate::traits::{LpSampler, Sample};
+
+/// One (level, repetition) slot: an inclusion hash plus a 1-sparse cell.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Coordinates are included when `hash(i) < 2^64 / 2^level` (probability 2^{-level}).
+    inclusion: TabulationHash,
+    cell: OneSparseCell,
+}
+
+/// A log³-style L0 sampler baseline.
+#[derive(Debug, Clone)]
+pub struct FisL0Sampler {
+    dimension: u64,
+    levels: usize,
+    repetitions: usize,
+    slots: Vec<Slot>,
+    fingerprint_base: Fp,
+}
+
+impl FisL0Sampler {
+    /// Create a baseline sampler with `O(log n)` repetitions per level.
+    pub fn new(dimension: u64, seeds: &mut SeedSequence) -> Self {
+        assert!(dimension > 0);
+        let levels = (dimension.max(2) as f64).log2().floor() as usize + 1;
+        let repetitions = (((dimension.max(2) as f64).log2().ceil() as usize) + 4).max(8);
+        let mut slots = Vec::with_capacity(levels * repetitions);
+        for _ in 0..levels * repetitions {
+            slots.push(Slot { inclusion: TabulationHash::new(seeds), cell: OneSparseCell::new() });
+        }
+        let fingerprint_base = Fp::new(seeds.next_u64() % (lps_hash::MERSENNE_P - 2) + 1);
+        FisL0Sampler { dimension, levels, repetitions, slots, fingerprint_base }
+    }
+
+    /// Number of subsampling levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Repetitions per level.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    fn slot_included(&self, level: usize, rep: usize, index: u64) -> bool {
+        if level == 0 {
+            return true;
+        }
+        if level >= 64 {
+            return false;
+        }
+        let slot = &self.slots[level * self.repetitions + rep];
+        slot.inclusion.hash(index) < (u64::MAX >> level)
+    }
+}
+
+impl LpSampler for FisL0Sampler {
+    fn process_update(&mut self, update: Update) {
+        debug_assert!(update.index < self.dimension);
+        if update.delta == 0 {
+            return;
+        }
+        for level in 0..self.levels {
+            for rep in 0..self.repetitions {
+                if self.slot_included(level, rep, update.index) {
+                    let base = self.fingerprint_base;
+                    self.slots[level * self.repetitions + rep]
+                        .cell
+                        .update(update.index, update.delta, base);
+                }
+            }
+        }
+    }
+
+    fn sample(&self) -> Option<Sample> {
+        // scan levels from the sparsest (highest) downwards so dense supports
+        // are caught by heavily-subsampled levels first
+        for level in (0..self.levels).rev() {
+            for rep in 0..self.repetitions {
+                let cell = &self.slots[level * self.repetitions + rep].cell;
+                if let CellState::OneSparse(index, value) =
+                    cell.state(self.dimension, self.fingerprint_base)
+                {
+                    return Some(Sample { index, estimate: value as f64 });
+                }
+            }
+        }
+        None
+    }
+
+    fn p(&self) -> f64 {
+        0.0
+    }
+
+    fn dimension(&self) -> u64 {
+        self.dimension
+    }
+
+    fn name(&self) -> &'static str {
+        "fis-l0-baseline"
+    }
+}
+
+impl SpaceUsage for FisL0Sampler {
+    fn space(&self) -> SpaceBreakdown {
+        // three counters per cell; inclusion hashes are charged at the
+        // idealised O(log n) bits each (the in-memory tabulation tables are an
+        // implementation convenience standing in for a seeded hash function,
+        // exactly as the FIS paper assumes).
+        let counters = (self.levels * self.repetitions * 3) as u64;
+        let counter_bits = lps_stream::counter_bits_for(self.dimension, self.dimension).max(61);
+        let hash_bits = (self.levels * self.repetitions) as u64
+            * 2
+            * (self.dimension.max(2) as f64).log2().ceil() as u64;
+        SpaceBreakdown::new(counters, counter_bits, hash_bits + 61)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_stream::{sparse_vector_stream, TruthVector, TurnstileModel, UpdateStream};
+    use crate::l0::L0Sampler;
+
+    fn seeds(seed: u64) -> SeedSequence {
+        SeedSequence::new(seed)
+    }
+
+    #[test]
+    fn zero_vector_fails() {
+        let mut s = seeds(1);
+        let sampler = FisL0Sampler::new(256, &mut s);
+        assert!(sampler.sample().is_none());
+    }
+
+    #[test]
+    fn single_survivor_after_cancellation() {
+        let n = 512u64;
+        let mut stream = UpdateStream::new(n, TurnstileModel::General);
+        for i in 0..200u64 {
+            stream.push_insert(i);
+            stream.push_delete(i);
+        }
+        stream.push(Update::new(300, 4));
+        let mut s = seeds(2);
+        let mut sampler = FisL0Sampler::new(n, &mut s);
+        sampler.process_stream(&stream);
+        let sample = sampler.sample().expect("1-sparse vector must be found");
+        assert_eq!(sample.index, 300);
+        assert_eq!(sample.estimate, 4.0);
+    }
+
+    #[test]
+    fn succeeds_on_moderate_supports() {
+        let n = 2048u64;
+        let mut gen = seeds(3);
+        let stream = sparse_vector_stream(n, 300, 9, &mut gen);
+        let truth = TruthVector::from_stream(&stream);
+        let support = truth.support();
+        let mut successes = 0;
+        for seed in 0..30u64 {
+            let mut s = seeds(100 + seed);
+            let mut sampler = FisL0Sampler::new(n, &mut s);
+            sampler.process_stream(&stream);
+            if let Some(sample) = sampler.sample() {
+                successes += 1;
+                assert!(support.contains(&sample.index));
+                assert_eq!(sample.estimate, truth.get(sample.index) as f64);
+            }
+        }
+        assert!(successes >= 25, "baseline success rate too low: {successes}/30");
+    }
+
+    #[test]
+    fn space_grows_one_log_factor_faster_than_theorem_2_sampler() {
+        // The headline comparison of Experiment E3 is asymptotic: the FIS
+        // baseline uses O(log³ n) bits versus Theorem 2's O(log² n). At
+        // practical n the constants of the sparse-recovery structure make the
+        // absolute numbers close (EXPERIMENTS.md reports both), so the test
+        // checks the *growth rates*: going from n = 2^10 to n = 2^24 the FIS
+        // footprint must grow by a strictly larger factor than Theorem 2's.
+        let grow = |make: &dyn Fn(u64) -> u64| -> f64 {
+            make(1 << 24) as f64 / make(1 << 10) as f64
+        };
+        let fis_growth = grow(&|n| {
+            let mut s = seeds(4);
+            FisL0Sampler::new(n, &mut s).space().counters
+        });
+        let ours_growth = grow(&|n| {
+            let mut s = seeds(4);
+            L0Sampler::new(n, 0.25, &mut s).space().counters
+        });
+        assert!(
+            fis_growth > 1.4 * ours_growth,
+            "FIS counter growth {fis_growth:.2} should exceed Theorem 2 growth {ours_growth:.2}"
+        );
+    }
+}

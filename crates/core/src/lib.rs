@@ -1,0 +1,62 @@
+//! # lps-core
+//!
+//! The samplers of *"Tight Bounds for Lp Samplers, Finding Duplicates in
+//! Streams, and Related Problems"* (Jowhari, Sağlam, Tardos; PODS 2011),
+//! plus the baselines they are compared against.
+//!
+//! * [`precision`] — the paper's Figure 1 precision-sampling Lp sampler for
+//!   `p ∈ (0, 2)`: `O(ε^{−p} log² n)` bits (Theorem 1).
+//! * [`l0`] — the zero-relative-error L0 sampler in `O(log² n)` bits
+//!   (Theorem 2), with optional Nisan-PRG derandomization.
+//! * [`repeat`] — independent-repetition wrapper boosting success to `1 − δ`.
+//! * [`reservoir`] — classic insertion-only reservoir sampling (intro) and
+//!   position reservoirs used by the length-(n+s) duplicates algorithm.
+//! * [`ako`] — the Andoni–Krauthgamer–Onak `O(ε^{−p} log³ n)` baseline.
+//! * [`fis_l0`] — a Frahling–Indyk–Sohler-style `O(log³ n)` L0 baseline.
+//! * [`exact`] — a full-memory exact sampler used as experimental ground truth.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lps_core::{LpSampler, PrecisionLpSampler, RepeatedSampler, repetitions_for};
+//! use lps_hash::SeedSequence;
+//! use lps_stream::{TurnstileModel, Update, UpdateStream};
+//!
+//! // a turnstile stream over 256 coordinates with insertions and deletions
+//! let mut stream = UpdateStream::new(256, TurnstileModel::General);
+//! stream.push(Update::new(7, 5));
+//! stream.push(Update::new(20, -3));
+//! stream.push(Update::new(7, 2));
+//!
+//! // an L1 sampler with relative error 0.3 and failure probability ~0.1
+//! let mut seeds = SeedSequence::new(42);
+//! let copies = repetitions_for(1.0, 0.3, 0.1);
+//! let mut sampler = RepeatedSampler::new(copies, &mut seeds, |s| {
+//!     PrecisionLpSampler::new(256, 1.0, 0.3, s)
+//! });
+//! sampler.process_stream(&stream);
+//! if let Some(sample) = sampler.sample() {
+//!     assert!(sample.index == 7 || sample.index == 20);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ako;
+pub mod exact;
+pub mod fis_l0;
+pub mod l0;
+pub mod precision;
+pub mod repeat;
+pub mod reservoir;
+pub mod traits;
+
+pub use ako::AkoSampler;
+pub use exact::ExactSampler;
+pub use fis_l0::FisL0Sampler;
+pub use l0::{L0Randomness, L0Sampler};
+pub use precision::{PrecisionLpSampler, PrecisionParams, RecoveryState};
+pub use repeat::{repetitions_for, RepeatedSampler};
+pub use reservoir::{PositionReservoir, ReservoirSampler};
+pub use traits::{LpSampler, Sample};

@@ -1,0 +1,242 @@
+//! Classic reservoir sampling — the insertion-only L1 sampler from the
+//! paper's introduction (attributed to Waterman, via Knuth).
+//!
+//! Given a stream of positive updates `(i, u)`, the sampler keeps the running
+//! total `s` of all update weights and replaces its current sample with `i`
+//! with probability `u/s`. This is a *perfect* L1 sampler for insertion-only
+//! streams using O(1) words — the paper opens with it to contrast how much
+//! harder the problem becomes once negative updates are allowed. We include
+//! it both as that baseline and as the sub-sampler used by the length-(n+s)
+//! duplicates algorithm (Section 3, final paragraph).
+
+use lps_hash::SeedSequence;
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
+
+use crate::traits::{LpSampler, Sample};
+
+/// A weighted reservoir sampler holding a single sample (perfect L1 sampler
+/// for insertion-only streams).
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler {
+    dimension: u64,
+    total_weight: u64,
+    current: Option<(u64, i64)>,
+    rng: SeedSequence,
+}
+
+impl ReservoirSampler {
+    /// Create an empty reservoir sampler.
+    pub fn new(dimension: u64, seeds: &mut SeedSequence) -> Self {
+        ReservoirSampler { dimension, total_weight: 0, current: None, rng: seeds.split() }
+    }
+
+    /// Total weight of the updates seen so far.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+}
+
+/// A reservoir of `k` uniformly random *positions* of an insertion stream
+/// (Algorithm R), used by the length-(n+s) duplicates algorithm which samples
+/// stream positions and checks whether the letter at a sampled position
+/// appears again later.
+#[derive(Debug, Clone)]
+pub struct PositionReservoir {
+    capacity: usize,
+    seen: u64,
+    items: Vec<u64>,
+    rng: SeedSequence,
+}
+
+impl PositionReservoir {
+    /// Create a reservoir keeping `capacity` uniform positions.
+    pub fn new(capacity: usize, seeds: &mut SeedSequence) -> Self {
+        assert!(capacity >= 1);
+        PositionReservoir { capacity, seen: 0, items: Vec::with_capacity(capacity), rng: seeds.split() }
+    }
+
+    /// Offer the next stream item (its letter/value); the reservoir decides
+    /// whether to keep it.
+    pub fn offer(&mut self, value: u64) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(value);
+        } else {
+            let j = self.rng.next_below(self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = value;
+            }
+        }
+    }
+
+    /// The currently held sample of values.
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Reservoir capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl LpSampler for ReservoirSampler {
+    fn process_update(&mut self, update: Update) {
+        assert!(
+            update.delta > 0,
+            "reservoir sampling only supports positive updates; got {}",
+            update.delta
+        );
+        debug_assert!(update.index < self.dimension);
+        let u = update.delta as u64;
+        self.total_weight += u;
+        // replace the current sample with probability u / total_weight
+        let roll = self.rng.next_below(self.total_weight);
+        if roll < u || self.current.is_none() {
+            self.current = Some((update.index, update.delta));
+        }
+    }
+
+    fn sample(&self) -> Option<Sample> {
+        self.current.map(|(index, _)| Sample { index, estimate: f64::NAN })
+    }
+
+    fn p(&self) -> f64 {
+        1.0
+    }
+
+    fn dimension(&self) -> u64 {
+        self.dimension
+    }
+
+    fn name(&self) -> &'static str {
+        "reservoir-l1"
+    }
+}
+
+impl SpaceUsage for ReservoirSampler {
+    fn space(&self) -> SpaceBreakdown {
+        // one index counter + one weight counter + the RNG state
+        let counter_bits = lps_stream::counter_bits_for(self.dimension, self.total_weight.max(2));
+        SpaceBreakdown::new(2, counter_bits, 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_stream::{EmpiricalDistribution, TruthVector, TurnstileModel, UpdateStream};
+
+    fn seeds(seed: u64) -> SeedSequence {
+        SeedSequence::new(seed)
+    }
+
+    #[test]
+    fn empty_stream_has_no_sample() {
+        let mut s = seeds(1);
+        let sampler = ReservoirSampler::new(16, &mut s);
+        assert!(sampler.sample().is_none());
+        assert_eq!(sampler.total_weight(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_update_rejected() {
+        let mut s = seeds(2);
+        let mut sampler = ReservoirSampler::new(16, &mut s);
+        sampler.process_update(Update::new(3, -1));
+    }
+
+    #[test]
+    fn distribution_matches_l1_weights() {
+        // weights 1, 2, 5 on three coordinates
+        let n = 8u64;
+        let mut stream = UpdateStream::new(n, TurnstileModel::InsertionOnly);
+        stream.push(Update::new(0, 1));
+        stream.push(Update::new(1, 2));
+        stream.push(Update::new(2, 5));
+        let truth = TruthVector::from_stream(&stream);
+        let reference = truth.lp_distribution(1.0).unwrap();
+        let mut empirical = EmpiricalDistribution::new(n);
+        for seed in 0..8000u64 {
+            let mut s = seeds(100 + seed);
+            let mut sampler = ReservoirSampler::new(n, &mut s);
+            sampler.process_stream(&stream);
+            empirical.record(sampler.sample().unwrap().index);
+        }
+        let tv = empirical.total_variation(&reference);
+        assert!(tv < 0.03, "reservoir sampler deviates from L1 distribution: tv = {tv}");
+    }
+
+    #[test]
+    fn order_invariance_of_weights() {
+        // splitting a weight into unit updates must not change the distribution
+        let n = 4u64;
+        let mut stream = UpdateStream::new(n, TurnstileModel::InsertionOnly);
+        for _ in 0..3 {
+            stream.push(Update::new(2, 1));
+        }
+        stream.push(Update::new(1, 1));
+        let mut c2 = 0u32;
+        let trials = 6000u64;
+        for seed in 0..trials {
+            let mut s = seeds(900 + seed);
+            let mut sampler = ReservoirSampler::new(n, &mut s);
+            sampler.process_stream(&stream);
+            if sampler.sample().unwrap().index == 2 {
+                c2 += 1;
+            }
+        }
+        let frac = c2 as f64 / trials as f64;
+        assert!((frac - 0.75).abs() < 0.03, "coordinate 2 sampled with frequency {frac}, want 0.75");
+    }
+
+    #[test]
+    fn position_reservoir_uniform_over_positions() {
+        let capacity = 10usize;
+        let mut counts = vec![0u64; 100];
+        let trials = 3000u64;
+        for seed in 0..trials {
+            let mut s = seeds(50 + seed);
+            let mut res = PositionReservoir::new(capacity, &mut s);
+            for v in 0..100u64 {
+                res.offer(v);
+            }
+            assert_eq!(res.items().len(), capacity);
+            assert_eq!(res.seen(), 100);
+            for &v in res.items() {
+                counts[v as usize] += 1;
+            }
+        }
+        // every position should be kept roughly trials * capacity / 100 times
+        let expected = trials as f64 * capacity as f64 / 100.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 0.35 * expected,
+                "position {i} kept {c} times, expected about {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn position_reservoir_smaller_stream_keeps_everything() {
+        let mut s = seeds(3);
+        let mut res = PositionReservoir::new(16, &mut s);
+        for v in 0..5u64 {
+            res.offer(v);
+        }
+        assert_eq!(res.items(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn space_is_constant_words() {
+        let mut s = seeds(4);
+        let sampler = ReservoirSampler::new(1 << 20, &mut s);
+        assert!(sampler.bits_used() < 256);
+    }
+}

@@ -1,0 +1,66 @@
+//! The sampler abstraction shared by all Lp / L0 samplers in this crate.
+//!
+//! Definition 1 of the paper: an Lp sampler processes a turnstile stream
+//! defining `x ∈ R^n` and outputs an index distributed (approximately)
+//! according to `|x_i|^p/‖x‖_p^p` (uniform over the support for p = 0); an
+//! approximate sampler may also *fail*, and conditioning on not failing the
+//! output distribution must be within relative error ε of the Lp
+//! distribution. The trait mirrors exactly that: [`LpSampler::sample`]
+//! returns `None` for FAIL and `Some(Sample)` otherwise, and samplers also
+//! return an estimate of the sampled coordinate's value (the paper's
+//! algorithm produces one, Lemma 4 second part).
+
+use lps_stream::{SpaceUsage, Update, UpdateStream};
+
+/// A successful sample: the chosen index plus an estimate of `x_i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// The sampled coordinate.
+    pub index: u64,
+    /// The sampler's estimate of `x_index` (exact for the L0 sampler, within
+    /// relative error ε w.h.p. for the precision sampler).
+    pub estimate: f64,
+}
+
+/// A one-pass Lp sampler over turnstile streams.
+pub trait LpSampler: SpaceUsage {
+    /// Process one turnstile update.
+    fn process_update(&mut self, update: Update);
+
+    /// Process a whole stream (convenience).
+    fn process_stream(&mut self, stream: &UpdateStream) {
+        for u in stream {
+            self.process_update(*u);
+        }
+    }
+
+    /// Attempt to produce a sample after the stream has been processed.
+    /// `None` means the sampler FAILs for this instance of its randomness.
+    ///
+    /// Sampling is deterministic given the sampler's stored randomness, so
+    /// repeated calls return the same answer; independent samples require
+    /// independent sampler instances (or the [`crate::repeat`] wrapper).
+    fn sample(&self) -> Option<Sample>;
+
+    /// The exponent p this sampler targets (0 for L0 samplers).
+    fn p(&self) -> f64;
+
+    /// Dimension `n` of the underlying vector.
+    fn dimension(&self) -> u64;
+
+    /// A short human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_struct_basics() {
+        let s = Sample { index: 3, estimate: -2.5 };
+        let t = s;
+        assert_eq!(t.index, 3);
+        assert_eq!(t.estimate, -2.5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the samplers: outputs always come from the
+//! support, estimates are faithful, failure behaviour is sane.
+
+use lps_core::{L0Sampler, LpSampler, PrecisionLpSampler, ReservoirSampler};
+use lps_hash::SeedSequence;
+use lps_stream::{TruthVector, TurnstileModel, Update, UpdateStream};
+use proptest::prelude::*;
+
+const DIM: u64 = 128;
+
+fn updates_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DIM, -15i64..15), 0..max_len)
+}
+
+fn stream_of(updates: &[(u64, i64)]) -> UpdateStream {
+    UpdateStream::from_updates(
+        DIM,
+        TurnstileModel::General,
+        updates.iter().filter(|(_, d)| *d != 0).map(|&(i, d)| Update::new(i, d)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn l0_sampler_output_is_in_support_with_exact_value(a in updates_strategy(60), seed in any::<u64>()) {
+        let stream = stream_of(&a);
+        let truth = TruthVector::from_stream(&stream);
+        let mut seeds = SeedSequence::new(seed);
+        let mut sampler = L0Sampler::new(DIM, 0.25, &mut seeds);
+        sampler.process_stream(&stream);
+        match sampler.sample() {
+            Some(sample) => {
+                prop_assert!(truth.get(sample.index) != 0, "sampled a zero coordinate");
+                prop_assert_eq!(sample.estimate, truth.get(sample.index) as f64);
+            }
+            None => {
+                // failure is only allowed when the support exceeds the per-level
+                // sparsity (for sparse supports level 0 recovers everything)
+                prop_assert!(truth.l0() as usize > sampler.sparsity() || truth.l0() == 0,
+                    "failed on a {}-sparse vector with sparsity budget {}", truth.l0(), sampler.sparsity());
+            }
+        }
+    }
+
+    #[test]
+    fn precision_sampler_output_is_in_support_for_p1(a in updates_strategy(40), seed in any::<u64>()) {
+        let stream = stream_of(&a);
+        let truth = TruthVector::from_stream(&stream);
+        let mut seeds = SeedSequence::new(seed);
+        let mut sampler = PrecisionLpSampler::new(DIM, 1.0, 0.4, &mut seeds);
+        sampler.process_stream(&stream);
+        if let Some(sample) = sampler.sample() {
+            prop_assert!(truth.get(sample.index) != 0,
+                "precision sampler returned coordinate {} which is zero", sample.index);
+            // the estimate has the right sign except with low probability; we
+            // only check it is finite and non-zero here
+            prop_assert!(sample.estimate.is_finite() && sample.estimate != 0.0);
+        }
+        // zero vectors must always fail
+        if truth.l0() == 0 {
+            prop_assert!(sampler.sample().is_none());
+        }
+    }
+
+    #[test]
+    fn precision_sampler_space_is_seed_independent(p in prop::sample::select(vec![0.5, 1.0, 1.5]), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let mut a = SeedSequence::new(s1);
+        let mut b = SeedSequence::new(s2);
+        let x = PrecisionLpSampler::new(1 << 10, p, 0.25, &mut a);
+        let y = PrecisionLpSampler::new(1 << 10, p, 0.25, &mut b);
+        prop_assert_eq!(lps_stream::SpaceUsage::bits_used(&x), lps_stream::SpaceUsage::bits_used(&y));
+    }
+
+    #[test]
+    fn reservoir_sampler_returns_an_inserted_index(inserts in prop::collection::vec(0..DIM, 1..50), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let mut sampler = ReservoirSampler::new(DIM, &mut seeds);
+        for &i in &inserts {
+            sampler.process_update(Update::new(i, 1));
+        }
+        let sample = sampler.sample().unwrap();
+        prop_assert!(inserts.contains(&sample.index));
+        prop_assert_eq!(sampler.total_weight(), inserts.len() as u64);
+    }
+}

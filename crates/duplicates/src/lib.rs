@@ -1,0 +1,30 @@
+//! # lps-duplicates
+//!
+//! Finding duplicates in data streams (Section 3 of Jowhari–Sağlam–Tardos,
+//! PODS 2011) via the L1 samplers of `lps-core`:
+//!
+//! * [`theorem3`] — streams of length n + 1 over [n]: O(log² n log(1/δ)) bits.
+//! * [`theorem4`] — streams of length n − s: O(s log n + log² n log(1/δ))
+//!   bits, with an exact NO-DUPLICATE certificate in the sparse regime.
+//! * [`oversample`] — streams of length n + s: O(min{log² n, (n/s) log n}) bits.
+//! * [`positive`] — the generalised "find an index with x_i > 0" engine the
+//!   theorems share.
+//! * [`baseline`] — a prior-work-space (O(log³ n)) finder and an exact naive
+//!   finder used as ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod oversample;
+pub mod positive;
+pub mod result;
+pub mod theorem3;
+pub mod theorem4;
+
+pub use baseline::{NaiveDuplicateFinder, PriorWorkDuplicateFinder};
+pub use oversample::{LongStreamDuplicateFinder, OversampleStrategy};
+pub use positive::{copies_for, PositiveCoordinateFinder, INNER_EPSILON};
+pub use result::DuplicateResult;
+pub use theorem3::DuplicateFinder;
+pub use theorem4::ShortStreamDuplicateFinder;

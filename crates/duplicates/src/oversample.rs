@@ -1,0 +1,216 @@
+//! Duplicates in streams of length n + s over [n] (final paragraph of
+//! Section 3): O(min{log² n, (n/s)·log n}) bits.
+//!
+//! With `s` extra letters the stream contains at least `s` positions whose
+//! letter appears again later (at most n positions can be the *last*
+//! occurrence of their letter). So a uniformly random position repeats later
+//! with probability ≥ s/(n+s), and `4⌈n/s⌉` uniform positions contain a
+//! repeating one with constant probability. The algorithm therefore:
+//!
+//! * if `n/s < log n`: samples `4⌈n/s⌉` positions up front, remembers the
+//!   letters read at those positions and reports any of them that is seen
+//!   again afterwards — O((n/s) log n) bits;
+//! * otherwise: falls back to the Theorem 3 finder — O(log² n) bits.
+
+use lps_hash::SeedSequence;
+use lps_stream::{sample_distinct, SpaceBreakdown, SpaceUsage, UpdateStream};
+
+use crate::result::DuplicateResult;
+use crate::theorem3::DuplicateFinder;
+
+/// Which strategy the length-(n+s) finder selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OversampleStrategy {
+    /// Sample 4⌈n/s⌉ stream positions and watch for re-occurrences.
+    PositionSampling,
+    /// Use the Theorem 3 L1-sampling finder.
+    L1Sampling,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Positions {
+        /// Sorted sampled positions (0-based within the stream).
+        positions: Vec<u64>,
+        /// Letters observed at already-passed sampled positions.
+        watched: Vec<u64>,
+        /// A watched letter that was seen again.
+        hit: Option<u64>,
+        cursor: u64,
+    },
+    Sampler(Box<DuplicateFinder>),
+}
+
+/// Duplicate finder for streams of length n + s over `[n]`.
+#[derive(Debug, Clone)]
+pub struct LongStreamDuplicateFinder {
+    dimension: u64,
+    s: u64,
+    strategy: OversampleStrategy,
+    inner: Inner,
+}
+
+impl LongStreamDuplicateFinder {
+    /// Create a finder for a stream of length `n + s` (`s ≥ 1`) over `[0, n)`
+    /// with failure probability roughly constant (boostable by repetition).
+    pub fn new(n: u64, s: u64, delta: f64, seeds: &mut SeedSequence) -> Self {
+        assert!(s >= 1, "the oversampled variant needs s >= 1");
+        let log_n = (n.max(2) as f64).log2();
+        let ratio = n / s.max(1);
+        if (ratio as f64) < log_n {
+            let length = n + s;
+            let want = (4 * (n + s - 1).div_euclid(s).max(1)).min(length);
+            let mut positions = sample_distinct(length, want, seeds);
+            positions.sort_unstable();
+            LongStreamDuplicateFinder {
+                dimension: n,
+                s,
+                strategy: OversampleStrategy::PositionSampling,
+                inner: Inner::Positions { positions, watched: Vec::new(), hit: None, cursor: 0 },
+            }
+        } else {
+            LongStreamDuplicateFinder {
+                dimension: n,
+                s,
+                strategy: OversampleStrategy::L1Sampling,
+                inner: Inner::Sampler(Box::new(DuplicateFinder::new(n, delta, seeds))),
+            }
+        }
+    }
+
+    /// The strategy chosen for these parameters.
+    pub fn strategy(&self) -> OversampleStrategy {
+        self.strategy
+    }
+
+    /// The oversampling parameter s (stream length is n + s).
+    pub fn oversample(&self) -> u64 {
+        self.s
+    }
+
+    /// Process one letter of the stream.
+    pub fn process_letter(&mut self, letter: u64) {
+        assert!(letter < self.dimension);
+        match &mut self.inner {
+            Inner::Positions { positions, watched, hit, cursor } => {
+                if hit.is_none() && watched.contains(&letter) {
+                    *hit = Some(letter);
+                }
+                if positions.binary_search(cursor).is_ok() && !watched.contains(&letter) {
+                    watched.push(letter);
+                }
+                *cursor += 1;
+            }
+            Inner::Sampler(finder) => finder.process_letter(letter),
+        }
+    }
+
+    /// Process a whole letter stream (unit insertions).
+    pub fn process_stream(&mut self, stream: &UpdateStream) {
+        assert_eq!(stream.dimension(), self.dimension);
+        for u in stream {
+            assert_eq!(u.delta, 1, "the duplicates problem consumes unit insertions only");
+            self.process_letter(u.index);
+        }
+    }
+
+    /// Report a duplicate or FAIL. Position sampling only reports letters it
+    /// has actually seen twice, so its positives are always correct.
+    pub fn report(&self) -> DuplicateResult {
+        match &self.inner {
+            Inner::Positions { hit, .. } => match hit {
+                Some(letter) => DuplicateResult::Duplicate(*letter),
+                None => DuplicateResult::Fail,
+            },
+            Inner::Sampler(finder) => finder.report(),
+        }
+    }
+}
+
+impl SpaceUsage for LongStreamDuplicateFinder {
+    fn space(&self) -> SpaceBreakdown {
+        match &self.inner {
+            Inner::Positions { positions, .. } => {
+                // positions + watched letters + cursor, each O(log n) bits
+                let counters = (2 * positions.len() + 1) as u64;
+                let bits = lps_stream::counter_bits_for(self.dimension + self.s, 2);
+                SpaceBreakdown::new(counters, bits, 0)
+            }
+            Inner::Sampler(finder) => finder.space(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_stream::duplicate_stream_n_plus_s;
+
+    #[test]
+    fn position_sampling_chosen_for_large_s() {
+        let mut seeds = SeedSequence::new(1);
+        let finder = LongStreamDuplicateFinder::new(1 << 12, 1 << 10, 0.25, &mut seeds);
+        assert_eq!(finder.strategy(), OversampleStrategy::PositionSampling);
+    }
+
+    #[test]
+    fn l1_sampling_chosen_for_small_s() {
+        let mut seeds = SeedSequence::new(2);
+        let finder = LongStreamDuplicateFinder::new(1 << 12, 4, 0.25, &mut seeds);
+        assert_eq!(finder.strategy(), OversampleStrategy::L1Sampling);
+    }
+
+    #[test]
+    fn position_sampling_finds_true_duplicates() {
+        let n = 1024u64;
+        let s = 512u64;
+        let mut gen = SeedSequence::new(3);
+        let (stream, dups) = duplicate_stream_n_plus_s(n, s, &mut gen);
+        let trials = 40u64;
+        let mut found = 0;
+        for seed in 0..trials {
+            let mut seeds = SeedSequence::new(100 + seed);
+            let mut finder = LongStreamDuplicateFinder::new(n, s, 0.25, &mut seeds);
+            assert_eq!(finder.strategy(), OversampleStrategy::PositionSampling);
+            finder.process_stream(&stream);
+            match finder.report() {
+                DuplicateResult::Duplicate(d) => {
+                    assert!(dups.contains(&d), "{d} is not a duplicate");
+                    found += 1;
+                }
+                DuplicateResult::Fail => {}
+                DuplicateResult::NoDuplicate => panic!("never certifies"),
+            }
+        }
+        assert!(found as f64 >= 0.5 * trials as f64, "found {found}/{trials}");
+    }
+
+    #[test]
+    fn l1_fallback_finds_true_duplicates() {
+        let n = 256u64;
+        let s = 2u64;
+        let mut gen = SeedSequence::new(4);
+        let (stream, dups) = duplicate_stream_n_plus_s(n, s, &mut gen);
+        let mut found = 0;
+        let trials = 15u64;
+        for seed in 0..trials {
+            let mut seeds = SeedSequence::new(300 + seed);
+            let mut finder = LongStreamDuplicateFinder::new(n, s, 0.25, &mut seeds);
+            assert_eq!(finder.strategy(), OversampleStrategy::L1Sampling);
+            finder.process_stream(&stream);
+            if let DuplicateResult::Duplicate(d) = finder.report() {
+                assert!(dups.contains(&d));
+                found += 1;
+            }
+        }
+        assert!(found >= 6, "found {found}/{trials}");
+    }
+
+    #[test]
+    fn position_sampling_space_is_small() {
+        let mut seeds = SeedSequence::new(5);
+        let finder = LongStreamDuplicateFinder::new(1 << 16, 1 << 14, 0.25, &mut seeds);
+        // 4 * n/s = 16 sampled positions -> a handful of counters
+        assert!(finder.space().counters < 100);
+    }
+}

@@ -1,0 +1,44 @@
+//! Result type shared by all duplicate-finding algorithms.
+
+/// The outcome of a duplicate-finding algorithm (Section 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DuplicateResult {
+    /// A letter claimed to appear at least twice in the stream. The paper's
+    /// algorithms return a true duplicate except with low probability.
+    Duplicate(u64),
+    /// The algorithm certifies the stream has no duplicate (only produced by
+    /// the Theorem 4 algorithm, and only when it is certain).
+    NoDuplicate,
+    /// The algorithm failed to decide (allowed with probability ≤ δ).
+    Fail,
+}
+
+impl DuplicateResult {
+    /// The reported duplicate, if any.
+    pub fn duplicate(&self) -> Option<u64> {
+        match self {
+            DuplicateResult::Duplicate(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// True if the algorithm produced a definite answer (duplicate or certificate).
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, DuplicateResult::Fail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(DuplicateResult::Duplicate(4).duplicate(), Some(4));
+        assert_eq!(DuplicateResult::Fail.duplicate(), None);
+        assert_eq!(DuplicateResult::NoDuplicate.duplicate(), None);
+        assert!(DuplicateResult::Duplicate(1).is_decided());
+        assert!(DuplicateResult::NoDuplicate.is_decided());
+        assert!(!DuplicateResult::Fail.is_decided());
+    }
+}

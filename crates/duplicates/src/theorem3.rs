@@ -1,0 +1,159 @@
+//! Theorem 3: finding a duplicate in a stream of length n + 1 over [n] in
+//! O(log² n · log(1/δ)) bits.
+//!
+//! The reduction: let `x ∈ Z^n` start at zero, subtract 1 from every
+//! coordinate (the updates `(i, −1)` for all i), then add 1 for every letter
+//! of the stream. At the end `x_i ≥ 1` exactly for the letters appearing at
+//! least twice, `x_i = 0` for letters appearing once and `x_i = −1` for
+//! absent letters, and `Σ x_i = 1`. A perfect L1 sample of `x` is therefore a
+//! duplicate with probability > 1/2; the paper's 1/2-relative-error L1
+//! sampler preserves enough of that margin, and O(log 1/δ) parallel copies
+//! push the failure probability below δ while keeping the error probability
+//! (reporting a non-duplicate) low.
+
+use lps_hash::SeedSequence;
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
+
+use crate::positive::PositiveCoordinateFinder;
+use crate::result::DuplicateResult;
+
+/// The Theorem 3 duplicate finder for streams of length n + 1 over `[n]`.
+#[derive(Debug, Clone)]
+pub struct DuplicateFinder {
+    dimension: u64,
+    finder: PositiveCoordinateFinder,
+    letters_seen: u64,
+}
+
+impl DuplicateFinder {
+    /// Create a finder over the alphabet `[0, n)` with failure probability ≤ δ.
+    ///
+    /// Construction immediately feeds the initial `(i, −1)` updates for every
+    /// `i ∈ [n]` into the linear sketches, exactly as in the proof.
+    pub fn new(n: u64, delta: f64, seeds: &mut SeedSequence) -> Self {
+        let mut finder = PositiveCoordinateFinder::new(n, delta, seeds);
+        for i in 0..n {
+            finder.process_update(Update::new(i, -1));
+        }
+        DuplicateFinder { dimension: n, finder, letters_seen: 0 }
+    }
+
+    /// Alphabet size n.
+    pub fn dimension(&self) -> u64 {
+        self.dimension
+    }
+
+    /// Number of stream letters processed so far.
+    pub fn letters_seen(&self) -> u64 {
+        self.letters_seen
+    }
+
+    /// Process one letter of the stream (an element of `[0, n)`).
+    pub fn process_letter(&mut self, letter: u64) {
+        assert!(letter < self.dimension, "letter {letter} outside alphabet [0, {})", self.dimension);
+        self.letters_seen += 1;
+        self.finder.process_update(Update::new(letter, 1));
+    }
+
+    /// Process a whole letter stream given as unit insertions.
+    pub fn process_stream(&mut self, stream: &UpdateStream) {
+        assert_eq!(stream.dimension(), self.dimension);
+        for u in stream {
+            assert_eq!(u.delta, 1, "the duplicates problem consumes unit insertions only");
+            self.process_letter(u.index);
+        }
+    }
+
+    /// Report a duplicate or FAIL.
+    pub fn report(&self) -> DuplicateResult {
+        match self.finder.find_positive() {
+            Some(i) => DuplicateResult::Duplicate(i),
+            None => DuplicateResult::Fail,
+        }
+    }
+}
+
+impl SpaceUsage for DuplicateFinder {
+    fn space(&self) -> SpaceBreakdown {
+        // one extra counter for the letter count
+        self.finder.space().combine(&SpaceBreakdown::new(1, 64, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_stream::duplicate_stream_n_plus_1;
+
+    #[test]
+    fn finds_a_true_duplicate_in_n_plus_1_streams() {
+        let n = 256u64;
+        let mut gen = SeedSequence::new(1);
+        let (stream, dups) = duplicate_stream_n_plus_1(n, 2, &mut gen);
+        let trials = 25u64;
+        let mut found = 0;
+        let mut wrong = 0;
+        for seed in 0..trials {
+            let mut seeds = SeedSequence::new(100 + seed);
+            let mut finder = DuplicateFinder::new(n, 0.2, &mut seeds);
+            finder.process_stream(&stream);
+            match finder.report() {
+                DuplicateResult::Duplicate(d) => {
+                    if dups.contains(&d) {
+                        found += 1;
+                    } else {
+                        wrong += 1;
+                    }
+                }
+                DuplicateResult::Fail => {}
+                DuplicateResult::NoDuplicate => panic!("Theorem 3 never certifies NoDuplicate"),
+            }
+        }
+        assert_eq!(wrong, 0, "reported a letter that is not a duplicate");
+        assert!(found as f64 >= 0.6 * trials as f64, "found only {found}/{trials}");
+    }
+
+    #[test]
+    fn many_duplicates_are_easier() {
+        let n = 256u64;
+        let mut gen = SeedSequence::new(2);
+        let (stream, dups) = duplicate_stream_n_plus_1(n, 60, &mut gen);
+        let mut seeds = SeedSequence::new(3);
+        let mut finder = DuplicateFinder::new(n, 0.1, &mut seeds);
+        finder.process_stream(&stream);
+        match finder.report() {
+            DuplicateResult::Duplicate(d) => assert!(dups.contains(&d)),
+            other => panic!("expected a duplicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn letter_counting_and_bounds() {
+        let mut seeds = SeedSequence::new(4);
+        let mut finder = DuplicateFinder::new(16, 0.5, &mut seeds);
+        finder.process_letter(3);
+        finder.process_letter(3);
+        assert_eq!(finder.letters_seen(), 2);
+        assert_eq!(finder.dimension(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_alphabet_letter_rejected() {
+        let mut seeds = SeedSequence::new(5);
+        let mut finder = DuplicateFinder::new(16, 0.5, &mut seeds);
+        finder.process_letter(16);
+    }
+
+    #[test]
+    fn space_grows_polylogarithmically_with_n() {
+        let mut s1 = SeedSequence::new(6);
+        let mut s2 = SeedSequence::new(6);
+        let small = DuplicateFinder::new(1 << 8, 0.25, &mut s1);
+        let large = DuplicateFinder::new(1 << 16, 0.25, &mut s2);
+        let ratio = large.bits_used() as f64 / small.bits_used() as f64;
+        // doubling log n should roughly quadruple log^2 n space, certainly not
+        // scale linearly with n (which grew 256x)
+        assert!(ratio < 16.0, "space ratio {ratio} suggests super-polylog growth");
+    }
+}

@@ -1,0 +1,187 @@
+//! Theorem 4: finding duplicates in streams of length n − s over [n] in
+//! O(s log n + log² n · log(1/δ)) bits.
+//!
+//! With a shorter stream a duplicate need not exist. The vector
+//! `x_i = (#occurrences of i) − 1` now sums to `−s`. The algorithm runs, in
+//! parallel over one pass:
+//!
+//! * the exact sparse-recovery structure of Lemma 5 with capacity `5s`, and
+//! * the 1/2-relative-error L1 sampler copies of Theorem 3.
+//!
+//! If the recovery returns a vector (not DENSE) the algorithm answers exactly
+//! — reporting a positive coordinate if one exists and `NO-DUPLICATE`
+//! otherwise (the no-duplicate case is always 5s-sparse, since then
+//! `‖x‖₁⁺ = 0` and `‖x‖₁⁻ = s`). Otherwise `‖x‖₁⁺ + ‖x‖₁⁻ > 5s`, so the
+//! positive mass is at least a 2/5 fraction of `‖x‖₁` and a positive L1
+//! sample is produced with constant probability per copy.
+
+use lps_hash::SeedSequence;
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
+use lps_sketch::{RecoveryOutput, SparseRecovery};
+
+use crate::positive::PositiveCoordinateFinder;
+use crate::result::DuplicateResult;
+
+/// The Theorem 4 duplicate finder for streams of length n − s over `[n]`.
+#[derive(Debug, Clone)]
+pub struct ShortStreamDuplicateFinder {
+    dimension: u64,
+    s: u64,
+    recovery: SparseRecovery,
+    finder: PositiveCoordinateFinder,
+    letters_seen: u64,
+}
+
+impl ShortStreamDuplicateFinder {
+    /// Create a finder for streams of length `n − s` with failure probability ≤ δ.
+    pub fn new(n: u64, s: u64, delta: f64, seeds: &mut SeedSequence) -> Self {
+        assert!(s < n, "the stream length n − s must be positive");
+        let capacity = (5 * s).max(1) as usize;
+        let mut recovery = SparseRecovery::new(n, capacity, seeds);
+        let mut finder = PositiveCoordinateFinder::new(n, delta, seeds);
+        for i in 0..n {
+            recovery.update(i, -1);
+            finder.process_update(Update::new(i, -1));
+        }
+        ShortStreamDuplicateFinder { dimension: n, s, recovery, finder, letters_seen: 0 }
+    }
+
+    /// Alphabet size n.
+    pub fn dimension(&self) -> u64 {
+        self.dimension
+    }
+
+    /// The shortfall parameter s (stream length is n − s).
+    pub fn shortfall(&self) -> u64 {
+        self.s
+    }
+
+    /// Process one letter of the stream.
+    pub fn process_letter(&mut self, letter: u64) {
+        assert!(letter < self.dimension);
+        self.letters_seen += 1;
+        self.recovery.update(letter, 1);
+        self.finder.process_update(Update::new(letter, 1));
+    }
+
+    /// Process a whole letter stream (unit insertions).
+    pub fn process_stream(&mut self, stream: &UpdateStream) {
+        assert_eq!(stream.dimension(), self.dimension);
+        for u in stream {
+            assert_eq!(u.delta, 1, "the duplicates problem consumes unit insertions only");
+            self.process_letter(u.index);
+        }
+    }
+
+    /// Report a duplicate, certify that none exists, or FAIL.
+    pub fn report(&self) -> DuplicateResult {
+        match self.recovery.recover() {
+            RecoveryOutput::Recovered(entries) => {
+                // We learned x exactly: answer with certainty.
+                match entries.iter().find(|&&(_, v)| v > 0) {
+                    Some(&(i, _)) => DuplicateResult::Duplicate(i),
+                    None => DuplicateResult::NoDuplicate,
+                }
+            }
+            RecoveryOutput::Dense => match self.finder.find_positive() {
+                Some(i) => DuplicateResult::Duplicate(i),
+                None => DuplicateResult::Fail,
+            },
+        }
+    }
+}
+
+impl SpaceUsage for ShortStreamDuplicateFinder {
+    fn space(&self) -> SpaceBreakdown {
+        self.recovery
+            .space()
+            .combine(&self.finder.space())
+            .combine(&SpaceBreakdown::new(1, 64, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_stream::duplicate_stream_n_minus_s;
+
+    #[test]
+    fn certifies_no_duplicate_exactly() {
+        // With no duplicates the vector is s-sparse (s missing letters have
+        // value −1, everything else is 0), so sparse recovery answers exactly.
+        let n = 512u64;
+        let s = 8u64;
+        let mut gen = SeedSequence::new(1);
+        let (stream, dups) = duplicate_stream_n_minus_s(n, s, 0, &mut gen);
+        assert!(dups.is_empty());
+        let mut seeds = SeedSequence::new(2);
+        let mut finder = ShortStreamDuplicateFinder::new(n, s, 0.2, &mut seeds);
+        finder.process_stream(&stream);
+        assert_eq!(finder.report(), DuplicateResult::NoDuplicate);
+    }
+
+    #[test]
+    fn finds_duplicates_in_sparse_regime_exactly() {
+        // A couple of duplicates keep x within the 5s sparsity budget, so the
+        // answer comes from exact recovery and is always correct.
+        let n = 512u64;
+        let s = 16u64;
+        let mut gen = SeedSequence::new(3);
+        let (stream, dups) = duplicate_stream_n_minus_s(n, s, 3, &mut gen);
+        let mut seeds = SeedSequence::new(4);
+        let mut finder = ShortStreamDuplicateFinder::new(n, s, 0.2, &mut seeds);
+        finder.process_stream(&stream);
+        match finder.report() {
+            DuplicateResult::Duplicate(d) => assert!(dups.contains(&d)),
+            other => panic!("expected a duplicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_regime_falls_back_to_sampling() {
+        // Many duplicates (far more than 5s non-zero coordinates): recovery
+        // reports DENSE and the L1 sampler takes over.
+        let n = 512u64;
+        let s = 2u64;
+        let mut gen = SeedSequence::new(5);
+        let (stream, dups) = duplicate_stream_n_minus_s(n, s, 120, &mut gen);
+        let trials = 15u64;
+        let mut found = 0;
+        let mut wrong = 0;
+        for seed in 0..trials {
+            let mut seeds = SeedSequence::new(600 + seed);
+            let mut finder = ShortStreamDuplicateFinder::new(n, s, 0.2, &mut seeds);
+            finder.process_stream(&stream);
+            match finder.report() {
+                DuplicateResult::Duplicate(d) => {
+                    if dups.contains(&d) {
+                        found += 1;
+                    } else {
+                        wrong += 1;
+                    }
+                }
+                DuplicateResult::NoDuplicate => panic!("duplicates exist"),
+                DuplicateResult::Fail => {}
+            }
+        }
+        assert_eq!(wrong, 0);
+        assert!(found as f64 >= 0.6 * trials as f64, "found {found}/{trials}");
+    }
+
+    #[test]
+    fn space_grows_with_s() {
+        let mut s1 = SeedSequence::new(6);
+        let mut s2 = SeedSequence::new(6);
+        let small = ShortStreamDuplicateFinder::new(1 << 12, 4, 0.25, &mut s1);
+        let large = ShortStreamDuplicateFinder::new(1 << 12, 256, 0.25, &mut s2);
+        assert!(large.bits_used() > small.bits_used());
+        assert_eq!(large.shortfall(), 256);
+    }
+
+    #[test]
+    #[should_panic]
+    fn s_must_be_smaller_than_n() {
+        let mut seeds = SeedSequence::new(7);
+        let _ = ShortStreamDuplicateFinder::new(8, 8, 0.25, &mut seeds);
+    }
+}

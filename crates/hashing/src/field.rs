@@ -1,0 +1,286 @@
+//! Arithmetic in the prime field GF(2^61 - 1).
+//!
+//! Every hash family and fingerprint in this workspace is built on polynomial
+//! evaluation over a fixed prime field. We use the Mersenne prime
+//! `P = 2^61 - 1` because reduction modulo a Mersenne prime needs only shifts
+//! and adds, and because 61-bit residues multiply safely inside `u128`.
+//!
+//! The field size comfortably exceeds every domain we hash from (coordinate
+//! indices are at most `2^40` in all experiments), which is what the k-wise
+//! independence arguments require: a polynomial hash family is only k-wise
+//! independent on domains no larger than the field.
+
+/// The Mersenne prime 2^61 - 1.
+pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
+
+/// An element of GF(2^61 - 1), kept in canonical reduced form `0 <= v < P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Construct a field element, reducing the input modulo P.
+    #[inline]
+    pub fn new(v: u64) -> Self {
+        Fp(reduce_u64(v))
+    }
+
+    /// Construct from an arbitrary 128-bit value, reducing modulo P.
+    #[inline]
+    pub fn from_u128(v: u128) -> Self {
+        Fp(reduce_u128(v))
+    }
+
+    /// The canonical representative in `[0, P)`.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Field addition.
+    #[inline]
+    pub fn add(self, rhs: Fp) -> Fp {
+        let mut s = self.0 + rhs.0; // < 2^62, no overflow
+        if s >= MERSENNE_P {
+            s -= MERSENNE_P;
+        }
+        Fp(s)
+    }
+
+    /// Field subtraction.
+    #[inline]
+    pub fn sub(self, rhs: Fp) -> Fp {
+        if self.0 >= rhs.0 {
+            Fp(self.0 - rhs.0)
+        } else {
+            Fp(self.0 + MERSENNE_P - rhs.0)
+        }
+    }
+
+    /// Field negation.
+    #[inline]
+    pub fn neg(self) -> Fp {
+        if self.0 == 0 {
+            Fp(0)
+        } else {
+            Fp(MERSENNE_P - self.0)
+        }
+    }
+
+    /// Field multiplication via u128 widening and Mersenne reduction.
+    #[inline]
+    pub fn mul(self, rhs: Fp) -> Fp {
+        Fp(mul_mod(self.0, rhs.0))
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut e: u64) -> Fp {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(P-2)`).
+    ///
+    /// Returns `None` for zero, which has no inverse.
+    pub fn inv(self) -> Option<Fp> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(MERSENNE_P - 2))
+        }
+    }
+
+    /// True iff this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Self {
+        Fp::new(v)
+    }
+}
+
+impl From<u32> for Fp {
+    fn from(v: u32) -> Self {
+        Fp::new(v as u64)
+    }
+}
+
+impl std::ops::Add for Fp {
+    type Output = Fp;
+    fn add(self, rhs: Fp) -> Fp {
+        Fp::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Fp {
+    type Output = Fp;
+    fn sub(self, rhs: Fp) -> Fp {
+        Fp::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for Fp {
+    type Output = Fp;
+    fn mul(self, rhs: Fp) -> Fp {
+        Fp::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        Fp::neg(self)
+    }
+}
+
+impl std::ops::AddAssign for Fp {
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = Fp::add(*self, rhs);
+    }
+}
+
+impl std::ops::MulAssign for Fp {
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = Fp::mul(*self, rhs);
+    }
+}
+
+/// Reduce a `u64` modulo the Mersenne prime using shift-and-add.
+#[inline]
+fn reduce_u64(v: u64) -> u64 {
+    // v = hi * 2^61 + lo, and 2^61 == 1 (mod P)
+    let mut r = (v & MERSENNE_P) + (v >> 61);
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// Reduce a `u128` modulo the Mersenne prime.
+#[inline]
+fn reduce_u128(v: u128) -> u64 {
+    // Split into 61-bit limbs: v = a + b*2^61 + c*2^122 with 2^61 == 1 (mod P).
+    let a = (v & (MERSENNE_P as u128)) as u64;
+    let b = ((v >> 61) & (MERSENNE_P as u128)) as u64;
+    let c = (v >> 122) as u64;
+    let mut r = a as u128 + b as u128 + c as u128;
+    // r < 3 * 2^61, two conditional subtractions suffice
+    if r >= MERSENNE_P as u128 {
+        r -= MERSENNE_P as u128;
+    }
+    if r >= MERSENNE_P as u128 {
+        r -= MERSENNE_P as u128;
+    }
+    r as u64
+}
+
+/// Multiply two reduced residues modulo the Mersenne prime.
+#[inline]
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    reduce_u128((a as u128) * (b as u128))
+}
+
+/// Evaluate the polynomial with the given coefficients (constant term first)
+/// at point `x`, using Horner's rule. This is the work-horse of every k-wise
+/// independent hash family in this crate.
+#[inline]
+pub fn horner(coeffs: &[Fp], x: Fp) -> Fp {
+    let mut acc = Fp::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc.mul(x).add(c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slow_mul(a: u64, b: u64) -> u64 {
+        ((a as u128 * b as u128) % (MERSENNE_P as u128)) as u64
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(MERSENNE_P, 2305843009213693951);
+        assert_eq!(Fp::ZERO.value(), 0);
+        assert_eq!(Fp::ONE.value(), 1);
+    }
+
+    #[test]
+    fn reduction_of_large_inputs() {
+        assert_eq!(Fp::new(MERSENNE_P).value(), 0);
+        assert_eq!(Fp::new(MERSENNE_P + 1).value(), 1);
+        assert_eq!(Fp::new(u64::MAX).value(), u64::MAX % MERSENNE_P);
+        assert_eq!(Fp::from_u128(u128::MAX).value(), (u128::MAX % MERSENNE_P as u128) as u64);
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let a = Fp::new(123456789012345678);
+        let b = Fp::new(987654321098765432);
+        assert_eq!((a + b - b).value(), a.value());
+        assert_eq!((a + (-a)).value(), 0);
+        assert_eq!((Fp::ZERO - a).value(), a.neg().value());
+    }
+
+    #[test]
+    fn mul_matches_reference() {
+        let cases = [
+            (0u64, 0u64),
+            (1, MERSENNE_P - 1),
+            (MERSENNE_P - 1, MERSENNE_P - 1),
+            (123456789, 987654321),
+            (1 << 60, (1 << 60) + 12345),
+        ];
+        for (a, b) in cases {
+            assert_eq!(mul_mod(a, b), slow_mul(a, b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn pow_and_inverse() {
+        let a = Fp::new(1234567891011);
+        let inv = a.inv().expect("nonzero has inverse");
+        assert_eq!((a * inv).value(), 1);
+        assert!(Fp::ZERO.inv().is_none());
+        // Fermat: a^(P-1) = 1
+        assert_eq!(a.pow(MERSENNE_P - 1).value(), 1);
+        assert_eq!(a.pow(0).value(), 1);
+    }
+
+    #[test]
+    fn horner_matches_direct_evaluation() {
+        // f(x) = 3 + 5x + 7x^2
+        let coeffs = [Fp::new(3), Fp::new(5), Fp::new(7)];
+        let x = Fp::new(11);
+        let direct = Fp::new(3) + Fp::new(5) * x + Fp::new(7) * x * x;
+        assert_eq!(horner(&coeffs, x), direct);
+        // empty polynomial is identically zero
+        assert_eq!(horner(&[], x), Fp::ZERO);
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let a = Fp::new(999999999999);
+        let b = Fp::new(888888888888);
+        let c = Fp::new(777777777777);
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+}

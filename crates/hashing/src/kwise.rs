@@ -1,0 +1,286 @@
+//! k-wise independent hash families via random polynomials over GF(2^61 - 1).
+//!
+//! A degree-(k-1) polynomial with uniformly random coefficients over a prime
+//! field is a k-wise independent function from the field to itself: for any k
+//! distinct inputs the k outputs are independent and uniform. All sketches in
+//! this workspace derive their hash functions from this construction:
+//!
+//! * [`KWiseHash`] — the general family, used for the k-wise independent
+//!   scaling factors `t_i` of the precision Lp sampler (Figure 1, step 4).
+//! * [`PairwiseHash`] — k = 2, used by count-sketch bucket and sign hashes.
+//! * [`FourWiseHash`] — k = 4, used by the AMS F2 sketch.
+//!
+//! Outputs can be mapped to a bucket range `[m]`, to signs `{±1}`, or to a
+//! fixed-point uniform value in `(0, 1]`, which is exactly what the precision
+//! sampler needs for its scaling exponents.
+
+use crate::field::{horner, Fp, MERSENNE_P};
+use crate::seeds::SeedSequence;
+
+/// A k-wise independent hash function `[u64] -> [0, P)` realised as a random
+/// degree-(k-1) polynomial over GF(2^61 - 1).
+#[derive(Debug, Clone)]
+pub struct KWiseHash {
+    coeffs: Vec<Fp>,
+}
+
+impl KWiseHash {
+    /// Sample a fresh k-wise independent hash function. `k >= 1`.
+    pub fn new(k: usize, seeds: &mut SeedSequence) -> Self {
+        assert!(k >= 1, "independence parameter k must be at least 1");
+        let coeffs = (0..k).map(|_| Fp::new(seeds.next_u64() & MERSENNE_P)).collect();
+        KWiseHash { coeffs }
+    }
+
+    /// Construct from explicit coefficients (constant term first). Mostly for tests.
+    pub fn from_coefficients(coeffs: Vec<Fp>) -> Self {
+        assert!(!coeffs.is_empty());
+        KWiseHash { coeffs }
+    }
+
+    /// The independence parameter k (number of coefficients).
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluate the hash on an arbitrary 64-bit key, returning a field element.
+    #[inline]
+    pub fn hash_field(&self, key: u64) -> Fp {
+        horner(&self.coeffs, Fp::new(key))
+    }
+
+    /// Evaluate the hash, returning the canonical residue in `[0, P)`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        self.hash_field(key).value()
+    }
+
+    /// Map the hash output to a bucket in `[0, m)`.
+    ///
+    /// Uses the multiply-shift range reduction, which keeps the distribution
+    /// within O(m/P) of uniform — negligible for every m we use.
+    #[inline]
+    pub fn bucket(&self, key: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        ((self.hash(key) as u128 * m as u128) >> 61) as usize
+    }
+
+    /// Map the hash output to a sign in `{-1, +1}`.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        if self.hash(key) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Map the hash output to a uniform value in `(0, 1]`.
+    ///
+    /// The precision sampler divides by `t_i^{1/p}`, so zero must be excluded;
+    /// we return `(h + 1) / P` which lies in `(0, 1]` and is uniform over a
+    /// grid of P points. The paper's discretization argument (Section 2,
+    /// Theorem 1 proof) permits exactly this: scaling factors only need
+    /// polynomially-bounded precision.
+    #[inline]
+    pub fn unit_interval(&self, key: u64) -> f64 {
+        (self.hash(key) as f64 + 1.0) / (MERSENNE_P as f64)
+    }
+
+    /// Number of random bits stored by this hash function (the seed material).
+    pub fn random_bits(&self) -> u64 {
+        (self.coeffs.len() as u64) * 61
+    }
+}
+
+/// A pairwise (2-wise) independent hash function.
+#[derive(Debug, Clone)]
+pub struct PairwiseHash(KWiseHash);
+
+impl PairwiseHash {
+    /// Sample a fresh pairwise independent hash function.
+    pub fn new(seeds: &mut SeedSequence) -> Self {
+        PairwiseHash(KWiseHash::new(2, seeds))
+    }
+
+    /// Map a key to a bucket in `[0, m)`.
+    #[inline]
+    pub fn bucket(&self, key: u64, m: usize) -> usize {
+        self.0.bucket(key, m)
+    }
+
+    /// Map a key to a sign in `{-1, +1}`.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        self.0.sign(key)
+    }
+
+    /// Raw hash value in `[0, P)`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        self.0.hash(key)
+    }
+
+    /// Stored random bits.
+    pub fn random_bits(&self) -> u64 {
+        self.0.random_bits()
+    }
+}
+
+/// A 4-wise independent hash function (needed by the AMS variance argument).
+#[derive(Debug, Clone)]
+pub struct FourWiseHash(KWiseHash);
+
+impl FourWiseHash {
+    /// Sample a fresh 4-wise independent hash function.
+    pub fn new(seeds: &mut SeedSequence) -> Self {
+        FourWiseHash(KWiseHash::new(4, seeds))
+    }
+
+    /// Map a key to a sign in `{-1, +1}`.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        self.0.sign(key)
+    }
+
+    /// Map a key to a bucket in `[0, m)`.
+    #[inline]
+    pub fn bucket(&self, key: u64, m: usize) -> usize {
+        self.0.bucket(key, m)
+    }
+
+    /// Raw hash value in `[0, P)`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        self.0.hash(key)
+    }
+
+    /// Stored random bits.
+    pub fn random_bits(&self) -> u64 {
+        self.0.random_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(seed: u64) -> SeedSequence {
+        SeedSequence::new(seed)
+    }
+
+    #[test]
+    fn constant_polynomial_is_constant() {
+        let h = KWiseHash::from_coefficients(vec![Fp::new(42)]);
+        for key in [0u64, 1, 17, 1 << 40] {
+            assert_eq!(h.hash(key), 42);
+        }
+    }
+
+    #[test]
+    fn linear_polynomial_matches_formula() {
+        // h(x) = 3 + 5x mod P
+        let h = KWiseHash::from_coefficients(vec![Fp::new(3), Fp::new(5)]);
+        assert_eq!(h.hash(10), 53);
+        assert_eq!(h.hash(0), 3);
+    }
+
+    #[test]
+    fn independence_parameter_reported() {
+        let mut s = seq(1);
+        assert_eq!(KWiseHash::new(7, &mut s).independence(), 7);
+        assert_eq!(PairwiseHash::new(&mut s).random_bits(), 2 * 61);
+        assert_eq!(FourWiseHash::new(&mut s).random_bits(), 4 * 61);
+    }
+
+    #[test]
+    fn buckets_in_range() {
+        let mut s = seq(2);
+        let h = KWiseHash::new(3, &mut s);
+        for m in [1usize, 2, 7, 64, 1000] {
+            for key in 0..200u64 {
+                assert!(h.bucket(key, m) < m);
+            }
+        }
+    }
+
+    #[test]
+    fn signs_are_plus_minus_one_and_balanced() {
+        let mut s = seq(3);
+        let h = PairwiseHash::new(&mut s);
+        let mut pos = 0i64;
+        let n = 20_000u64;
+        for key in 0..n {
+            let sign = h.sign(key);
+            assert!(sign == 1 || sign == -1);
+            if sign == 1 {
+                pos += 1;
+            }
+        }
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "sign bias too large: {frac}");
+    }
+
+    #[test]
+    fn unit_interval_in_range_and_spread() {
+        let mut s = seq(4);
+        let h = KWiseHash::new(6, &mut s);
+        let n = 10_000u64;
+        let mut sum = 0.0;
+        for key in 0..n {
+            let u = h.unit_interval(key);
+            assert!(u > 0.0 && u <= 1.0);
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean of uniform values off: {mean}");
+    }
+
+    #[test]
+    fn bucket_distribution_roughly_uniform() {
+        let mut s = seq(5);
+        let h = PairwiseHash::new(&mut s);
+        let m = 16usize;
+        let n = 32_000u64;
+        let mut counts = vec![0u64; m];
+        for key in 0..n {
+            counts[h.bucket(key, m)] += 1;
+        }
+        let expected = n as f64 / m as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "bucket {b} count {c} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_probability_close_to_uniform() {
+        // Empirical check of the defining property: Pr[h(a)=h(b)] ~ 1/m for a != b.
+        let m = 32usize;
+        let trials = 4000usize;
+        let mut collisions = 0usize;
+        let mut s = seq(6);
+        for _ in 0..trials {
+            let h = PairwiseHash::new(&mut s);
+            if h.bucket(12345, m) == h.bucket(67890, m) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let expect = 1.0 / m as f64;
+        assert!(
+            (rate - expect).abs() < 3.0 * (expect / trials as f64).sqrt() + 0.01,
+            "collision rate {rate} too far from {expect}"
+        );
+    }
+
+    #[test]
+    fn distinct_functions_from_distinct_seeds() {
+        let mut s1 = seq(100);
+        let mut s2 = seq(200);
+        let h1 = KWiseHash::new(2, &mut s1);
+        let h2 = KWiseHash::new(2, &mut s2);
+        let diffs = (0..64u64).filter(|&k| h1.hash(k) != h2.hash(k)).count();
+        assert!(diffs > 60);
+    }
+}

@@ -1,0 +1,38 @@
+//! # lps-hash
+//!
+//! Hashing and pseudorandomness substrate for the `lp-samplers` workspace,
+//! a reproduction of *"Tight Bounds for Lp Samplers, Finding Duplicates in
+//! Streams, and Related Problems"* (Jowhari, Sağlam, Tardos; PODS 2011).
+//!
+//! The paper's algorithms need three kinds of randomness, all provided here:
+//!
+//! * **k-wise independent hash families** ([`kwise`]) built from random
+//!   polynomials over the Mersenne-prime field GF(2^61 − 1) ([`field`]).
+//!   The precision Lp sampler's scaling factors `t_i` (Figure 1, step 4) are
+//!   k-wise independent for `k = 10⌈1/|p−1|⌉`, count-sketch uses pairwise
+//!   hashes, and the AMS sketch uses 4-wise signs.
+//! * **Tabulation hashing** ([`tabulation`]) for generators and baselines
+//!   where speed matters more than provable independence.
+//! * **A Nisan-style pseudorandom generator** ([`nisan`]) that stretches an
+//!   O(log² n)-bit seed into polynomially many bits fooling space-bounded
+//!   tests — the derandomization step of the paper's L0 sampler (Theorem 2).
+//!
+//! All randomness is derived deterministically from [`seeds::SeedSequence`]
+//! so every experiment in the workspace is reproducible from a single master
+//! seed, and every structure can report the number of random bits it stores
+//! (the paper's space model charges for stored randomness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod kwise;
+pub mod nisan;
+pub mod seeds;
+pub mod tabulation;
+
+pub use field::{mul_mod, Fp, MERSENNE_P};
+pub use kwise::{FourWiseHash, KWiseHash, PairwiseHash};
+pub use nisan::{NisanPrg, NisanStream};
+pub use seeds::{derive_seeds, splitmix64, SeedSequence};
+pub use tabulation::TabulationHash;

@@ -1,0 +1,133 @@
+//! Simple tabulation hashing.
+//!
+//! Tabulation hashing splits a 64-bit key into 8 bytes and XORs together one
+//! random 64-bit table entry per byte. It is 3-independent, extremely fast,
+//! and behaves like a fully random function for most streaming tasks. We use
+//! it where speed matters more than provable k-wise independence: workload
+//! generators, the Gopalan–Radhakrishnan baseline, and the level hashes of
+//! the Frahling–Indyk–Sohler-style L0 baseline.
+
+use crate::seeds::SeedSequence;
+
+const BYTES: usize = 8;
+const TABLE: usize = 256;
+
+/// A simple tabulation hash function on 64-bit keys.
+#[derive(Debug, Clone)]
+pub struct TabulationHash {
+    tables: Box<[[u64; TABLE]; BYTES]>,
+}
+
+impl TabulationHash {
+    /// Sample a fresh tabulation hash function (8 * 256 random words).
+    pub fn new(seeds: &mut SeedSequence) -> Self {
+        let mut tables = Box::new([[0u64; TABLE]; BYTES]);
+        for table in tables.iter_mut() {
+            for entry in table.iter_mut() {
+                *entry = seeds.next_u64();
+            }
+        }
+        TabulationHash { tables }
+    }
+
+    /// Hash a 64-bit key to a 64-bit value.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        let mut acc = 0u64;
+        let bytes = key.to_le_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            acc ^= self.tables[i][b as usize];
+        }
+        acc
+    }
+
+    /// Map a key to a bucket in `[0, m)`.
+    #[inline]
+    pub fn bucket(&self, key: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        ((self.hash(key) as u128 * m as u128) >> 64) as usize
+    }
+
+    /// Map a key to a uniform value in `[0, 1)`.
+    #[inline]
+    pub fn unit_interval(&self, key: u64) -> f64 {
+        (self.hash(key) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Map a key to a sign in `{-1, +1}`.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        if self.hash(key) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Random bits stored by the tables.
+    pub fn random_bits(&self) -> u64 {
+        (BYTES * TABLE * 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut s = SeedSequence::new(1);
+        let h = TabulationHash::new(&mut s);
+        assert_eq!(h.hash(42), h.hash(42));
+        assert_eq!(h.bucket(42, 97), h.bucket(42, 97));
+    }
+
+    #[test]
+    fn bucket_in_range_and_spread() {
+        let mut s = SeedSequence::new(2);
+        let h = TabulationHash::new(&mut s);
+        let m = 10usize;
+        let mut counts = vec![0u64; m];
+        for key in 0..20_000u64 {
+            let b = h.bucket(key, m);
+            assert!(b < m);
+            counts[b] += 1;
+        }
+        let expected = 2000.0;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() / expected < 0.15);
+        }
+    }
+
+    #[test]
+    fn unit_interval_in_range() {
+        let mut s = SeedSequence::new(3);
+        let h = TabulationHash::new(&mut s);
+        for key in 0..1000u64 {
+            let u = h.unit_interval(key);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn avalanche_on_single_bit_flip() {
+        let mut s = SeedSequence::new(4);
+        let h = TabulationHash::new(&mut s);
+        let mut total_flips = 0u32;
+        let samples = 200u64;
+        for key in 0..samples {
+            let a = h.hash(key);
+            let b = h.hash(key ^ 1);
+            total_flips += (a ^ b).count_ones();
+        }
+        let avg = total_flips as f64 / samples as f64;
+        assert!(avg > 20.0 && avg < 44.0, "poor avalanche: {avg}");
+    }
+
+    #[test]
+    fn random_bits_accounting() {
+        let mut s = SeedSequence::new(5);
+        let h = TabulationHash::new(&mut s);
+        assert_eq!(h.random_bits(), 8 * 256 * 64);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the field arithmetic and hash families.
+
+use lps_hash::{Fp, KWiseHash, SeedSequence, MERSENNE_P};
+use proptest::prelude::*;
+
+fn ref_add(a: u64, b: u64) -> u64 {
+    (((a as u128 % MERSENNE_P as u128) + (b as u128 % MERSENNE_P as u128)) % MERSENNE_P as u128) as u64
+}
+
+fn ref_mul(a: u64, b: u64) -> u64 {
+    (((a as u128 % MERSENNE_P as u128) * (b as u128 % MERSENNE_P as u128)) % MERSENNE_P as u128) as u64
+}
+
+proptest! {
+    #[test]
+    fn field_add_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!((Fp::new(a) + Fp::new(b)).value(), ref_add(a, b));
+    }
+
+    #[test]
+    fn field_mul_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!((Fp::new(a) * Fp::new(b)).value(), ref_mul(a, b));
+    }
+
+    #[test]
+    fn field_sub_is_inverse_of_add(a in any::<u64>(), b in any::<u64>()) {
+        let x = Fp::new(a);
+        let y = Fp::new(b);
+        prop_assert_eq!((x + y - y).value(), x.value());
+    }
+
+    #[test]
+    fn field_mul_is_commutative_and_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (x, y, z) = (Fp::new(a), Fp::new(b), Fp::new(c));
+        prop_assert_eq!((x * y).value(), (y * x).value());
+        prop_assert_eq!(((x * y) * z).value(), (x * (y * z)).value());
+    }
+
+    #[test]
+    fn field_distributivity(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (x, y, z) = (Fp::new(a), Fp::new(b), Fp::new(c));
+        prop_assert_eq!((x * (y + z)).value(), (x * y + x * z).value());
+    }
+
+    #[test]
+    fn nonzero_elements_have_inverses(a in 1u64..MERSENNE_P) {
+        let x = Fp::new(a);
+        let inv = x.inv().unwrap();
+        prop_assert_eq!((x * inv).value(), 1);
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_multiplication(a in any::<u64>(), e in 0u64..64) {
+        let x = Fp::new(a);
+        let mut expected = Fp::ONE;
+        for _ in 0..e {
+            expected = expected * x;
+        }
+        prop_assert_eq!(x.pow(e).value(), expected.value());
+    }
+
+    #[test]
+    fn kwise_hash_outputs_are_in_field_and_deterministic(seed in any::<u64>(), key in any::<u64>(), k in 1usize..8) {
+        let mut s1 = SeedSequence::new(seed);
+        let mut s2 = SeedSequence::new(seed);
+        let h1 = KWiseHash::new(k, &mut s1);
+        let h2 = KWiseHash::new(k, &mut s2);
+        let v = h1.hash(key);
+        prop_assert!(v < MERSENNE_P);
+        prop_assert_eq!(v, h2.hash(key));
+    }
+
+    #[test]
+    fn kwise_bucket_and_unit_interval_ranges(seed in any::<u64>(), key in any::<u64>(), m in 1usize..10_000) {
+        let mut s = SeedSequence::new(seed);
+        let h = KWiseHash::new(4, &mut s);
+        prop_assert!(h.bucket(key, m) < m);
+        let u = h.unit_interval(key);
+        prop_assert!(u > 0.0 && u <= 1.0);
+        let sign = h.sign(key);
+        prop_assert!(sign == 1 || sign == -1);
+    }
+
+    #[test]
+    fn seed_sequence_next_below_is_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut s = SeedSequence::new(seed);
+        prop_assert!(s.next_below(bound) < bound);
+    }
+}

@@ -1,0 +1,140 @@
+//! Count-min / count-median heavy hitters — the prior baseline the paper's
+//! Section 4.4 compares against (Cormode–Muthukrishnan, the p = 1 case).
+//!
+//! The count-min sketch with width `O(1/φ)` overestimates every coordinate by
+//! at most `φ/4·‖x‖₁` (strict turnstile), so thresholding point queries at
+//! `(3/4)φ·‖x‖₁` yields a valid heavy hitter set for p = 1. For general
+//! update streams the same table is queried by medians (count-median). Either
+//! way the space is `O(φ^{-1} log² n)` bits — the paper's contribution is
+//! extending the φ^{-p} trade-off to every `p ∈ (0, 2]` via count-sketch.
+
+use lps_hash::SeedSequence;
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
+use lps_sketch::{CountMinSketch, PStableSketch};
+use lps_sketch::linear::LinearSketch;
+
+/// Count-min based heavy hitters for the strict turnstile model, p = 1.
+#[derive(Debug, Clone)]
+pub struct CountMinHeavyHitters {
+    dimension: u64,
+    phi: f64,
+    sketch: CountMinSketch,
+    norm: PStableSketch,
+}
+
+impl CountMinHeavyHitters {
+    /// Create a heavy hitter structure for threshold φ under the L1 norm.
+    pub fn new(dimension: u64, phi: f64, seeds: &mut SeedSequence) -> Self {
+        assert!(phi > 0.0 && phi < 1.0);
+        let width = ((4.0 / phi).ceil() as usize).max(2);
+        let rows = (((dimension.max(4) as f64).log2()).ceil() as usize).max(5) | 1;
+        let sketch = CountMinSketch::new(dimension, width, rows, seeds);
+        let norm = PStableSketch::with_default_rows(dimension, 1.0, seeds);
+        CountMinHeavyHitters { dimension, phi, sketch, norm }
+    }
+
+    /// The heaviness threshold φ.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Width of the underlying count-min table.
+    pub fn width(&self) -> usize {
+        self.sketch.width()
+    }
+
+    /// Process a single update.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        self.sketch.update(index, delta);
+        self.norm.update(index, delta as f64);
+    }
+
+    /// Process a whole stream.
+    pub fn process(&mut self, stream: &UpdateStream) {
+        for Update { index, delta } in stream.iter().copied() {
+            self.update(index, delta);
+        }
+    }
+
+    /// Report the heavy hitter set using the internal L1 norm estimate.
+    pub fn report(&self) -> Vec<u64> {
+        let r = self.norm.upper_estimate();
+        if !(r > 0.0) {
+            return Vec::new();
+        }
+        self.report_with_norm(0.75 * r)
+    }
+
+    /// Report using an externally supplied (e.g. exact) value of `‖x‖₁`.
+    pub fn report_with_norm(&self, norm: f64) -> Vec<u64> {
+        let threshold = 0.75 * self.phi * norm;
+        (0..self.dimension)
+            .filter(|&i| self.sketch.estimate(i) as f64 >= threshold)
+            .collect()
+    }
+}
+
+impl SpaceUsage for CountMinHeavyHitters {
+    fn space(&self) -> SpaceBreakdown {
+        self.sketch.space().combine(&self.norm.space())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_hh::is_valid_heavy_hitter_set;
+    use lps_stream::{zipf_stream, TruthVector, TurnstileModel, UpdateStream};
+
+    fn seeds(seed: u64) -> SeedSequence {
+        SeedSequence::new(seed)
+    }
+
+    #[test]
+    fn finds_planted_heavy_hitters() {
+        let n = 2048u64;
+        let mut stream = UpdateStream::new(n, TurnstileModel::Strict);
+        stream.push(Update::new(42, 5000));
+        for i in 0..n {
+            stream.push(Update::new(i, 2));
+        }
+        let truth = TruthVector::from_stream(&stream);
+        let phi = 0.25;
+        let mut s = seeds(1);
+        let mut hh = CountMinHeavyHitters::new(n, phi, &mut s);
+        hh.process(&stream);
+        let reported = hh.report_with_norm(truth.lp_norm(1.0));
+        assert!(reported.contains(&42));
+        assert!(is_valid_heavy_hitter_set(&truth, 1.0, phi, &reported).is_valid());
+    }
+
+    #[test]
+    fn zipfian_stream_valid_set() {
+        let n = 1024u64;
+        let mut gen = seeds(2);
+        let stream = zipf_stream(n, 20_000, 1.4, &mut gen);
+        let truth = TruthVector::from_stream(&stream);
+        let phi = 0.0625;
+        let mut s = seeds(3);
+        let mut hh = CountMinHeavyHitters::new(n, phi, &mut s);
+        hh.process(&stream);
+        let reported = hh.report_with_norm(truth.lp_norm(1.0));
+        assert!(is_valid_heavy_hitter_set(&truth, 1.0, phi, &reported).is_valid());
+    }
+
+    #[test]
+    fn empty_stream_reports_nothing() {
+        let mut s = seeds(4);
+        let hh = CountMinHeavyHitters::new(128, 0.25, &mut s);
+        assert!(hh.report().is_empty());
+    }
+
+    #[test]
+    fn width_scales_with_inverse_phi() {
+        let mut s = seeds(5);
+        let coarse = CountMinHeavyHitters::new(1024, 0.25, &mut s);
+        let fine = CountMinHeavyHitters::new(1024, 0.025, &mut s);
+        assert!(fine.width() > 5 * coarse.width());
+        assert!(fine.bits_used() > coarse.bits_used());
+    }
+}

@@ -1,0 +1,130 @@
+//! Exact heavy hitters and validity checking.
+//!
+//! The experiments need two things from ground truth: the exact heavy hitter
+//! set of a vector, and a checker for the paper's validity condition (Section
+//! 4.4): a set `S` is valid when it contains every coordinate with
+//! `|x_i| ≥ φ‖x‖_p` and none with `|x_i| ≤ (φ/2)‖x‖_p`. Coordinates strictly
+//! between the two thresholds may or may not be included.
+
+use lps_stream::TruthVector;
+
+/// The exact set of φ-heavy hitters of `x` under the Lp norm:
+/// `{ i : |x_i| ≥ φ‖x‖_p }`.
+pub fn exact_heavy_hitters(x: &TruthVector, p: f64, phi: f64) -> Vec<u64> {
+    assert!(p > 0.0 && phi > 0.0);
+    let norm = x.lp_norm(p);
+    let threshold = phi * norm;
+    x.values()
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| (v.abs() as f64) >= threshold && v != 0)
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+/// The verdict of [`is_valid_heavy_hitter_set`], carrying the witnesses of a
+/// violation for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeavyHitterValidity {
+    /// The reported set satisfies the paper's definition.
+    Valid,
+    /// A coordinate with `|x_i| ≥ φ‖x‖_p` is missing from the set.
+    MissingHeavy(u64),
+    /// A coordinate with `|x_i| ≤ (φ/2)‖x‖_p` was wrongly included.
+    IncludedLight(u64),
+}
+
+impl HeavyHitterValidity {
+    /// True when the set is valid.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, HeavyHitterValidity::Valid)
+    }
+}
+
+/// Check the paper's validity condition for a reported heavy hitter set.
+pub fn is_valid_heavy_hitter_set(
+    x: &TruthVector,
+    p: f64,
+    phi: f64,
+    reported: &[u64],
+) -> HeavyHitterValidity {
+    assert!(p > 0.0 && phi > 0.0);
+    let norm = x.lp_norm(p);
+    let heavy_threshold = phi * norm;
+    let light_threshold = 0.5 * phi * norm;
+    let reported_set: std::collections::HashSet<u64> = reported.iter().copied().collect();
+    for (i, &v) in x.values().iter().enumerate() {
+        let mag = v.abs() as f64;
+        let i = i as u64;
+        if mag >= heavy_threshold && v != 0 && !reported_set.contains(&i) {
+            return HeavyHitterValidity::MissingHeavy(i);
+        }
+    }
+    for &i in reported {
+        let mag = x.get(i).abs() as f64;
+        if mag <= light_threshold {
+            return HeavyHitterValidity::IncludedLight(i);
+        }
+    }
+    HeavyHitterValidity::Valid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_from(vals: &[i64]) -> TruthVector {
+        TruthVector::from_values(vals.to_vec())
+    }
+
+    #[test]
+    fn exact_heavy_hitters_l1() {
+        // ‖x‖₁ = 100; φ = 0.3 -> threshold 30
+        let x = vec_from(&[50, -40, 5, 5, 0, 0, 0, 0]);
+        let hh = exact_heavy_hitters(&x, 1.0, 0.3);
+        assert_eq!(hh, vec![0, 1]);
+    }
+
+    #[test]
+    fn exact_heavy_hitters_l2_differ_from_l1() {
+        // under L2 the big coordinates dominate the norm more strongly
+        let x = vec_from(&[20, 9, 9, 9, 9, 9, 9, 9]);
+        let l1 = exact_heavy_hitters(&x, 1.0, 0.5);
+        let l2 = exact_heavy_hitters(&x, 2.0, 0.5);
+        assert!(l1.is_empty(), "20 < 0.5*83 so no L1 heavy hitter");
+        assert_eq!(l2, vec![0], "20 > 0.5*‖x‖₂ ≈ 15.5");
+    }
+
+    #[test]
+    fn validity_checker_accepts_exact_set() {
+        let x = vec_from(&[50, -40, 5, 5, 0, 0]);
+        let hh = exact_heavy_hitters(&x, 1.0, 0.3);
+        assert!(is_valid_heavy_hitter_set(&x, 1.0, 0.3, &hh).is_valid());
+    }
+
+    #[test]
+    fn validity_checker_detects_missing_heavy() {
+        let x = vec_from(&[50, -40, 5, 5, 0, 0]);
+        let verdict = is_valid_heavy_hitter_set(&x, 1.0, 0.3, &[0]);
+        assert_eq!(verdict, HeavyHitterValidity::MissingHeavy(1));
+        assert!(!verdict.is_valid());
+    }
+
+    #[test]
+    fn validity_checker_detects_light_inclusion() {
+        let x = vec_from(&[50, -40, 5, 5, 0, 0]);
+        // coordinate 4 has value 0 <= phi/2 * norm, so including it is invalid
+        let verdict = is_valid_heavy_hitter_set(&x, 1.0, 0.3, &[0, 1, 4]);
+        assert_eq!(verdict, HeavyHitterValidity::IncludedLight(4));
+    }
+
+    #[test]
+    fn borderline_coordinates_may_go_either_way() {
+        // coordinate with magnitude strictly between phi/2 and phi thresholds
+        let x = vec_from(&[60, 25, 15, 0]);
+        // ‖x‖₁ = 100, φ = 0.4: heavy ≥ 40, light ≤ 20. 25 is in between.
+        assert!(is_valid_heavy_hitter_set(&x, 1.0, 0.4, &[0]).is_valid());
+        assert!(is_valid_heavy_hitter_set(&x, 1.0, 0.4, &[0, 1]).is_valid());
+        assert!(!is_valid_heavy_hitter_set(&x, 1.0, 0.4, &[0, 2]).is_valid());
+    }
+}

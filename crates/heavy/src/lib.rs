@@ -1,0 +1,31 @@
+//! # lps-heavy
+//!
+//! Heavy hitters for general update streams (Section 4.4 of
+//! Jowhari–Sağlam–Tardos, PODS 2011).
+//!
+//! A heavy hitters algorithm with parameters `p > 0` and `φ > 0` must output
+//! a set `S ⊆ [n]` containing every `i` with `|x_i| ≥ φ‖x‖_p` and no `i` with
+//! `|x_i| ≤ (φ/2)‖x‖_p`. The paper observes that running count-sketch with
+//! `m = 1/φ^p` achieves this in O(φ^{-p} log² n) bits for every `p ∈ (0, 2]`
+//! (its Lemma 1 error bound `Err^m_2(x)/√m ≤ ‖x‖_p/m^{1/p}` is exactly the
+//! needed point-query accuracy), and Theorem 9 proves a matching
+//! Ω(φ^{-p} log² n) lower bound — the reduction behind that bound lives in
+//! `lps-commgames`.
+//!
+//! * [`count_sketch_hh`] — the paper's upper bound: count-sketch + p-stable
+//!   norm estimate.
+//! * [`count_min_hh`] — the count-min / count-median prior baseline (valid
+//!   for p = 1).
+//! * [`exact_hh`] — exact ground truth and the validity checker used by the
+//!   experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod count_min_hh;
+pub mod count_sketch_hh;
+pub mod exact_hh;
+
+pub use count_min_hh::CountMinHeavyHitters;
+pub use count_sketch_hh::CountSketchHeavyHitters;
+pub use exact_hh::{exact_heavy_hitters, is_valid_heavy_hitter_set, HeavyHitterValidity};

@@ -1,0 +1,290 @@
+//! Count-min and count-median sketches (Cormode–Muthukrishnan).
+//!
+//! These are the classic alternatives to count-sketch referenced in Section
+//! 4.4 of the paper: the count-median algorithm of [8] gives the
+//! `O(φ^{-1} log² n)` heavy hitter bound for `p = 1`, and the paper's point is
+//! that count-sketch matches/generalises it to all `p ∈ (0, 2]`. We implement
+//! both as comparison baselines for the heavy hitter experiments:
+//!
+//! * [`CountMinSketch`] — rows of non-negative counters, point query by
+//!   minimum; only valid in the strict turnstile model (estimates are
+//!   one-sided: never below the true value).
+//! * [`CountMedianSketch`] — same table but point query by median, valid in
+//!   the general update model, with two-sided error `‖x‖₁/width` per row.
+
+use lps_hash::{PairwiseHash, SeedSequence};
+use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage, Update, UpdateStream};
+
+use crate::count_sketch::median;
+use crate::linear::LinearSketch;
+
+/// A count-min sketch over integer-valued strict-turnstile streams.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    dimension: u64,
+    rows: usize,
+    width: usize,
+    table: Vec<i64>,
+    hashes: Vec<PairwiseHash>,
+}
+
+impl CountMinSketch {
+    /// Create a sketch with `rows` rows of `width` counters.
+    pub fn new(dimension: u64, width: usize, rows: usize, seeds: &mut SeedSequence) -> Self {
+        assert!(dimension > 0 && width >= 1 && rows >= 1);
+        let hashes = (0..rows).map(|_| PairwiseHash::new(seeds)).collect();
+        CountMinSketch { dimension, rows, width, table: vec![0; rows * width], hashes }
+    }
+
+    /// Width per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Apply an integer update.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        debug_assert!(index < self.dimension);
+        for j in 0..self.rows {
+            let k = self.hashes[j].bucket(index, self.width);
+            self.table[j * self.width + k] += delta;
+        }
+    }
+
+    /// Process a whole stream.
+    pub fn process(&mut self, stream: &UpdateStream) {
+        for u in stream {
+            self.update(u.index, u.delta);
+        }
+    }
+
+    /// Point query: the minimum over rows. In the strict turnstile model this
+    /// never underestimates the true value.
+    pub fn estimate(&self, index: u64) -> i64 {
+        debug_assert!(index < self.dimension);
+        (0..self.rows)
+            .map(|j| {
+                let k = self.hashes[j].bucket(index, self.width);
+                self.table[j * self.width + k]
+            })
+            .min()
+            .expect("at least one row")
+    }
+
+    /// Dimension of the underlying vector.
+    pub fn dimension(&self) -> u64 {
+        self.dimension
+    }
+}
+
+impl SpaceUsage for CountMinSketch {
+    fn space(&self) -> SpaceBreakdown {
+        let counters = (self.rows * self.width) as u64;
+        let counter_bits = counter_bits_for(self.dimension, self.dimension);
+        let randomness = self.hashes.iter().map(|h| h.random_bits()).sum();
+        SpaceBreakdown::new(counters, counter_bits, randomness)
+    }
+}
+
+/// A count-median sketch: the same bucketed table, but point queries take the
+/// median over rows, which tolerates general (possibly negative) updates.
+#[derive(Debug, Clone)]
+pub struct CountMedianSketch {
+    dimension: u64,
+    rows: usize,
+    width: usize,
+    table: Vec<f64>,
+    hashes: Vec<PairwiseHash>,
+}
+
+impl CountMedianSketch {
+    /// Create a sketch with `rows` rows of `width` counters. Rows should be
+    /// odd so the median is a single bucket value.
+    pub fn new(dimension: u64, width: usize, rows: usize, seeds: &mut SeedSequence) -> Self {
+        assert!(dimension > 0 && width >= 1 && rows >= 1);
+        let hashes = (0..rows).map(|_| PairwiseHash::new(seeds)).collect();
+        CountMedianSketch { dimension, rows, width, table: vec![0.0; rows * width], hashes }
+    }
+
+    /// Width per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Point query: the median over rows of the containing bucket.
+    pub fn estimate(&self, index: u64) -> f64 {
+        debug_assert!(index < self.dimension);
+        let mut vals: Vec<f64> = (0..self.rows)
+            .map(|j| {
+                let k = self.hashes[j].bucket(index, self.width);
+                self.table[j * self.width + k]
+            })
+            .collect();
+        median(&mut vals)
+    }
+
+    /// Process an integer update stream.
+    pub fn process_stream(&mut self, stream: &UpdateStream) {
+        for u in stream {
+            self.update_int(*u);
+        }
+    }
+
+    /// Apply an integer update (convenience mirroring [`CountMinSketch`]).
+    pub fn update_signed(&mut self, u: Update) {
+        self.update(u.index, u.delta as f64);
+    }
+}
+
+impl LinearSketch for CountMedianSketch {
+    fn update(&mut self, index: u64, delta: f64) {
+        debug_assert!(index < self.dimension);
+        for j in 0..self.rows {
+            let k = self.hashes[j].bucket(index, self.width);
+            self.table[j * self.width + k] += delta;
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension);
+        assert_eq!(self.table.len(), other.table.len());
+        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a += b;
+        }
+    }
+
+    fn subtract(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension);
+        assert_eq!(self.table.len(), other.table.len());
+        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a -= b;
+        }
+    }
+
+    fn dimension(&self) -> u64 {
+        self.dimension
+    }
+}
+
+impl SpaceUsage for CountMedianSketch {
+    fn space(&self) -> SpaceBreakdown {
+        let counters = (self.rows * self.width) as u64;
+        let counter_bits = counter_bits_for(self.dimension, self.dimension);
+        let randomness = self.hashes.iter().map(|h| h.random_bits()).sum();
+        SpaceBreakdown::new(counters, counter_bits, randomness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_stream::{TurnstileModel, UpdateStream};
+
+    fn seeds(seed: u64) -> SeedSequence {
+        SeedSequence::new(seed)
+    }
+
+    #[test]
+    fn count_min_never_underestimates() {
+        let n = 1024u64;
+        let mut s = seeds(1);
+        let mut cm = CountMinSketch::new(n, 64, 5, &mut s);
+        let mut stream = UpdateStream::new(n, TurnstileModel::InsertionOnly);
+        for i in 0..n {
+            for _ in 0..(i % 5) {
+                stream.push_insert(i);
+            }
+        }
+        cm.process(&stream);
+        for i in 0..n {
+            let truth = (i % 5) as i64;
+            assert!(cm.estimate(i) >= truth, "count-min underestimated coordinate {i}");
+        }
+    }
+
+    #[test]
+    fn count_min_error_bounded_by_l1_over_width() {
+        let n = 1 << 12;
+        let width = 256usize;
+        let mut s = seeds(2);
+        let mut cm = CountMinSketch::new(n, width, 7, &mut s);
+        let mut stream = UpdateStream::new(n, TurnstileModel::InsertionOnly);
+        let mut l1 = 0i64;
+        for i in 0..n {
+            let c = (i % 3) as i64;
+            for _ in 0..c {
+                stream.push_insert(i);
+            }
+            l1 += c;
+        }
+        cm.process(&stream);
+        // Expected overestimate per row is L1/width; the min over 7 rows is
+        // below 2*L1/width except with tiny probability. Allow a few misses.
+        let bound = 2 * l1 / width as i64;
+        let mut violations = 0;
+        for i in 0..n {
+            let truth = (i % 3) as i64;
+            if cm.estimate(i) - truth > bound {
+                violations += 1;
+            }
+        }
+        assert!(violations < (n / 100) as i32, "too many large overestimates: {violations}");
+    }
+
+    #[test]
+    fn count_median_handles_negative_updates() {
+        let n = 2048u64;
+        let mut s = seeds(3);
+        let mut cmed = CountMedianSketch::new(n, 128, 7, &mut s);
+        cmed.update(5, 100.0);
+        cmed.update(5, -40.0);
+        cmed.update(9, -25.0);
+        let e5 = cmed.estimate(5);
+        let e9 = cmed.estimate(9);
+        assert!((e5 - 60.0).abs() < 1e-9);
+        assert!((e9 + 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_median_linearity() {
+        let n = 512u64;
+        let mut s = seeds(4);
+        let proto = CountMedianSketch::new(n, 32, 5, &mut s);
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        let mut ab = proto.clone();
+        for (i, v) in [(1u64, 3.0), (2, -1.0)] {
+            a.update(i, v);
+            ab.update(i, v);
+        }
+        for (i, v) in [(2u64, 5.0), (100, 7.0)] {
+            b.update(i, v);
+            ab.update(i, v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.table, ab.table);
+        let mut diff = ab;
+        diff.subtract(&b);
+        assert_eq!(diff.table, a.table);
+    }
+
+    #[test]
+    fn space_scales_with_width() {
+        let mut s = seeds(5);
+        let a = CountMinSketch::new(1024, 32, 5, &mut s);
+        let b = CountMinSketch::new(1024, 64, 5, &mut s);
+        assert!(b.bits_used() > a.bits_used());
+        let c = CountMedianSketch::new(1024, 32, 5, &mut s);
+        assert_eq!(c.space().counters, 32 * 5);
+    }
+}

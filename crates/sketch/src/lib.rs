@@ -1,0 +1,34 @@
+//! # lps-sketch
+//!
+//! Linear sketches used by the samplers of Jowhari–Sağlam–Tardos (PODS 2011):
+//!
+//! * [`count_sketch`] — the Charikar–Chen–Farach-Colton count-sketch with the
+//!   Lemma 1 interface (point estimates, best m-sparse approximation).
+//! * [`count_min`] — count-min and count-median baselines for heavy hitters.
+//! * [`ams`] — the AMS tug-of-war sketch for `‖·‖₂` estimation, used to test
+//!   the tail-error guard of the sampler's recovery stage.
+//! * [`pstable`] — Indyk's p-stable sketch for `‖·‖_p` estimation (Lemma 2's
+//!   2-approximation `r`).
+//! * [`sparse_recovery`] — exact s-sparse recovery with 1-sparse detection
+//!   cells and peeling (Lemma 5), used by the L0 sampler, by Theorem 4's
+//!   duplicates algorithm and by the universal-relation protocol.
+//! * [`linear`] — the [`LinearSketch`] trait every sketch implements (merge /
+//!   subtract), which is what makes the recovery-stage algebra and the
+//!   communication reductions work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ams;
+pub mod count_min;
+pub mod count_sketch;
+pub mod linear;
+pub mod pstable;
+pub mod sparse_recovery;
+
+pub use ams::AmsSketch;
+pub use count_min::{CountMedianSketch, CountMinSketch};
+pub use count_sketch::{median, rows_for_dimension, CountSketch, SparseApprox, WIDTH_FACTOR};
+pub use linear::LinearSketch;
+pub use pstable::{stable_sample, PStableSketch};
+pub use sparse_recovery::{CellState, OneSparseCell, RecoveryOutput, SparseRecovery};

@@ -1,0 +1,52 @@
+//! The linear-sketch abstraction.
+//!
+//! Every streaming structure in the paper maintains `L(x)` for a random
+//! linear map `L : R^n → R^m`. Linearity is what makes the recovery stage of
+//! the precision sampler work (`L'(z − ẑ) = L'(z) − L'(ẑ)`), what lets the
+//! universal-relation protocol sketch `x − y` from two separately-sketched
+//! vectors, and what lets Alice hand her memory state to Bob in the
+//! augmented-indexing reductions. The [`LinearSketch`] trait captures exactly
+//! that contract so the property tests can verify linearity uniformly for
+//! every sketch in the crate.
+
+use lps_stream::{SpaceUsage, Update, UpdateStream};
+
+/// A sketch that is a linear function of the underlying frequency vector.
+///
+/// Implementations must satisfy, for all update sequences `A` and `B`:
+/// `sketch(A ++ B) == sketch(A).merged(sketch(B))` and
+/// `sketch(A) - sketch(B) == sketch(A ++ negate(B))`, where both sides use
+/// the *same* random seeds. The property tests in each module check this.
+pub trait LinearSketch: SpaceUsage {
+    /// Apply a single real-valued update `x[index] += delta`.
+    fn update(&mut self, index: u64, delta: f64);
+
+    /// Apply an integer stream update.
+    fn update_int(&mut self, update: Update) {
+        self.update(update.index, update.delta as f64);
+    }
+
+    /// Process an entire update stream.
+    fn process(&mut self, stream: &UpdateStream) {
+        for u in stream {
+            self.update_int(*u);
+        }
+    }
+
+    /// Add another sketch of the *same shape and seeds* into this one
+    /// (sketch of the concatenated streams).
+    fn merge(&mut self, other: &Self);
+
+    /// Subtract another sketch of the same shape and seeds from this one
+    /// (sketch of the difference vector).
+    fn subtract(&mut self, other: &Self);
+
+    /// Dimension `n` of the underlying vector.
+    fn dimension(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    // The trait itself has no behaviour to test beyond its provided methods,
+    // which are exercised through every implementor's test module.
+}

@@ -1,0 +1,452 @@
+//! Exact recovery of s-sparse vectors from a small linear sketch (Lemma 5).
+//!
+//! Lemma 5 of the paper asserts: for `1 ≤ s ≤ n` there is a random linear
+//! function `L : R^n → R^k` with `k = O(s)`, generated from `O(k log n)`
+//! random bits, and a recovery procedure that outputs `x` exactly whenever
+//! `x` is s-sparse and reports `DENSE` with high probability otherwise.
+//!
+//! We implement the standard construction used in practice (and in the
+//! dynamic-graph-sketching literature): a table of *1-sparse detection cells*
+//! — each cell keeps the sum of values, the index-weighted sum of values, and
+//! a field fingerprint `Σ x_i·r^i` — bucketed by pairwise-independent hashes
+//! over several rows, decoded by peeling. A cell containing exactly one
+//! non-zero coordinate reveals it (index = weighted sum / sum, verified by
+//! the fingerprint); peeling subtracts it everywhere and repeats. If peeling
+//! gets stuck before the structure empties, the vector was not sparse enough
+//! and we report [`RecoveryOutput::Dense`].
+//!
+//! False acceptance requires a fingerprint collision in GF(2^61 − 1) and has
+//! probability `O(n/2^61)` per cell — the "low probability" regime the paper
+//! works in.
+
+use lps_hash::{Fp, PairwiseHash, SeedSequence};
+use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage, UpdateStream};
+
+/// What a single 1-sparse detection cell currently contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellState {
+    /// No mass at all (all counters zero).
+    Zero,
+    /// Exactly one non-zero coordinate `(index, value)` — verified by fingerprint.
+    OneSparse(u64, i64),
+    /// More than one non-zero coordinate (or a fingerprint mismatch).
+    Multiple,
+}
+
+/// A 1-sparse detection cell: `(Σ x_i, Σ i·x_i, Σ x_i·r^i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OneSparseCell {
+    sum: i64,
+    index_sum: i128,
+    fingerprint: Fp,
+}
+
+impl OneSparseCell {
+    /// An empty cell.
+    pub fn new() -> Self {
+        OneSparseCell { sum: 0, index_sum: 0, fingerprint: Fp::ZERO }
+    }
+
+    /// Apply `x[index] += delta` to the cell, where `r` is the shared
+    /// fingerprint base.
+    pub fn update(&mut self, index: u64, delta: i64, r: Fp) {
+        self.sum += delta;
+        self.index_sum += index as i128 * delta as i128;
+        self.fingerprint = self.fingerprint.add(signed_field(delta).mul(r.pow(index)));
+    }
+
+    /// Merge another cell (same fingerprint base).
+    pub fn merge(&mut self, other: &OneSparseCell) {
+        self.sum += other.sum;
+        self.index_sum += other.index_sum;
+        self.fingerprint = self.fingerprint.add(other.fingerprint);
+    }
+
+    /// Subtract another cell (same fingerprint base).
+    pub fn subtract(&mut self, other: &OneSparseCell) {
+        self.sum -= other.sum;
+        self.index_sum -= other.index_sum;
+        self.fingerprint = self.fingerprint.sub(other.fingerprint);
+    }
+
+    /// Classify the cell contents, verifying candidates with the fingerprint.
+    pub fn state(&self, dimension: u64, r: Fp) -> CellState {
+        if self.sum == 0 && self.index_sum == 0 && self.fingerprint.is_zero() {
+            return CellState::Zero;
+        }
+        if self.sum != 0 && self.index_sum % self.sum as i128 == 0 {
+            let idx = self.index_sum / self.sum as i128;
+            if idx >= 0 && (idx as u64) < dimension {
+                let idx = idx as u64;
+                let expected = signed_field(self.sum).mul(r.pow(idx));
+                if expected == self.fingerprint {
+                    return CellState::OneSparse(idx, self.sum);
+                }
+            }
+        }
+        CellState::Multiple
+    }
+
+    /// True if all counters are zero.
+    pub fn is_zero(&self) -> bool {
+        self.sum == 0 && self.index_sum == 0 && self.fingerprint.is_zero()
+    }
+}
+
+impl Default for OneSparseCell {
+    fn default() -> Self {
+        OneSparseCell::new()
+    }
+}
+
+/// Map a signed integer into the field (negative values wrap to `P - |v|`).
+fn signed_field(v: i64) -> Fp {
+    if v >= 0 {
+        Fp::new(v as u64)
+    } else {
+        Fp::new(v.unsigned_abs()).neg()
+    }
+}
+
+/// Result of attempting sparse recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryOutput {
+    /// The exact non-zero entries `(index, value)`, sorted by index.
+    /// An empty list means the sketched vector is (whp) the zero vector.
+    Recovered(Vec<(u64, i64)>),
+    /// The vector has (whp) more than `capacity` non-zero coordinates.
+    Dense,
+}
+
+impl RecoveryOutput {
+    /// Convenience: the recovered entries, or `None` for `Dense`.
+    pub fn entries(&self) -> Option<&[(u64, i64)]> {
+        match self {
+            RecoveryOutput::Recovered(e) => Some(e),
+            RecoveryOutput::Dense => None,
+        }
+    }
+}
+
+/// An exact s-sparse recovery sketch (Lemma 5): `rows × buckets` 1-sparse
+/// cells with pairwise-independent bucket hashes and peeling decoder.
+#[derive(Debug, Clone)]
+pub struct SparseRecovery {
+    dimension: u64,
+    capacity: usize,
+    rows: usize,
+    buckets: usize,
+    cells: Vec<OneSparseCell>,
+    hashes: Vec<PairwiseHash>,
+    fingerprint_base: Fp,
+}
+
+impl SparseRecovery {
+    /// Create a recovery structure able to recover any vector with at most
+    /// `capacity` non-zero coordinates (with high probability the peeling
+    /// succeeds; failure is reported as `Dense`, never as a wrong vector,
+    /// except for negligible fingerprint collisions).
+    pub fn new(dimension: u64, capacity: usize, seeds: &mut SeedSequence) -> Self {
+        assert!(dimension > 0);
+        let capacity = capacity.max(1);
+        // 2·capacity buckets per row and O(log capacity) + constant rows make
+        // peeling succeed with high probability; k = rows · buckets = O(s).
+        let buckets = (2 * capacity).max(2);
+        let rows = (((capacity as f64).log2().ceil() as usize).max(1) + 3).max(4);
+        let hashes = (0..rows).map(|_| PairwiseHash::new(seeds)).collect();
+        let fingerprint_base = Fp::new(SeedSequence::new(seeds.next_u64()).next_u64() % (lps_hash::MERSENNE_P - 2) + 1);
+        SparseRecovery {
+            dimension,
+            capacity,
+            rows,
+            buckets,
+            cells: vec![OneSparseCell::new(); rows * buckets],
+            hashes,
+            fingerprint_base,
+        }
+    }
+
+    /// The sparsity capacity `s`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Buckets per row.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Dimension of the underlying vector.
+    pub fn dimension(&self) -> u64 {
+        self.dimension
+    }
+
+    /// Apply `x[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        debug_assert!(index < self.dimension);
+        if delta == 0 {
+            return;
+        }
+        for j in 0..self.rows {
+            let b = self.hashes[j].bucket(index, self.buckets);
+            self.cells[j * self.buckets + b].update(index, delta, self.fingerprint_base);
+        }
+    }
+
+    /// Process a whole integer update stream.
+    pub fn process(&mut self, stream: &UpdateStream) {
+        for u in stream {
+            self.update(u.index, u.delta);
+        }
+    }
+
+    /// Merge another structure built with the same seeds.
+    pub fn merge(&mut self, other: &SparseRecovery) {
+        assert_eq!(self.cells.len(), other.cells.len(), "shape mismatch");
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Subtract another structure built with the same seeds (sketch of the
+    /// difference vector) — used by the universal-relation protocol.
+    pub fn subtract(&mut self, other: &SparseRecovery) {
+        assert_eq!(self.cells.len(), other.cells.len(), "shape mismatch");
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            a.subtract(b);
+        }
+    }
+
+    /// Attempt to recover the sketched vector by peeling. Does not modify the
+    /// structure (works on a scratch copy).
+    pub fn recover(&self) -> RecoveryOutput {
+        let mut scratch = self.cells.clone();
+        let mut recovered: Vec<(u64, i64)> = Vec::new();
+        // Upper bound on useful peeling steps: every step removes one distinct
+        // coordinate; more steps than cells means something is wrong.
+        let max_steps = self.cells.len() + 1;
+        for _ in 0..max_steps {
+            if scratch.iter().all(|c| c.is_zero()) {
+                let mut out = recovered;
+                out.sort_unstable_by_key(|&(i, _)| i);
+                // A coordinate may be recovered only once; duplicates would
+                // indicate an internal inconsistency.
+                out.dedup_by_key(|&mut (i, _)| i);
+                return RecoveryOutput::Recovered(out);
+            }
+            // find a decodable cell
+            let mut found: Option<(u64, i64)> = None;
+            for cell in scratch.iter() {
+                if let CellState::OneSparse(i, v) = cell.state(self.dimension, self.fingerprint_base) {
+                    found = Some((i, v));
+                    break;
+                }
+            }
+            match found {
+                None => return RecoveryOutput::Dense,
+                Some((i, v)) => {
+                    recovered.push((i, v));
+                    for j in 0..self.rows {
+                        let b = self.hashes[j].bucket(i, self.buckets);
+                        scratch[j * self.buckets + b].update(i, -v, self.fingerprint_base);
+                    }
+                }
+            }
+        }
+        RecoveryOutput::Dense
+    }
+}
+
+impl SpaceUsage for SparseRecovery {
+    fn space(&self) -> SpaceBreakdown {
+        // Each cell stores three counters (sum, index-weighted sum, fingerprint).
+        let counters = (self.rows * self.buckets * 3) as u64;
+        let counter_bits = counter_bits_for(self.dimension, self.dimension).max(61);
+        let randomness: u64 =
+            self.hashes.iter().map(|h| h.random_bits()).sum::<u64>() + 61;
+        SpaceBreakdown::new(counters, counter_bits, randomness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_stream::{TurnstileModel, Update};
+
+    fn seeds(seed: u64) -> SeedSequence {
+        SeedSequence::new(seed)
+    }
+
+    #[test]
+    fn signed_field_wraps_negatives() {
+        assert_eq!(signed_field(5).value(), 5);
+        assert_eq!(signed_field(-5), Fp::new(5).neg());
+        assert_eq!(signed_field(0), Fp::ZERO);
+    }
+
+    #[test]
+    fn one_sparse_cell_detects_single_coordinate() {
+        let r = Fp::new(123456789);
+        let mut cell = OneSparseCell::new();
+        assert_eq!(cell.state(1000, r), CellState::Zero);
+        cell.update(42, 7, r);
+        assert_eq!(cell.state(1000, r), CellState::OneSparse(42, 7));
+        cell.update(42, -3, r);
+        assert_eq!(cell.state(1000, r), CellState::OneSparse(42, 4));
+        cell.update(42, -4, r);
+        assert_eq!(cell.state(1000, r), CellState::Zero);
+    }
+
+    #[test]
+    fn one_sparse_cell_detects_multiple_coordinates() {
+        let r = Fp::new(987654321);
+        let mut cell = OneSparseCell::new();
+        cell.update(1, 1, r);
+        cell.update(5, 1, r);
+        assert_eq!(cell.state(1000, r), CellState::Multiple);
+        // the naive index estimate (1+5)/2 = 3 must be rejected by the fingerprint
+        cell.update(7, 1, r);
+        assert_eq!(cell.state(1000, r), CellState::Multiple);
+    }
+
+    #[test]
+    fn one_sparse_cell_negative_value() {
+        let r = Fp::new(31337);
+        let mut cell = OneSparseCell::new();
+        cell.update(9, -6, r);
+        assert_eq!(cell.state(100, r), CellState::OneSparse(9, -6));
+    }
+
+    #[test]
+    fn recovers_exactly_a_sparse_vector() {
+        let mut s = seeds(1);
+        let mut rec = SparseRecovery::new(1 << 17, 8, &mut s);
+        let entries = [(3u64, 5i64), (70_000, -2), (123, 1), (65_535, 40)];
+        for (i, v) in entries {
+            rec.update(i, v);
+        }
+        match rec.recover() {
+            RecoveryOutput::Recovered(out) => {
+                let mut expected: Vec<(u64, i64)> = entries.to_vec();
+                expected.sort_unstable_by_key(|&(i, _)| i);
+                assert_eq!(out, expected);
+            }
+            RecoveryOutput::Dense => panic!("sparse vector reported dense"),
+        }
+    }
+
+    #[test]
+    fn recovers_after_cancellations() {
+        let mut s = seeds(2);
+        let mut rec = SparseRecovery::new(1024, 4, &mut s);
+        // heavy churn that cancels except for two survivors
+        for i in 0..200u64 {
+            rec.update(i, 3);
+            rec.update(i, -3);
+        }
+        rec.update(11, 9);
+        rec.update(77, -1);
+        match rec.recover() {
+            RecoveryOutput::Recovered(out) => assert_eq!(out, vec![(11, 9), (77, -1)]),
+            RecoveryOutput::Dense => panic!("should recover after cancellation"),
+        }
+    }
+
+    #[test]
+    fn zero_vector_recovers_empty() {
+        let mut s = seeds(3);
+        let rec = SparseRecovery::new(256, 4, &mut s);
+        assert_eq!(rec.recover(), RecoveryOutput::Recovered(vec![]));
+    }
+
+    #[test]
+    fn dense_vector_reported_dense() {
+        let mut s = seeds(4);
+        let mut rec = SparseRecovery::new(1 << 14, 4, &mut s);
+        for i in 0..2000u64 {
+            rec.update(i * 7 % (1 << 14), 1);
+        }
+        assert_eq!(rec.recover(), RecoveryOutput::Dense);
+    }
+
+    #[test]
+    fn capacity_boundary() {
+        // exactly `capacity` coordinates must still be recoverable
+        let mut s = seeds(5);
+        let cap = 12usize;
+        let mut rec = SparseRecovery::new(1 << 12, cap, &mut s);
+        let entries: Vec<(u64, i64)> = (0..cap as u64).map(|i| (i * 300 + 7, i as i64 + 1)).collect();
+        for &(i, v) in &entries {
+            rec.update(i, v);
+        }
+        match rec.recover() {
+            RecoveryOutput::Recovered(out) => assert_eq!(out.len(), cap),
+            RecoveryOutput::Dense => panic!("capacity-sized vector reported dense"),
+        }
+    }
+
+    #[test]
+    fn subtract_recovers_difference() {
+        // The universal-relation protocol sketches x and y separately and
+        // recovers x - y from the subtracted sketches.
+        let mut s = seeds(6);
+        let proto = SparseRecovery::new(4096, 6, &mut s);
+        let mut sx = proto.clone();
+        let mut sy = proto.clone();
+        for i in 0..500u64 {
+            sx.update(i, 1);
+            sy.update(i, 1); // identical mass cancels in the difference
+        }
+        sx.update(1000, 5);
+        sy.update(2000, 3);
+        let mut diff = sx.clone();
+        diff.subtract(&sy);
+        match diff.recover() {
+            RecoveryOutput::Recovered(out) => assert_eq!(out, vec![(1000, 5), (2000, -3)]),
+            RecoveryOutput::Dense => panic!("difference should be 2-sparse"),
+        }
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut s = seeds(7);
+        let proto = SparseRecovery::new(512, 4, &mut s);
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        a.update(10, 2);
+        b.update(10, 3);
+        b.update(20, -1);
+        a.merge(&b);
+        match a.recover() {
+            RecoveryOutput::Recovered(out) => assert_eq!(out, vec![(10, 5), (20, -1)]),
+            RecoveryOutput::Dense => panic!("merged sparse vectors should recover"),
+        }
+    }
+
+    #[test]
+    fn process_stream() {
+        let mut s = seeds(8);
+        let mut rec = SparseRecovery::new(64, 4, &mut s);
+        let stream = UpdateStream::from_updates(
+            64,
+            TurnstileModel::General,
+            vec![Update::new(1, 4), Update::new(2, -4), Update::new(1, -4)],
+        );
+        rec.process(&stream);
+        assert_eq!(rec.recover(), RecoveryOutput::Recovered(vec![(2, -4)]));
+    }
+
+    #[test]
+    fn space_is_linear_in_capacity() {
+        let mut s = seeds(9);
+        let small = SparseRecovery::new(1 << 20, 4, &mut s);
+        let large = SparseRecovery::new(1 << 20, 64, &mut s);
+        assert!(large.space().counters > 8 * small.space().counters);
+        assert!(small.bits_used() > 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the linear sketches: linearity under arbitrary
+//! update sequences, exactness of sparse recovery, and estimator sanity.
+
+use lps_hash::SeedSequence;
+use lps_sketch::{
+    AmsSketch, CountMedianSketch, CountSketch, LinearSketch, PStableSketch, RecoveryOutput,
+    SparseRecovery,
+};
+use lps_stream::{TruthVector, TurnstileModel, Update, UpdateStream};
+use proptest::prelude::*;
+
+const DIM: u64 = 256;
+
+/// Strategy: a small update stream over DIM coordinates with signed deltas.
+fn updates_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DIM, -50i64..50), 0..max_len)
+}
+
+fn stream_of(updates: &[(u64, i64)]) -> UpdateStream {
+    UpdateStream::from_updates(
+        DIM,
+        TurnstileModel::General,
+        updates.iter().filter(|(_, d)| *d != 0).map(|&(i, d)| Update::new(i, d)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_sketch_is_linear(a in updates_strategy(40), b in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountSketch::new(DIM, 4, 5, &mut seeds);
+        let mut sa = proto.clone();
+        let mut sb = proto.clone();
+        let mut sab = proto.clone();
+        for &(i, d) in &a { sa.update(i, d as f64); sab.update(i, d as f64); }
+        for &(i, d) in &b { sb.update(i, d as f64); sab.update(i, d as f64); }
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        // merging sketches of A and B equals sketching A ++ B, coordinate by coordinate
+        for i in 0..DIM {
+            prop_assert!((merged.estimate(i) - sab.estimate(i)).abs() < 1e-6);
+        }
+        let mut diff = sab.clone();
+        diff.subtract(&sb);
+        for i in 0..DIM {
+            prop_assert!((diff.estimate(i) - sa.estimate(i)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ams_f2_never_negative_and_zero_on_cancelling_streams(a in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let mut sketch = AmsSketch::new(DIM, 7, 4, &mut seeds);
+        for &(i, d) in &a {
+            sketch.update(i, d as f64);
+            sketch.update(i, -(d as f64));
+        }
+        prop_assert!(sketch.f2_estimate().abs() < 1e-6, "fully cancelled stream must have zero F2");
+        prop_assert!(sketch.l2_estimate() >= 0.0);
+    }
+
+    #[test]
+    fn pstable_linearity(a in updates_strategy(20), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = PStableSketch::new(DIM, 1.0, 9, &mut seeds);
+        let mut s1 = proto.clone();
+        let mut s2 = proto.clone();
+        // applying updates one at a time or split across two sketches then merged is identical
+        for &(i, d) in &a { s1.update(i, d as f64); }
+        let half = a.len() / 2;
+        let mut sa = proto.clone();
+        for &(i, d) in &a[..half] { sa.update(i, d as f64); }
+        for &(i, d) in &a[half..] { s2.update(i, d as f64); }
+        sa.merge(&s2);
+        prop_assert!((sa.estimate() - s1.estimate()).abs() <= 1e-6 * (1.0 + s1.estimate().abs()));
+    }
+
+    #[test]
+    fn count_median_estimates_exact_on_singletons(index in 0..DIM, delta in -100i64..100, seed in any::<u64>()) {
+        prop_assume!(delta != 0);
+        let mut seeds = SeedSequence::new(seed);
+        let mut sketch = CountMedianSketch::new(DIM, 64, 5, &mut seeds);
+        sketch.update(index, delta as f64);
+        prop_assert!((sketch.estimate(index) - delta as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_recovery_is_exact_for_sparse_vectors(a in updates_strategy(60), seed in any::<u64>()) {
+        let stream = stream_of(&a);
+        let truth = TruthVector::from_stream(&stream);
+        let support = truth.l0() as usize;
+        prop_assume!(support <= 12);
+        let mut seeds = SeedSequence::new(seed);
+        let mut rec = SparseRecovery::new(DIM, 12, &mut seeds);
+        rec.process(&stream);
+        match rec.recover() {
+            RecoveryOutput::Recovered(entries) => {
+                let expected: Vec<(u64, i64)> = truth
+                    .support()
+                    .into_iter()
+                    .map(|i| (i, truth.get(i)))
+                    .collect();
+                prop_assert_eq!(entries, expected);
+            }
+            RecoveryOutput::Dense => prop_assert!(false, "a {}-sparse vector was reported dense", support),
+        }
+    }
+
+    #[test]
+    fn sparse_recovery_never_reports_wrong_entries_when_dense(a in updates_strategy(200), seed in any::<u64>()) {
+        // Either Dense or exactly the right vector: recovery must not hallucinate.
+        let stream = stream_of(&a);
+        let truth = TruthVector::from_stream(&stream);
+        let mut seeds = SeedSequence::new(seed);
+        let mut rec = SparseRecovery::new(DIM, 6, &mut seeds);
+        rec.process(&stream);
+        if let RecoveryOutput::Recovered(entries) = rec.recover() {
+            for (i, v) in entries {
+                prop_assert_eq!(truth.get(i), v, "recovered a wrong value at {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn count_sketch_top_m_contains_a_dominant_coordinate(
+        index in 0..DIM,
+        heavy in 500i64..2000,
+        noise in updates_strategy(30),
+        seed in any::<u64>(),
+    ) {
+        let mut seeds = SeedSequence::new(seed);
+        let mut sketch = CountSketch::new(DIM, 8, 9, &mut seeds);
+        sketch.update(index, heavy as f64);
+        for &(i, d) in &noise {
+            if i != index {
+                sketch.update(i, d as f64);
+            }
+        }
+        let top = sketch.best_m_sparse(8);
+        prop_assert!(top.indices().contains(&index),
+            "a coordinate of weight {} must appear in the top-8", heavy);
+    }
+}

@@ -1,0 +1,37 @@
+//! # lps-stream
+//!
+//! Streaming substrate for the `lp-samplers` workspace: the turnstile
+//! update-stream model of Jowhari–Sağlam–Tardos (PODS 2011), exact
+//! ground-truth aggregation, workload generators, statistical comparison
+//! utilities, and space accounting in the paper's bit model.
+//!
+//! * [`update`] — updates `(i, u)`, update streams, turnstile models.
+//! * [`vector`] — exact frequency vectors, Lp norms, Lp distributions,
+//!   `Err^m_2` tail errors.
+//! * [`generators`] — Zipfian / uniform / sparse / cancelling streams and the
+//!   duplicate-finding workloads of Section 3.
+//! * [`stats`] — total variation distance, chi-square, relative error and
+//!   summaries used to validate sampler output distributions.
+//! * [`space`] — the bit-model space accounting shared by all sketches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod space;
+pub mod stats;
+pub mod update;
+pub mod vector;
+
+pub use generators::{
+    almost_cancelled_stream, duplicate_stream_n_minus_s, duplicate_stream_n_plus_1,
+    duplicate_stream_n_plus_s, pm_one_vector_stream, random_permutation, sample_distinct,
+    shuffle, signed_churn_stream, sparse_vector_stream, uniform_stream, zipf_stream, Zipf,
+};
+pub use space::{counter_bits_for, SpaceBreakdown, SpaceUsage};
+pub use stats::{
+    bernoulli_tolerance, ks_statistic, relative_error, total_variation_distance,
+    EmpiricalDistribution, Summary,
+};
+pub use update::{TurnstileModel, Update, UpdateStream};
+pub use vector::TruthVector;

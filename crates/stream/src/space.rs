@@ -1,0 +1,105 @@
+//! Space accounting in the paper's bit model.
+//!
+//! The paper measures streaming algorithms by the number of bits of memory
+//! they keep: integer counters of `O(log n)` bits each plus the stored random
+//! seeds. Rust heap bytes are *not* the right measure (a `Vec<i64>` always
+//! spends 64 bits per counter regardless of the magnitude bound), so every
+//! sketch and sampler in this workspace implements [`SpaceUsage`] and reports
+//! its footprint in the paper's model: counters × counter-width + randomness.
+
+/// Breakdown of the memory footprint of a streaming data structure, in bits,
+/// in the paper's accounting model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpaceBreakdown {
+    /// Number of integer counters maintained.
+    pub counters: u64,
+    /// Width, in bits, charged per counter (typically `O(log n + log M)`).
+    pub counter_bits: u64,
+    /// Bits of stored randomness (hash function seeds, PRG seeds).
+    pub randomness_bits: u64,
+}
+
+impl SpaceBreakdown {
+    /// Create a breakdown.
+    pub fn new(counters: u64, counter_bits: u64, randomness_bits: u64) -> Self {
+        SpaceBreakdown { counters, counter_bits, randomness_bits }
+    }
+
+    /// Total bits: counters × width + randomness.
+    pub fn total_bits(&self) -> u64 {
+        self.counters * self.counter_bits + self.randomness_bits
+    }
+
+    /// Combine two breakdowns (e.g. a sampler that owns several sketches).
+    /// The per-counter width of the combination is the maximum of the two,
+    /// which keeps the total an upper bound.
+    pub fn combine(&self, other: &SpaceBreakdown) -> SpaceBreakdown {
+        SpaceBreakdown {
+            counters: self.counters + other.counters,
+            counter_bits: self.counter_bits.max(other.counter_bits),
+            randomness_bits: self.randomness_bits + other.randomness_bits,
+        }
+    }
+}
+
+/// Trait implemented by every sketch and sampler: report the space it uses in
+/// the paper's bit model.
+pub trait SpaceUsage {
+    /// The breakdown of counters and randomness for this structure.
+    fn space(&self) -> SpaceBreakdown;
+
+    /// Total bits used (counters × width + randomness).
+    fn bits_used(&self) -> u64 {
+        self.space().total_bits()
+    }
+}
+
+/// The counter width, in bits, to charge for a stream over `[n]` whose
+/// coordinates stay bounded by `max_value` in absolute value: sign bit plus
+/// `⌈log2(n · max(2, max_value))⌉`, the standard discretization of the paper.
+pub fn counter_bits_for(n: u64, max_value: u64) -> u64 {
+    let magnitude = (n.max(2) as u128) * (max_value.max(2) as u128);
+    1 + (128 - magnitude.leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_bits() {
+        let b = SpaceBreakdown::new(10, 32, 128);
+        assert_eq!(b.total_bits(), 10 * 32 + 128);
+    }
+
+    #[test]
+    fn combine_adds_counters_and_randomness() {
+        let a = SpaceBreakdown::new(10, 32, 100);
+        let b = SpaceBreakdown::new(5, 40, 60);
+        let c = a.combine(&b);
+        assert_eq!(c.counters, 15);
+        assert_eq!(c.counter_bits, 40);
+        assert_eq!(c.randomness_bits, 160);
+    }
+
+    #[test]
+    fn counter_bits_grow_logarithmically() {
+        let small = counter_bits_for(1 << 10, 1);
+        let large = counter_bits_for(1 << 20, 1);
+        assert!(large > small);
+        assert!(large <= 2 * small, "doubling the exponent should roughly double the bits");
+        // n = 2^10, M = 2 -> 1 + ceil(log2(2^11)) = 1 + 11
+        assert_eq!(counter_bits_for(1 << 10, 2), 13);
+    }
+
+    #[test]
+    fn space_usage_trait_default_total() {
+        struct Fake;
+        impl SpaceUsage for Fake {
+            fn space(&self) -> SpaceBreakdown {
+                SpaceBreakdown::new(4, 8, 16)
+            }
+        }
+        assert_eq!(Fake.bits_used(), 48);
+    }
+}

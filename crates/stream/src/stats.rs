@@ -1,0 +1,278 @@
+//! Statistical test utilities for comparing sampler output against the exact
+//! Lp distribution.
+//!
+//! Definition 1 of the paper defines the Lp distribution of a vector; an
+//! ε-relative-error sampler must, conditioned on not failing, output index i
+//! with probability `(1 ± ε)|x_i|^p/‖x‖_p^p + O(n^{-c})`. The experiment
+//! harness estimates that output distribution empirically and compares it to
+//! the exact distribution with the measures implemented here: total variation
+//! distance, chi-square statistic, per-coordinate relative error, and simple
+//! confidence helpers.
+
+/// An empirical distribution over `[0, n)` built from observed samples.
+#[derive(Debug, Clone)]
+pub struct EmpiricalDistribution {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl EmpiricalDistribution {
+    /// Create an empty empirical distribution over `n` outcomes.
+    pub fn new(n: u64) -> Self {
+        EmpiricalDistribution { counts: vec![0; n as usize], total: 0 }
+    }
+
+    /// Record one observation of outcome `i`.
+    pub fn record(&mut self, i: u64) {
+        self.counts[i as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Record many observations.
+    pub fn record_all<I: IntoIterator<Item = u64>>(&mut self, it: I) {
+        for i in it {
+            self.record(i);
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observed count of outcome `i`.
+    pub fn count(&self, i: u64) -> u64 {
+        self.counts[i as usize]
+    }
+
+    /// Empirical probability of outcome `i`.
+    pub fn probability(&self, i: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i as usize] as f64 / self.total as f64
+        }
+    }
+
+    /// The empirical probability vector.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Total variation distance to a reference distribution.
+    pub fn total_variation(&self, reference: &[f64]) -> f64 {
+        total_variation_distance(&self.probabilities(), reference)
+    }
+
+    /// Pearson chi-square statistic against a reference distribution,
+    /// restricted to outcomes with non-negligible expected count.
+    pub fn chi_square(&self, reference: &[f64]) -> f64 {
+        assert_eq!(reference.len(), self.counts.len());
+        let mut stat = 0.0;
+        for (i, &p) in reference.iter().enumerate() {
+            let expected = p * self.total as f64;
+            if expected >= 1.0 {
+                let observed = self.counts[i] as f64;
+                stat += (observed - expected) * (observed - expected) / expected;
+            }
+        }
+        stat
+    }
+
+    /// Maximum relative error of the empirical probabilities over the
+    /// outcomes whose reference probability is at least `threshold` (small
+    /// reference probabilities cannot be estimated reliably and are skipped).
+    pub fn max_relative_error(&self, reference: &[f64], threshold: f64) -> f64 {
+        assert_eq!(reference.len(), self.counts.len());
+        let mut worst: f64 = 0.0;
+        for (i, &p) in reference.iter().enumerate() {
+            if p >= threshold {
+                let q = self.probability(i as u64);
+                worst = worst.max((q - p).abs() / p);
+            }
+        }
+        worst
+    }
+}
+
+/// Total variation distance `½ Σ |p_i − q_i|` between two probability vectors.
+pub fn total_variation_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support size");
+    0.5 * p.iter().zip(q.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Kolmogorov–Smirnov statistic (max CDF gap) between two probability vectors
+/// on the ordered outcome space `0..n`.
+pub fn ks_statistic(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    let mut cp = 0.0;
+    let mut cq = 0.0;
+    let mut worst: f64 = 0.0;
+    for (a, b) in p.iter().zip(q.iter()) {
+        cp += a;
+        cq += b;
+        worst = worst.max((cp - cq).abs());
+    }
+    worst
+}
+
+/// Relative error `|estimate − truth| / |truth|`; infinite if the truth is
+/// zero and the estimate is not.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+/// Summary statistics of a sample of f64 values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (0 for fewer than 2 values).
+    pub stddev: f64,
+    /// Median (by sorting).
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics of a slice of values.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0, median: 0.0, p95: 0.0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let pct = |q: f64| -> f64 {
+            let rank = ((q * count as f64).ceil() as usize).clamp(1, count);
+            sorted[rank - 1]
+        };
+        Summary {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[count - 1],
+            stddev: var.sqrt(),
+            median: pct(0.5),
+            p95: pct(0.95),
+        }
+    }
+}
+
+/// A standard-error based tolerance for comparing an empirical success rate
+/// of `trials` Bernoulli trials against a target probability: returns
+/// `sigmas * sqrt(p(1-p)/trials)`.
+pub fn bernoulli_tolerance(p: f64, trials: u64, sigmas: f64) -> f64 {
+    sigmas * (p * (1.0 - p) / trials as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_distance_basics() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        assert!((total_variation_distance(&p, &q) - 0.5).abs() < 1e-12);
+        assert_eq!(total_variation_distance(&p, &p), 0.0);
+        // TV distance is symmetric
+        assert_eq!(total_variation_distance(&p, &q), total_variation_distance(&q, &p));
+    }
+
+    #[test]
+    fn tv_distance_disjoint_supports_is_one() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((total_variation_distance(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_statistic_basics() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        assert!((ks_statistic(&p, &q) - 0.5).abs() < 1e-12);
+        assert_eq!(ks_statistic(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn empirical_distribution_converges_to_truth() {
+        // deterministic pattern with known frequencies
+        let mut e = EmpiricalDistribution::new(4);
+        for i in 0..10_000u64 {
+            e.record(i % 4);
+        }
+        let reference = [0.25, 0.25, 0.25, 0.25];
+        assert!(e.total_variation(&reference) < 1e-3);
+        assert!(e.chi_square(&reference) < 1.0);
+        assert!(e.max_relative_error(&reference, 0.01) < 1e-3);
+        assert_eq!(e.total(), 10_000);
+        assert_eq!(e.count(2), 2500);
+    }
+
+    #[test]
+    fn empirical_distribution_detects_bias() {
+        let mut e = EmpiricalDistribution::new(2);
+        for _ in 0..900 {
+            e.record(0);
+        }
+        for _ in 0..100 {
+            e.record(1);
+        }
+        let reference = [0.5, 0.5];
+        assert!(e.total_variation(&reference) > 0.35);
+        assert!(e.chi_square(&reference) > 100.0);
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(-1.1, -1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.stddev - (2.5f64).sqrt()).abs() < 1e-12);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn bernoulli_tolerance_shrinks_with_trials() {
+        let loose = bernoulli_tolerance(0.5, 100, 3.0);
+        let tight = bernoulli_tolerance(0.5, 10_000, 3.0);
+        assert!(tight < loose / 5.0);
+    }
+}

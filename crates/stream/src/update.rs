@@ -1,0 +1,232 @@
+//! The turnstile update-stream model.
+//!
+//! Following the paper's notation section, an update stream is a sequence of
+//! tuples `(i, u)` with `i ∈ [n]` and `u ∈ Z`, implicitly defining a vector
+//! `x ∈ Z^n` that starts at zero and receives `x_i += u` per update. In the
+//! *strict turnstile* model the final vector is guaranteed non-negative; in
+//! the *general* model no such guarantee exists. All algorithms in the
+//! workspace work in the general model unless documented otherwise.
+
+/// A single turnstile update `(index, delta)`: adds `delta` to coordinate `index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// Coordinate index in `[0, n)`.
+    pub index: u64,
+    /// Signed integer change applied to the coordinate.
+    pub delta: i64,
+}
+
+impl Update {
+    /// Construct an update.
+    pub fn new(index: u64, delta: i64) -> Self {
+        Update { index, delta }
+    }
+
+    /// A unit insertion of `index` (the "stream of letters" view used by the
+    /// finding-duplicates problem: each letter `i` is the update `(i, +1)`).
+    pub fn insert(index: u64) -> Self {
+        Update { index, delta: 1 }
+    }
+
+    /// A unit deletion of `index`.
+    pub fn delete(index: u64) -> Self {
+        Update { index, delta: -1 }
+    }
+}
+
+/// Which turnstile guarantee a stream satisfies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurnstileModel {
+    /// Coordinates may be negative at any time, including at the end.
+    General,
+    /// Negative updates allowed, but the final vector is entrywise non-negative.
+    Strict,
+    /// Only positive updates (classic insertion-only cash-register model).
+    InsertionOnly,
+}
+
+/// An in-memory update stream over a fixed dimension `n`.
+///
+/// This is the substrate every experiment runs on: generators produce an
+/// `UpdateStream`, sketches consume its updates one at a time, and the
+/// ground-truth [`crate::vector::TruthVector`] aggregates it exactly for
+/// comparison.
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    dimension: u64,
+    model: TurnstileModel,
+    updates: Vec<Update>,
+}
+
+impl UpdateStream {
+    /// Create an empty stream over `[0, dimension)`.
+    pub fn new(dimension: u64, model: TurnstileModel) -> Self {
+        assert!(dimension > 0, "stream dimension must be positive");
+        UpdateStream { dimension, model, updates: Vec::new() }
+    }
+
+    /// Create a stream from existing updates, validating the index range.
+    pub fn from_updates(dimension: u64, model: TurnstileModel, updates: Vec<Update>) -> Self {
+        assert!(dimension > 0);
+        for u in &updates {
+            assert!(u.index < dimension, "update index {} out of range {}", u.index, dimension);
+        }
+        UpdateStream { dimension, model, updates }
+    }
+
+    /// Dimension `n` of the underlying vector.
+    pub fn dimension(&self) -> u64 {
+        self.dimension
+    }
+
+    /// The turnstile model this stream claims to satisfy.
+    pub fn model(&self) -> TurnstileModel {
+        self.model
+    }
+
+    /// Number of updates in the stream.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True if the stream has no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Append a single update.
+    pub fn push(&mut self, update: Update) {
+        assert!(update.index < self.dimension, "update index out of range");
+        if self.model == TurnstileModel::InsertionOnly {
+            assert!(update.delta >= 0, "negative update in insertion-only stream");
+        }
+        self.updates.push(update);
+    }
+
+    /// Append a unit insertion of `index`.
+    pub fn push_insert(&mut self, index: u64) {
+        self.push(Update::insert(index));
+    }
+
+    /// Append a unit deletion of `index`.
+    pub fn push_delete(&mut self, index: u64) {
+        self.push(Update::delete(index));
+    }
+
+    /// Extend with many updates.
+    pub fn extend<I: IntoIterator<Item = Update>>(&mut self, it: I) {
+        for u in it {
+            self.push(u);
+        }
+    }
+
+    /// Iterate over the updates in stream order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Update> {
+        self.updates.iter()
+    }
+
+    /// The updates as a slice.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Consume the stream, returning the update vector.
+    pub fn into_updates(self) -> Vec<Update> {
+        self.updates
+    }
+
+    /// Concatenate another stream (same dimension) after this one.
+    pub fn concat(mut self, other: &UpdateStream) -> UpdateStream {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch in concat");
+        self.updates.extend_from_slice(&other.updates);
+        self
+    }
+
+    /// Total number of unit increments represented (sum of |delta|), a proxy
+    /// for "stream length" when updates are ±1.
+    pub fn total_weight(&self) -> u64 {
+        self.updates.iter().map(|u| u.delta.unsigned_abs()).sum()
+    }
+
+    /// Check the strict-turnstile guarantee by exact aggregation. Returns true
+    /// if every final coordinate is non-negative.
+    pub fn verify_strict(&self) -> bool {
+        let mut acc: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+        for u in &self.updates {
+            *acc.entry(u.index).or_insert(0) += u.delta;
+        }
+        acc.values().all(|&v| v >= 0)
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateStream {
+    type Item = &'a Update;
+    type IntoIter = std::slice::Iter<'a, Update>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut s = UpdateStream::new(10, TurnstileModel::General);
+        s.push(Update::new(3, 5));
+        s.push_insert(4);
+        s.push_delete(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.updates()[0], Update { index: 3, delta: 5 });
+        assert_eq!(s.updates()[2], Update { index: 3, delta: -1 });
+        assert_eq!(s.total_weight(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_rejected() {
+        let mut s = UpdateStream::new(4, TurnstileModel::General);
+        s.push(Update::new(4, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_update_rejected_in_insertion_only() {
+        let mut s = UpdateStream::new(4, TurnstileModel::InsertionOnly);
+        s.push(Update::new(1, -1));
+    }
+
+    #[test]
+    fn verify_strict_detects_negative_final_coordinates() {
+        let mut ok = UpdateStream::new(4, TurnstileModel::Strict);
+        ok.push(Update::new(0, -2));
+        ok.push(Update::new(0, 3));
+        assert!(ok.verify_strict());
+
+        let mut bad = UpdateStream::new(4, TurnstileModel::Strict);
+        bad.push(Update::new(1, 1));
+        bad.push(Update::new(1, -2));
+        assert!(!bad.verify_strict());
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let mut a = UpdateStream::new(8, TurnstileModel::General);
+        a.push_insert(1);
+        let mut b = UpdateStream::new(8, TurnstileModel::General);
+        b.push_insert(2);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.updates()[0].index, 1);
+        assert_eq!(c.updates()[1].index, 2);
+    }
+
+    #[test]
+    fn from_updates_validates() {
+        let ups = vec![Update::new(0, 1), Update::new(7, -3)];
+        let s = UpdateStream::from_updates(8, TurnstileModel::General, ups);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dimension(), 8);
+    }
+}

@@ -1,0 +1,257 @@
+//! Exact ground-truth aggregation of update streams.
+//!
+//! Every experiment compares a sketch/sampler against the *exact* frequency
+//! vector. [`TruthVector`] aggregates an update stream with 64-bit integer
+//! counters and exposes the quantities the paper's analysis is phrased in:
+//! Lp norms, the Lp distribution (Definition 1), the support, the best
+//! m-sparse approximation error `Err^m_2(x)`, and positive/negative mass
+//! `‖x‖₁⁺ / ‖x‖₁⁻` (used by Theorem 4).
+
+use crate::update::{Update, UpdateStream};
+
+/// Exact integer frequency vector defined by an update stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthVector {
+    values: Vec<i64>,
+}
+
+impl TruthVector {
+    /// The all-zero vector of the given dimension.
+    pub fn zeros(dimension: u64) -> Self {
+        TruthVector { values: vec![0; dimension as usize] }
+    }
+
+    /// Aggregate a whole stream exactly.
+    pub fn from_stream(stream: &UpdateStream) -> Self {
+        let mut v = TruthVector::zeros(stream.dimension());
+        for u in stream {
+            v.apply(*u);
+        }
+        v
+    }
+
+    /// Construct from explicit values.
+    pub fn from_values(values: Vec<i64>) -> Self {
+        assert!(!values.is_empty());
+        TruthVector { values }
+    }
+
+    /// Apply a single update.
+    pub fn apply(&mut self, u: Update) {
+        let slot = &mut self.values[u.index as usize];
+        *slot = slot.checked_add(u.delta).expect("ground-truth counter overflow");
+    }
+
+    /// Dimension `n`.
+    pub fn dimension(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Coordinate value `x_i`.
+    pub fn get(&self, index: u64) -> i64 {
+        self.values[index as usize]
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Indices of non-zero coordinates (the support of `x`).
+    pub fn support(&self) -> Vec<u64> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// Number of non-zero coordinates, `‖x‖₀`.
+    pub fn l0(&self) -> u64 {
+        self.values.iter().filter(|&&v| v != 0).count() as u64
+    }
+
+    /// The Lp norm `‖x‖_p` for `p > 0`.
+    pub fn lp_norm(&self, p: f64) -> f64 {
+        assert!(p > 0.0, "use l0() for p = 0");
+        let sum: f64 = self.values.iter().map(|&v| (v.abs() as f64).powf(p)).sum();
+        sum.powf(1.0 / p)
+    }
+
+    /// `‖x‖_p^p`, the p-th power of the Lp norm (what the sampling weights use).
+    pub fn lp_norm_pow(&self, p: f64) -> f64 {
+        assert!(p > 0.0);
+        self.values.iter().map(|&v| (v.abs() as f64).powf(p)).sum()
+    }
+
+    /// Sum of coordinates, `Σ x_i` (Theorem 4 tracks `s = −Σ x_i`).
+    pub fn sum(&self) -> i64 {
+        self.values.iter().sum()
+    }
+
+    /// Positive mass `‖x‖₁⁺ = Σ_{x_i > 0} x_i`.
+    pub fn positive_mass(&self) -> i64 {
+        self.values.iter().filter(|&&v| v > 0).sum()
+    }
+
+    /// Negative mass `‖x‖₁⁻ = Σ_{x_i < 0} |x_i|`.
+    pub fn negative_mass(&self) -> i64 {
+        self.values.iter().filter(|&&v| v < 0).map(|&v| -v).sum()
+    }
+
+    /// True iff at most `m` coordinates are non-zero.
+    pub fn is_sparse(&self, m: u64) -> bool {
+        self.l0() <= m
+    }
+
+    /// `Err^m_2(x)`: the L2 norm of `x` with its `m` largest-magnitude
+    /// coordinates removed — the tail error that drives Lemma 1.
+    pub fn err_m_2(&self, m: usize) -> f64 {
+        let mut mags: Vec<f64> = self.values.iter().map(|&v| (v as f64).abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        mags.iter().skip(m).map(|&v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// The Lp distribution of Definition 1: coordinate `i` has probability
+    /// `|x_i|^p / ‖x‖_p^p`. For `p = 0` this is uniform over the support.
+    /// Returns `None` for the zero vector, on which the distribution is
+    /// undefined (a perfect sampler may only fail there).
+    pub fn lp_distribution(&self, p: f64) -> Option<Vec<f64>> {
+        let n = self.values.len();
+        if p == 0.0 {
+            let k = self.l0();
+            if k == 0 {
+                return None;
+            }
+            let w = 1.0 / k as f64;
+            return Some(
+                self.values.iter().map(|&v| if v != 0 { w } else { 0.0 }).collect(),
+            );
+        }
+        let total = self.lp_norm_pow(p);
+        if total == 0.0 {
+            return None;
+        }
+        let mut dist = Vec::with_capacity(n);
+        for &v in &self.values {
+            dist.push((v.abs() as f64).powf(p) / total);
+        }
+        Some(dist)
+    }
+
+    /// Maximum absolute coordinate value (used to validate the `poly(n)`
+    /// boundedness assumption of the space accounting).
+    pub fn max_abs(&self) -> i64 {
+        self.values.iter().map(|&v| v.abs()).max().unwrap_or(0)
+    }
+
+    /// Entry-wise difference `self - other` (used by the universal relation
+    /// protocol, which L0-samples `x - y`).
+    pub fn difference(&self, other: &TruthVector) -> TruthVector {
+        assert_eq!(self.dimension(), other.dimension());
+        TruthVector {
+            values: self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::TurnstileModel;
+
+    fn vec_from(vals: &[i64]) -> TruthVector {
+        TruthVector::from_values(vals.to_vec())
+    }
+
+    #[test]
+    fn aggregation_matches_manual_sum() {
+        let mut s = UpdateStream::new(5, TurnstileModel::General);
+        s.push(Update::new(0, 3));
+        s.push(Update::new(0, -1));
+        s.push(Update::new(4, 7));
+        s.push(Update::new(2, -2));
+        let v = TruthVector::from_stream(&s);
+        assert_eq!(v.values(), &[2, 0, -2, 0, 7]);
+        assert_eq!(v.sum(), 7);
+        assert_eq!(v.l0(), 3);
+        assert_eq!(v.support(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn norms() {
+        let v = vec_from(&[3, -4, 0]);
+        assert!((v.lp_norm(2.0) - 5.0).abs() < 1e-12);
+        assert!((v.lp_norm(1.0) - 7.0).abs() < 1e-12);
+        assert!((v.lp_norm_pow(1.0) - 7.0).abs() < 1e-12);
+        assert_eq!(v.l0(), 2);
+        assert_eq!(v.max_abs(), 4);
+    }
+
+    #[test]
+    fn positive_negative_mass() {
+        let v = vec_from(&[2, -3, 0, 5, -1]);
+        assert_eq!(v.positive_mass(), 7);
+        assert_eq!(v.negative_mass(), 4);
+        assert_eq!(v.sum(), 3);
+    }
+
+    #[test]
+    fn err_m_2_drops_largest_coordinates() {
+        let v = vec_from(&[10, -7, 3, 1, 0]);
+        // dropping the top-2 magnitudes leaves {3, 1}
+        let expected = ((3.0f64 * 3.0) + 1.0).sqrt();
+        assert!((v.err_m_2(2) - expected).abs() < 1e-12);
+        // dropping everything leaves zero
+        assert_eq!(v.err_m_2(5), 0.0);
+        // dropping nothing is the full L2 norm
+        assert!((v.err_m_2(0) - v.lp_norm(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_distribution_l1() {
+        let v = vec_from(&[1, -1, 2, 0]);
+        let d = v.lp_distribution(1.0).unwrap();
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        assert!((d[1] - 0.25).abs() < 1e-12);
+        assert!((d[2] - 0.5).abs() < 1e-12);
+        assert_eq!(d[3], 0.0);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_distribution_l0_uniform_over_support() {
+        let v = vec_from(&[5, 0, -7, 0]);
+        let d = v.lp_distribution(0.0).unwrap();
+        assert_eq!(d, vec![0.5, 0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn zero_vector_has_no_distribution() {
+        let v = TruthVector::zeros(4);
+        assert!(v.lp_distribution(1.0).is_none());
+        assert!(v.lp_distribution(0.0).is_none());
+    }
+
+    #[test]
+    fn difference() {
+        let a = vec_from(&[1, 2, 3]);
+        let b = vec_from(&[0, 2, 5]);
+        assert_eq!(a.difference(&b).values(), &[1, 0, -2]);
+    }
+
+    #[test]
+    fn sparsity_check() {
+        let v = vec_from(&[0, 1, 0, 2]);
+        assert!(v.is_sparse(2));
+        assert!(v.is_sparse(3));
+        assert!(!v.is_sparse(1));
+    }
+}

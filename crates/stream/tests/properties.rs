@@ -1,0 +1,128 @@
+//! Property-based tests for the streaming substrate: ground-truth
+//! aggregation, norms, distributions, statistics and generators.
+
+use lps_hash::SeedSequence;
+use lps_stream::{
+    duplicate_stream_n_minus_s, duplicate_stream_n_plus_1, sample_distinct, total_variation_distance,
+    TruthVector, TurnstileModel, Update, UpdateStream,
+};
+use proptest::prelude::*;
+
+const DIM: u64 = 128;
+
+fn updates_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DIM, -20i64..20), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn aggregation_is_order_invariant(mut a in updates_strategy(60), seed in any::<u64>()) {
+        let stream1 = UpdateStream::from_updates(
+            DIM, TurnstileModel::General,
+            a.iter().map(|&(i, d)| Update::new(i, d)).collect());
+        let v1 = TruthVector::from_stream(&stream1);
+        // shuffle deterministically
+        let mut seeds = SeedSequence::new(seed);
+        lps_stream::shuffle(&mut a, &mut seeds);
+        let stream2 = UpdateStream::from_updates(
+            DIM, TurnstileModel::General,
+            a.iter().map(|&(i, d)| Update::new(i, d)).collect());
+        prop_assert_eq!(v1, TruthVector::from_stream(&stream2));
+    }
+
+    #[test]
+    fn lp_distribution_is_a_probability_vector(a in updates_strategy(60), p in prop::sample::select(vec![0.0, 0.5, 1.0, 1.5, 2.0])) {
+        let stream = UpdateStream::from_updates(
+            DIM, TurnstileModel::General,
+            a.iter().map(|&(i, d)| Update::new(i, d)).collect());
+        let v = TruthVector::from_stream(&stream);
+        match v.lp_distribution(p) {
+            None => prop_assert_eq!(v.l0(), 0),
+            Some(dist) => {
+                let total: f64 = dist.iter().sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                for (i, &mass) in dist.iter().enumerate() {
+                    prop_assert!(mass >= 0.0);
+                    if v.get(i as u64) == 0 {
+                        prop_assert_eq!(mass, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn norms_are_monotone_and_err_m_decreasing(a in updates_strategy(60)) {
+        let stream = UpdateStream::from_updates(
+            DIM, TurnstileModel::General,
+            a.iter().map(|&(i, d)| Update::new(i, d)).collect());
+        let v = TruthVector::from_stream(&stream);
+        // Err^m_2 is non-increasing in m and bounded by the L2 norm
+        let mut prev = f64::INFINITY;
+        for m in 0..10 {
+            let e = v.err_m_2(m);
+            prop_assert!(e <= prev + 1e-9);
+            prop_assert!(e <= v.lp_norm(2.0) + 1e-9);
+            prev = e;
+        }
+        // positive mass − negative mass = sum
+        prop_assert_eq!(v.positive_mass() - v.negative_mass(), v.sum());
+    }
+
+    #[test]
+    fn tv_distance_is_a_metric_on_simple_inputs(x in prop::collection::vec(0.0f64..1.0, 8), y in prop::collection::vec(0.0f64..1.0, 8)) {
+        // normalise both to probability vectors (skip degenerate all-zero draws)
+        let sx: f64 = x.iter().sum();
+        let sy: f64 = y.iter().sum();
+        prop_assume!(sx > 1e-9 && sy > 1e-9);
+        let p: Vec<f64> = x.iter().map(|v| v / sx).collect();
+        let q: Vec<f64> = y.iter().map(|v| v / sy).collect();
+        let d = total_variation_distance(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        prop_assert!((total_variation_distance(&p, &p)).abs() < 1e-12);
+        prop_assert!((d - total_variation_distance(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_distinct_yields_distinct_in_range(n in 1u64..500, seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let k = n / 2 + 1;
+        let sample = sample_distinct(n, k.min(n), &mut seeds);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sample.len());
+        prop_assert!(sample.iter().all(|&v| v < n));
+    }
+
+    #[test]
+    fn duplicate_stream_generators_keep_their_promises(seed in any::<u64>(), dups in 1u64..5) {
+        let n = 64u64;
+        let mut seeds = SeedSequence::new(seed);
+        let (stream, planted) = duplicate_stream_n_plus_1(n, dups, &mut seeds);
+        prop_assert_eq!(stream.len() as u64, n + 1);
+        let truth = TruthVector::from_stream(&stream);
+        for d in &planted {
+            prop_assert!(truth.get(*d) >= 2);
+        }
+        prop_assert!(truth.values().iter().all(|&c| c <= 2));
+
+        let (short, planted_short) = duplicate_stream_n_minus_s(n, 10, dups, &mut seeds);
+        prop_assert_eq!(short.len() as u64, n - 10);
+        let truth_short = TruthVector::from_stream(&short);
+        for d in &planted_short {
+            prop_assert!(truth_short.get(*d) >= 2);
+        }
+    }
+
+    #[test]
+    fn strict_turnstile_verification_matches_ground_truth(a in updates_strategy(60)) {
+        let stream = UpdateStream::from_updates(
+            DIM, TurnstileModel::General,
+            a.iter().map(|&(i, d)| Update::new(i, d)).collect());
+        let truth = TruthVector::from_stream(&stream);
+        prop_assert_eq!(stream.verify_strict(), truth.values().iter().all(|&v| v >= 0));
+    }
+}

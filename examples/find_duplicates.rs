@@ -1,0 +1,66 @@
+//! Finding duplicates in click streams (the motivating application of
+//! Section 3): detect a user id that appears more than once using only
+//! polylogarithmic memory.
+//!
+//! Run with `cargo run --release --example find_duplicates`.
+
+use lp_samplers::prelude::*;
+use lps_stream::{duplicate_stream_n_minus_s, duplicate_stream_n_plus_1, duplicate_stream_n_plus_s};
+
+fn main() {
+    let n: u64 = 1 << 12;
+    let delta = 0.1;
+    let mut seeds = SeedSequence::new(99);
+
+    // --- Regime 1: stream of length n + 1 (Theorem 3) -----------------------
+    let (stream, dups) = duplicate_stream_n_plus_1(n, 5, &mut seeds);
+    let mut finder = DuplicateFinder::new(n, delta, &mut seeds);
+    finder.process_stream(&stream);
+    let naive_bits = n * 1; // a bitmap of seen ids
+    println!("[n+1]  planted duplicates: {dups:?}");
+    println!(
+        "[n+1]  Theorem 3 finder: {:?} using {} bits (naive bitmap needs {} bits)",
+        finder.report(),
+        finder.bits_used(),
+        naive_bits
+    );
+
+    // --- Regime 2: stream of length n − s (Theorem 4) -----------------------
+    let s = 64u64;
+    let (short_stream, short_dups) = duplicate_stream_n_minus_s(n, s, 3, &mut seeds);
+    let mut short_finder = ShortStreamDuplicateFinder::new(n, s, delta, &mut seeds);
+    short_finder.process_stream(&short_stream);
+    println!("[n-s]  planted duplicates: {short_dups:?}");
+    println!(
+        "[n-s]  Theorem 4 finder: {:?} using {} bits",
+        short_finder.report(),
+        short_finder.bits_used()
+    );
+
+    // and the certificate case: a stream with no duplicates at all
+    let (clean_stream, _) = duplicate_stream_n_minus_s(n, s, 0, &mut seeds);
+    let mut clean_finder = ShortStreamDuplicateFinder::new(n, s, delta, &mut seeds);
+    clean_finder.process_stream(&clean_stream);
+    println!("[n-s]  duplicate-free stream: {:?} (an exact certificate)", clean_finder.report());
+
+    // --- Regime 3: stream of length n + s (Section 3, final paragraph) ------
+    let s_big = n / 2;
+    let (long_stream, long_dups) = duplicate_stream_n_plus_s(n, s_big, &mut seeds);
+    let mut long_finder = LongStreamDuplicateFinder::new(n, s_big, delta, &mut seeds);
+    long_finder.process_stream(&long_stream);
+    println!(
+        "[n+s]  strategy {:?}, result {:?} using {} bits ({} true duplicates exist)",
+        long_finder.strategy(),
+        long_finder.report(),
+        long_finder.bits_used(),
+        long_dups.len()
+    );
+
+    // --- Sanity: compare against the exact (linear-memory) finder -----------
+    let mut naive = NaiveDuplicateFinder::new();
+    naive.process_stream(&stream);
+    println!(
+        "exact check: the [n+1] stream really contains {} duplicated ids",
+        naive.all_duplicates().len()
+    );
+}

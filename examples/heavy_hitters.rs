@@ -1,0 +1,53 @@
+//! Heavy hitters over a general update stream: find the flows that dominate
+//! network traffic even when flows can shrink (deletions / corrections),
+//! for several values of p (Section 4.4 of the paper).
+//!
+//! Run with `cargo run --release --example heavy_hitters`.
+
+use lp_samplers::prelude::*;
+use lps_stream::zipf_stream;
+
+fn main() {
+    let n: u64 = 1 << 12;
+    let phi = 0.1;
+    let mut seeds = SeedSequence::new(7);
+
+    // Zipfian traffic plus corrections: 10% of the head flow is retracted.
+    let mut stream = zipf_stream(n, 50_000, 1.3, &mut seeds);
+    let before = TruthVector::from_stream(&stream);
+    for i in 0..n {
+        let v = before.get(i);
+        if v > 100 {
+            stream.push(Update::new(i, -(v / 10)));
+        }
+    }
+    let truth = TruthVector::from_stream(&stream);
+
+    for p in [0.5, 1.0, 1.5, 2.0] {
+        let mut hh = CountSketchHeavyHitters::new(n, p, phi, &mut seeds);
+        hh.process(&stream);
+        let reported = hh.report();
+        let exact = exact_heavy_hitters(&truth, p, phi);
+        let verdict = is_valid_heavy_hitter_set(&truth, p, phi, &reported);
+        println!(
+            "p = {p:>3}: reported {:>2} candidates, {:>2} exact φ-heavy hitters, valid = {:<5}, {} bits (m = {})",
+            reported.len(),
+            exact.len(),
+            verdict.is_valid(),
+            hh.bits_used(),
+            hh.m()
+        );
+    }
+
+    // Compare against the count-min baseline (p = 1, strict turnstile only).
+    let mut cm = CountMinHeavyHitters::new(n, phi, &mut seeds);
+    cm.process(&stream);
+    let reported = cm.report();
+    let verdict = is_valid_heavy_hitter_set(&truth, 1.0, phi, &reported);
+    println!(
+        "count-min baseline (p = 1): {} candidates, valid = {}, {} bits",
+        reported.len(),
+        verdict.is_valid(),
+        cm.bits_used()
+    );
+}

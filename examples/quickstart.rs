@@ -1,0 +1,67 @@
+//! Quickstart: Lp-sampling a turnstile stream and comparing against the
+//! exact Lp distribution.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use lp_samplers::prelude::*;
+use lps_stream::zipf_stream;
+
+fn main() {
+    let n: u64 = 1 << 10;
+    let p = 1.0;
+    let epsilon = 0.3;
+    let delta = 0.1;
+
+    // A Zipfian insert stream followed by deletions of half the head's mass:
+    // the kind of stream where insertion-only samplers go wrong.
+    let mut seeds = SeedSequence::new(2024);
+    let mut stream = zipf_stream(n, 20_000, 1.2, &mut seeds);
+    let truth_before = TruthVector::from_stream(&stream);
+    let heaviest = (0..n).max_by_key(|&i| truth_before.get(i)).unwrap();
+    let remove = truth_before.get(heaviest) / 2;
+    stream.push(Update::new(heaviest, -remove));
+
+    let truth = TruthVector::from_stream(&stream);
+    println!("stream: {} updates over n = {n}", stream.len());
+    println!("‖x‖₁ = {}, support size = {}", truth.lp_norm(1.0), truth.l0());
+
+    // Build the paper's L1 sampler with 1 − δ success probability.
+    let copies = repetitions_for(p, epsilon, delta);
+    let mut sampler =
+        RepeatedSampler::new(copies, &mut seeds, |s| PrecisionLpSampler::new(n, p, epsilon, s));
+    sampler.process_stream(&stream);
+    println!(
+        "sampler: {copies} parallel copies, {} bits total ({} bits/copy)",
+        sampler.bits_used(),
+        sampler.bits_used() / copies as u64
+    );
+
+    match sampler.sample() {
+        Some(sample) => {
+            let exact = truth.get(sample.index);
+            println!(
+                "sampled coordinate {} with estimate {:.2} (exact value {exact})",
+                sample.index, sample.estimate
+            );
+        }
+        None => println!("the sampler failed on this instance (probability ≤ {delta})"),
+    }
+
+    // Empirical check of the output distribution using many independent samplers.
+    let trials = 2_000;
+    let reference = truth.lp_distribution(p).unwrap();
+    let mut empirical = EmpiricalDistribution::new(n);
+    for t in 0..trials {
+        let mut s = SeedSequence::new(31_000 + t);
+        let mut one = PrecisionLpSampler::new(n, p, epsilon, &mut s);
+        one.process_stream(&stream);
+        if let Some(sample) = one.sample() {
+            empirical.record(sample.index);
+        }
+    }
+    println!(
+        "distribution check over {} successful single-shot samples: total variation = {:.4}",
+        empirical.total(),
+        empirical.total_variation(&reference)
+    );
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: streams → samplers → applications,
+//! exercised through the public facade crate exactly as a downstream user
+//! would.
+
+use lp_samplers::prelude::*;
+use lps_stream::{duplicate_stream_n_plus_1, sparse_vector_stream, zipf_stream};
+
+#[test]
+fn l1_sampler_distribution_on_zipf_stream_with_deletions() {
+    let n: u64 = 512;
+    let mut seeds = SeedSequence::new(1);
+    let mut stream = zipf_stream(n, 6_000, 1.2, &mut seeds);
+    // delete a third of the heaviest coordinate's mass
+    let truth_before = TruthVector::from_stream(&stream);
+    let heavy = (0..n).max_by_key(|&i| truth_before.get(i)).unwrap();
+    stream.push(Update::new(heavy, -truth_before.get(heavy) / 3));
+    let truth = TruthVector::from_stream(&stream);
+    let reference = truth.lp_distribution(1.0).unwrap();
+
+    let mut empirical = EmpiricalDistribution::new(n);
+    let trials = 600u64;
+    for t in 0..trials {
+        let mut s = SeedSequence::new(10_000 + t);
+        let mut sampler = PrecisionLpSampler::new(n, 1.0, 0.4, &mut s);
+        sampler.process_stream(&stream);
+        if let Some(sample) = sampler.sample() {
+            empirical.record(sample.index);
+        }
+    }
+    assert!(empirical.total() > trials / 8, "too few successful samples");
+    // Heavy coordinates must carry roughly their share: check the single
+    // heaviest coordinate's sampled frequency against its true mass.
+    let freq = empirical.probability(heavy);
+    let mass = reference[heavy as usize];
+    assert!(
+        (freq - mass).abs() < 0.5 * mass + 0.05,
+        "heaviest coordinate sampled with frequency {freq:.3}, true mass {mass:.3}"
+    );
+}
+
+#[test]
+fn l0_sampler_uniform_on_dynamic_set() {
+    let n: u64 = 1024;
+    let mut seeds = SeedSequence::new(2);
+    let stream = sparse_vector_stream(n, 32, 12, &mut seeds);
+    let truth = TruthVector::from_stream(&stream);
+    let reference = truth.lp_distribution(0.0).unwrap();
+
+    let mut empirical = EmpiricalDistribution::new(n);
+    for t in 0..800u64 {
+        let mut s = SeedSequence::new(20_000 + t);
+        let mut sampler = lps_core::L0Sampler::new(n, 0.2, &mut s);
+        sampler.process_stream(&stream);
+        if let Some(sample) = sampler.sample() {
+            // zero relative error: estimates are exact
+            assert_eq!(sample.estimate, truth.get(sample.index) as f64);
+            empirical.record(sample.index);
+        }
+    }
+    let tv = empirical.total_variation(&reference);
+    assert!(tv < 0.15, "L0 sampler output too far from uniform over the support: {tv}");
+}
+
+#[test]
+fn duplicates_pipeline_agrees_with_naive_finder() {
+    let n: u64 = 512;
+    let mut seeds = SeedSequence::new(3);
+    let (stream, planted) = duplicate_stream_n_plus_1(n, 4, &mut seeds);
+
+    let mut naive = NaiveDuplicateFinder::new();
+    naive.process_stream(&stream);
+    assert_eq!(naive.all_duplicates(), planted);
+
+    let mut successes = 0;
+    for t in 0..15u64 {
+        let mut s = SeedSequence::new(30_000 + t);
+        let mut finder = DuplicateFinder::new(n, 0.2, &mut s);
+        finder.process_stream(&stream);
+        if let DuplicateResult::Duplicate(d) = finder.report() {
+            assert!(planted.contains(&d), "reported non-duplicate {d}");
+            successes += 1;
+        }
+    }
+    assert!(successes >= 9, "Theorem 3 finder succeeded only {successes}/15 times");
+}
+
+#[test]
+fn heavy_hitters_and_sampler_agree_on_the_heaviest_coordinate() {
+    let n: u64 = 1024;
+    let mut seeds = SeedSequence::new(4);
+    let mut stream = zipf_stream(n, 20_000, 1.5, &mut seeds);
+    // churn that cancels
+    for i in 0..n {
+        stream.push(Update::new(i, 3));
+        stream.push(Update::new(i, -3));
+    }
+    let truth = TruthVector::from_stream(&stream);
+    let heaviest = (0..n).max_by_key(|&i| truth.get(i).abs()).unwrap();
+
+    let phi = 0.2;
+    let mut hh = CountSketchHeavyHitters::new(n, 1.0, phi, &mut seeds);
+    hh.process(&stream);
+    let reported = hh.report_with_norm(truth.lp_norm(1.0));
+    assert!(reported.contains(&heaviest));
+    assert!(is_valid_heavy_hitter_set(&truth, 1.0, phi, &reported).is_valid());
+
+    // the L1 sampler should hit the same coordinate reasonably often
+    let mut hits = 0;
+    let mut samples = 0;
+    for t in 0..200u64 {
+        let mut s = SeedSequence::new(40_000 + t);
+        let mut sampler = PrecisionLpSampler::new(n, 1.0, 0.4, &mut s);
+        sampler.process_stream(&stream);
+        if let Some(sample) = sampler.sample() {
+            samples += 1;
+            if sample.index == heaviest {
+                hits += 1;
+            }
+        }
+    }
+    assert!(samples > 0);
+    let truth_share = truth.get(heaviest).abs() as f64 / truth.lp_norm(1.0);
+    assert!(
+        hits as f64 / samples as f64 > 0.3 * truth_share,
+        "sampler hit the heaviest coordinate {hits}/{samples}, true share {truth_share:.3}"
+    );
+}
+
+#[test]
+fn reduction_chain_solves_augmented_indexing_with_advantage() {
+    // augmented indexing -> UR (Theorem 6) -> L0 sampling protocol (Prop. 5)
+    let red = UrToAugmentedIndexing::new(5, 3, 0.2);
+    let mut seeds = SeedSequence::new(5);
+    let trials = 20;
+    let mut correct = 0;
+    for _ in 0..trials {
+        let inst = AugmentedIndexingInstance::random(5, 8, &mut seeds);
+        if red.run(&inst, &mut seeds).correct {
+            correct += 1;
+        }
+    }
+    // random guessing over the alphabet succeeds with probability 1/8
+    assert!(correct * 3 >= trials, "only {correct}/{trials} correct — no advantage over guessing");
+}
+
+#[test]
+fn heavy_hitter_reduction_recovers_symbols_with_exact_oracle() {
+    let red = HeavyHittersToAugmentedIndexing::new(10, 5, 1.5, 0.25);
+    let mut seeds = SeedSequence::new(6);
+    for _ in 0..25 {
+        let inst = AugmentedIndexingInstance::random(10, 32, &mut seeds);
+        assert!(red.run_with_exact_oracle(&inst).correct);
+    }
+}
+
+#[test]
+fn space_reported_in_paper_model_not_heap_bytes() {
+    // The bit-model accounting must be stable across equal configurations and
+    // scale polylogarithmically in n for the paper's structures.
+    let mut s1 = SeedSequence::new(7);
+    let mut s2 = SeedSequence::new(8);
+    let a = PrecisionLpSampler::new(1 << 10, 1.0, 0.25, &mut s1);
+    let b = PrecisionLpSampler::new(1 << 10, 1.0, 0.25, &mut s2);
+    assert_eq!(a.bits_used(), b.bits_used(), "space must not depend on the seed");
+
+    let mut s3 = SeedSequence::new(9);
+    let big = PrecisionLpSampler::new(1 << 20, 1.0, 0.25, &mut s3);
+    let ratio = big.bits_used() as f64 / a.bits_used() as f64;
+    assert!(ratio < 8.0, "space grew {ratio:.1}x while n grew 1024x — should be polylog");
+}
