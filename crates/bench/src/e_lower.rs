@@ -15,7 +15,15 @@ use crate::report::{f1, f3, int, Table};
 pub fn e9_ur_protocol(quick: bool) -> Table {
     let mut table = Table::new(
         "E9: universal relation — one-round L0-sketch protocol (Prop. 5) vs deterministic n bits",
-        &["log2(n)", "trials", "correct_rate", "wrong_rate", "sketch_msg_bits", "deterministic_bits", "msg/n"],
+        &[
+            "log2(n)",
+            "trials",
+            "correct_rate",
+            "wrong_rate",
+            "sketch_msg_bits",
+            "deterministic_bits",
+            "msg/n",
+        ],
     );
     let trials: u64 = if quick { 25 } else { 80 };
     let protocol = UrSketchProtocol::new(0.2);
@@ -57,7 +65,16 @@ pub fn e10_reductions(quick: bool) -> Vec<Table> {
 
     let mut t6 = Table::new(
         "E10a: Theorem 6 — augmented indexing solved through the UR sketch protocol",
-        &["s", "t", "ur_dim", "trials", "correct_rate", "guess_rate", "msg_bits", "mnsw_bound_bits"],
+        &[
+            "s",
+            "t",
+            "ur_dim",
+            "trials",
+            "correct_rate",
+            "guess_rate",
+            "msg_bits",
+            "mnsw_bound_bits",
+        ],
     );
     for &(s, t_bits) in &[(4u32, 3u32), (6, 4), (8, 5)] {
         let red = UrToAugmentedIndexing::new(s, t_bits, 0.2);

@@ -1,9 +1,7 @@
 //! Experiments E1–E4: Lp/L0 sampler distribution accuracy, estimate error,
 //! and space scaling (Theorems 1 and 2 of the paper).
 
-use lps_core::{
-    AkoSampler, FisL0Sampler, L0Randomness, L0Sampler, LpSampler, PrecisionLpSampler,
-};
+use lps_core::{AkoSampler, FisL0Sampler, L0Randomness, L0Sampler, LpSampler, PrecisionLpSampler};
 use lps_hash::SeedSequence;
 use lps_stream::{sparse_vector_stream, EmpiricalDistribution, SpaceUsage, TruthVector};
 
@@ -14,11 +12,21 @@ use crate::report::{f1, f3, int, Table};
 pub fn e1_sampler_accuracy(quick: bool) -> Table {
     let mut table = Table::new(
         "E1/E4: precision Lp sampler — distribution accuracy and estimate error",
-        &["p", "eps", "n", "trials", "success_rate", "tv_distance", "median_est_relerr", "p95_est_relerr"],
+        &[
+            "p",
+            "eps",
+            "n",
+            "trials",
+            "success_rate",
+            "tv_distance",
+            "median_est_relerr",
+            "p95_est_relerr",
+        ],
     );
     let n: u64 = 256;
     let trials: u64 = if quick { 1_500 } else { 6_000 };
-    let configs: &[(f64, f64)] = &[(0.5, 0.5), (0.5, 0.25), (1.0, 0.5), (1.0, 0.25), (1.5, 0.5), (1.5, 0.25)];
+    let configs: &[(f64, f64)] =
+        &[(0.5, 0.5), (0.5, 0.25), (1.0, 0.5), (1.0, 0.25), (1.5, 0.5), (1.5, 0.25)];
     for &(p, eps) in configs {
         let mut gen = SeedSequence::new(0xE1 + (p * 100.0) as u64);
         let stream = sparse_vector_stream(n, 40, 20, &mut gen);
@@ -27,7 +35,8 @@ pub fn e1_sampler_accuracy(quick: bool) -> Table {
         let mut empirical = EmpiricalDistribution::new(n);
         let mut rel_errors = Vec::new();
         for t in 0..trials {
-            let mut s = SeedSequence::new(100_000 + t * 7 + (p * 1000.0) as u64 + (eps * 100.0) as u64);
+            let mut s =
+                SeedSequence::new(100_000 + t * 7 + (p * 1000.0) as u64 + (eps * 100.0) as u64);
             let mut sampler = PrecisionLpSampler::new(n, p, eps, &mut s);
             sampler.process_stream(&stream);
             if let Some(sample) = sampler.sample() {

@@ -115,7 +115,11 @@ impl UrToAugmentedIndexing {
     }
 
     /// Run the full protocol on an augmented-indexing instance.
-    pub fn run(&self, instance: &AugmentedIndexingInstance, seeds: &mut SeedSequence) -> ReductionOutcome {
+    pub fn run(
+        &self,
+        instance: &AugmentedIndexingInstance,
+        seeds: &mut SeedSequence,
+    ) -> ReductionOutcome {
         assert_eq!(instance.len(), self.s as usize);
         assert_eq!(instance.alphabet, 1u64 << self.t);
         let n = self.ur_dimension();
@@ -280,7 +284,11 @@ impl HeavyHittersToAugmentedIndexing {
     /// sketch, Bob removes the blocks he knows (j < i) and reads the smallest
     /// reported index, which must be block i's symbol if the heavy hitter
     /// algorithm is correct.
-    pub fn run(&self, instance: &AugmentedIndexingInstance, seeds: &mut SeedSequence) -> ReductionOutcome {
+    pub fn run(
+        &self,
+        instance: &AugmentedIndexingInstance,
+        seeds: &mut SeedSequence,
+    ) -> ReductionOutcome {
         assert_eq!(instance.len(), self.s as usize);
         assert_eq!(instance.alphabet, 1u64 << self.t);
         let n = self.dimension();
@@ -298,18 +306,14 @@ impl HeavyHittersToAugmentedIndexing {
         }
         // Bob reads the heavy hitter set and decodes the smallest index.
         let reported = hh.report();
-        let answer = reported
-            .iter()
-            .copied()
-            .min()
-            .and_then(|idx| {
-                let j = (idx / block) as usize;
-                if j == instance.index {
-                    Some(idx % block)
-                } else {
-                    None
-                }
-            });
+        let answer = reported.iter().copied().min().and_then(|idx| {
+            let j = (idx / block) as usize;
+            if j == instance.index {
+                Some(idx % block)
+            } else {
+                None
+            }
+        });
         let correct = answer.map(|a| instance.is_correct(a)).unwrap_or(false);
         ReductionOutcome { answer, correct, message_bits }
     }

@@ -132,12 +132,8 @@ impl UrSketchProtocol {
 /// string (n bits). Tardos–Zwick show n ± O(log n) bits is what deterministic
 /// protocols need, so this is the right deterministic yardstick.
 pub fn ur_deterministic_protocol(instance: &UrInstance) -> UrOutcome {
-    let answer = instance
-        .x
-        .iter()
-        .zip(instance.y.iter())
-        .position(|(a, b)| a != b)
-        .map(|i| i as u64);
+    let answer =
+        instance.x.iter().zip(instance.y.iter()).position(|(a, b)| a != b).map(|i| i as u64);
     UrOutcome { answer, message_bits: instance.len() as u64 }
 }
 

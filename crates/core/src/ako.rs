@@ -16,8 +16,8 @@
 //! samplers as n grows, which is where the `log³` vs `log²` gap shows.
 
 use lps_hash::{KWiseHash, SeedSequence};
-use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 use lps_sketch::{rows_for_dimension, CountSketch, LinearSketch, PStableSketch};
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
 
@@ -75,7 +75,7 @@ impl LpSampler for AkoSampler {
 
     fn sample(&self) -> Option<Sample> {
         let r = self.norm_sketch.upper_estimate();
-        if !(r > 0.0) {
+        if r.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return None;
         }
         let (index, zstar) = self.count_sketch.argmax_estimate();
@@ -111,8 +111,8 @@ impl SpaceUsage for AkoSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lps_stream::{sparse_vector_stream, TruthVector, TurnstileModel, UpdateStream};
     use crate::precision::PrecisionLpSampler;
+    use lps_stream::{sparse_vector_stream, TruthVector, TurnstileModel, UpdateStream};
 
     fn seeds(seed: u64) -> SeedSequence {
         SeedSequence::new(seed)

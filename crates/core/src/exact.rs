@@ -43,13 +43,17 @@ impl ExactSampler {
         let dist = self.vector.lp_distribution(self.p)?;
         let draw_index = self.draws.get();
         self.draws.set(draw_index + 1);
-        let mut rng = SeedSequence::new(self.rng_seed ^ draw_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            SeedSequence::new(self.rng_seed ^ draw_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         let mut acc = 0.0;
         for (i, &pmass) in dist.iter().enumerate() {
             acc += pmass;
             if u < acc {
-                return Some(Sample { index: i as u64, estimate: self.vector.get(i as u64) as f64 });
+                return Some(Sample {
+                    index: i as u64,
+                    estimate: self.vector.get(i as u64) as f64,
+                });
             }
         }
         // numerical slack: return the last non-zero coordinate
@@ -84,7 +88,11 @@ impl LpSampler for ExactSampler {
 impl SpaceUsage for ExactSampler {
     fn space(&self) -> SpaceBreakdown {
         let n = self.vector.dimension();
-        SpaceBreakdown::new(n, lps_stream::counter_bits_for(n, self.vector.max_abs().unsigned_abs().max(2)), 64)
+        SpaceBreakdown::new(
+            n,
+            lps_stream::counter_bits_for(n, self.vector.max_abs().unsigned_abs().max(2)),
+            64,
+        )
     }
 }
 

@@ -15,8 +15,8 @@
 //! to) uniform over the support by symmetry.
 
 use lps_hash::{Fp, SeedSequence, TabulationHash};
-use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 use lps_sketch::{CellState, OneSparseCell};
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
 
@@ -84,9 +84,11 @@ impl LpSampler for FisL0Sampler {
             for rep in 0..self.repetitions {
                 if self.slot_included(level, rep, update.index) {
                     let base = self.fingerprint_base;
-                    self.slots[level * self.repetitions + rep]
-                        .cell
-                        .update(update.index, update.delta, base);
+                    self.slots[level * self.repetitions + rep].cell.update(
+                        update.index,
+                        update.delta,
+                        base,
+                    );
                 }
             }
         }
@@ -139,8 +141,8 @@ impl SpaceUsage for FisL0Sampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lps_stream::{sparse_vector_stream, TruthVector, TurnstileModel, UpdateStream};
     use crate::l0::L0Sampler;
+    use lps_stream::{sparse_vector_stream, TruthVector, TurnstileModel, UpdateStream};
 
     fn seeds(seed: u64) -> SeedSequence {
         SeedSequence::new(seed)
@@ -199,9 +201,8 @@ mod tests {
         // absolute numbers close (EXPERIMENTS.md reports both), so the test
         // checks the *growth rates*: going from n = 2^10 to n = 2^24 the FIS
         // footprint must grow by a strictly larger factor than Theorem 2's.
-        let grow = |make: &dyn Fn(u64) -> u64| -> f64 {
-            make(1 << 24) as f64 / make(1 << 10) as f64
-        };
+        let grow =
+            |make: &dyn Fn(u64) -> u64| -> f64 { make(1 << 24) as f64 / make(1 << 10) as f64 };
         let fis_growth = grow(&|n| {
             let mut s = seeds(4);
             FisL0Sampler::new(n, &mut s).space().counters

@@ -26,8 +26,8 @@
 //! the stored randomness down to O(log² n) bits (Theorem 2's accounting).
 
 use lps_hash::{KWiseHash, NisanPrg, NisanStream, SeedSequence};
-use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 use lps_sketch::{RecoveryOutput, SparseRecovery};
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
 
@@ -116,9 +116,8 @@ impl L0Sampler {
         let mut levels = Vec::with_capacity(max_level as usize + 1);
         for k in 0..=max_level {
             let threshold = (1u64 << k).min(dimension);
-            let coeffs: Vec<lps_hash::Fp> = (0..independence)
-                .map(|_| lps_hash::Fp::new(draw(seeds)))
-                .collect();
+            let coeffs: Vec<lps_hash::Fp> =
+                (0..independence).map(|_| lps_hash::Fp::new(draw(seeds))).collect();
             let membership = KWiseHash::from_coefficients(coeffs);
             // The recovery structures' own hash seeds are not the randomness
             // the PRG needs to supply (they are part of Lemma 5's O(k log n)
@@ -230,12 +229,9 @@ impl SpaceUsage for L0Sampler {
         }
         let membership_bits: u64 = match self.randomness {
             // stored polynomial coefficients per level
-            L0Randomness::Seeded => self
-                .levels
-                .iter()
-                .map(|l| l.membership.random_bits())
-                .sum::<u64>()
-                + 64,
+            L0Randomness::Seeded => {
+                self.levels.iter().map(|l| l.membership.random_bits()).sum::<u64>() + 64
+            }
             // only the PRG seed is stored
             L0Randomness::Nisan => self.nisan_seed_bits,
         };
@@ -246,7 +242,9 @@ impl SpaceUsage for L0Sampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lps_stream::{sparse_vector_stream, EmpiricalDistribution, TruthVector, TurnstileModel, UpdateStream};
+    use lps_stream::{
+        sparse_vector_stream, EmpiricalDistribution, TruthVector, TurnstileModel, UpdateStream,
+    };
 
     fn seeds(seed: u64) -> SeedSequence {
         SeedSequence::new(seed)
@@ -369,8 +367,7 @@ mod tests {
         let mut successes = 0;
         for seed in 0..40u64 {
             let mut s = seeds(20_000 + seed);
-            let mut sampler =
-                L0Sampler::with_randomness(n, 0.25, L0Randomness::Nisan, &mut s);
+            let mut sampler = L0Sampler::with_randomness(n, 0.25, L0Randomness::Nisan, &mut s);
             sampler.process_stream(&stream);
             if let Some(sample) = sampler.sample() {
                 successes += 1;

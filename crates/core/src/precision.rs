@@ -24,8 +24,8 @@
 //! probability below δ (see [`crate::repeat`]).
 
 use lps_hash::{KWiseHash, SeedSequence};
-use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 use lps_sketch::{AmsSketch, CountSketch, LinearSketch, PStableSketch};
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
 
@@ -172,7 +172,7 @@ impl LpSampler for PrecisionLpSampler {
 
     fn sample(&self) -> Option<Sample> {
         let state = self.recovery_state();
-        if !(state.r > 0.0) {
+        if state.r.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             // zero (or un-estimable) vector: a perfect sampler may only fail here
             return None;
         }

@@ -145,9 +145,11 @@ mod tests {
     #[test]
     fn space_scales_linearly_with_copies() {
         let mut seeds = SeedSequence::new(2);
-        let one = RepeatedSampler::new(1, &mut seeds, |s| PrecisionLpSampler::new(512, 1.0, 0.5, s));
+        let one =
+            RepeatedSampler::new(1, &mut seeds, |s| PrecisionLpSampler::new(512, 1.0, 0.5, s));
         let mut seeds = SeedSequence::new(2);
-        let four = RepeatedSampler::new(4, &mut seeds, |s| PrecisionLpSampler::new(512, 1.0, 0.5, s));
+        let four =
+            RepeatedSampler::new(4, &mut seeds, |s| PrecisionLpSampler::new(512, 1.0, 0.5, s));
         assert_eq!(four.copies(), 4);
         let ratio = four.bits_used() as f64 / one.bits_used() as f64;
         assert!((ratio - 4.0).abs() < 0.2, "space ratio {ratio} should be ~4");

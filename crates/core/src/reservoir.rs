@@ -52,7 +52,12 @@ impl PositionReservoir {
     /// Create a reservoir keeping `capacity` uniform positions.
     pub fn new(capacity: usize, seeds: &mut SeedSequence) -> Self {
         assert!(capacity >= 1);
-        PositionReservoir { capacity, seen: 0, items: Vec::with_capacity(capacity), rng: seeds.split() }
+        PositionReservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+            rng: seeds.split(),
+        }
     }
 
     /// Offer the next stream item (its letter/value); the reservoir decides
@@ -193,7 +198,10 @@ mod tests {
             }
         }
         let frac = c2 as f64 / trials as f64;
-        assert!((frac - 0.75).abs() < 0.03, "coordinate 2 sampled with frequency {frac}, want 0.75");
+        assert!(
+            (frac - 0.75).abs() < 0.03,
+            "coordinate 2 sampled with frequency {frac}, want 0.75"
+        );
     }
 
     #[test]

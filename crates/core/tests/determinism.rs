@@ -1,0 +1,106 @@
+//! Regression tests pinning seed-driven determinism: every sampler in this
+//! crate derives all of its randomness from a [`SeedSequence`], so two runs
+//! built from the same master seed over the same stream must agree bit for
+//! bit in what they output. This is what makes the paper's experiments (and
+//! any distributed deployment that re-derives sampler state from a shared
+//! seed) reproducible.
+
+use lps_core::{repetitions_for, L0Sampler, LpSampler, PrecisionLpSampler, RepeatedSampler};
+use lps_hash::SeedSequence;
+use lps_stream::{zipf_stream, SpaceUsage, Update, UpdateStream};
+
+/// A moderately adversarial stream: Zipfian inserts plus some deletions.
+fn test_stream(n: u64) -> UpdateStream {
+    let mut seeds = SeedSequence::new(991);
+    let mut stream = zipf_stream(n, 4_000, 1.1, &mut seeds);
+    for i in 0..32 {
+        stream.push(Update::new((i * 17) % n, -1));
+    }
+    stream
+}
+
+#[test]
+fn precision_sampler_is_deterministic_for_a_fixed_seed() {
+    let n = 512;
+    let stream = test_stream(n);
+    for master in [1u64, 7, 42, 2024] {
+        let run = |master: u64| {
+            let mut seeds = SeedSequence::new(master);
+            let mut sampler = PrecisionLpSampler::new(n, 1.0, 0.3, &mut seeds);
+            sampler.process_stream(&stream);
+            (sampler.sample(), sampler.bits_used())
+        };
+        let (a, bits_a) = run(master);
+        let (b, bits_b) = run(master);
+        assert_eq!(
+            a.map(|s| (s.index, s.estimate.to_bits())),
+            b.map(|s| (s.index, s.estimate.to_bits())),
+            "precision sampler output diverged across two runs with master seed {master}"
+        );
+        assert_eq!(bits_a, bits_b, "space accounting diverged for master seed {master}");
+    }
+}
+
+#[test]
+fn l0_sampler_is_deterministic_for_a_fixed_seed() {
+    let n = 512;
+    let stream = test_stream(n);
+    for master in [3u64, 11, 99] {
+        let run = |master: u64| {
+            let mut seeds = SeedSequence::new(master);
+            let mut sampler = L0Sampler::new(n, 0.1, &mut seeds);
+            sampler.process_stream(&stream);
+            sampler.sample()
+        };
+        let a = run(master);
+        let b = run(master);
+        assert_eq!(
+            a.map(|s| (s.index, s.estimate.to_bits())),
+            b.map(|s| (s.index, s.estimate.to_bits())),
+            "L0 sampler output diverged across two runs with master seed {master}"
+        );
+    }
+}
+
+#[test]
+fn repeated_sampler_is_deterministic_for_a_fixed_seed() {
+    let n = 256;
+    let stream = test_stream(n);
+    let copies = repetitions_for(1.0, 0.3, 0.2);
+    let run = || {
+        let mut seeds = SeedSequence::new(555);
+        let mut sampler =
+            RepeatedSampler::new(copies, &mut seeds, |s| PrecisionLpSampler::new(n, 1.0, 0.3, s));
+        sampler.process_stream(&stream);
+        sampler.sample()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.map(|s| (s.index, s.estimate.to_bits())),
+        b.map(|s| (s.index, s.estimate.to_bits())),
+        "repeated sampler output diverged across two runs with the same master seed"
+    );
+}
+
+#[test]
+fn distinct_seeds_eventually_disagree() {
+    // Sanity check that determinism is not vacuous (e.g. a sampler ignoring
+    // its randomness entirely): across several seeds the sampled coordinate
+    // must vary on a stream with a wide support.
+    let n = 512;
+    let stream = test_stream(n);
+    let mut indices = std::collections::BTreeSet::new();
+    for master in 0..24u64 {
+        let mut seeds = SeedSequence::new(master);
+        let mut sampler = PrecisionLpSampler::new(n, 1.0, 0.3, &mut seeds);
+        sampler.process_stream(&stream);
+        if let Some(s) = sampler.sample() {
+            indices.insert(s.index);
+        }
+    }
+    assert!(
+        indices.len() > 1,
+        "24 differently-seeded samplers all produced the same (or no) output: {indices:?}"
+    );
+}

@@ -164,15 +164,12 @@ mod tests {
             let mut seeds = SeedSequence::new(40 + seed);
             let mut finder = PriorWorkDuplicateFinder::new(n, 0.25, &mut seeds);
             finder.process_stream(&stream);
-            match finder.report() {
-                DuplicateResult::Duplicate(d) => {
-                    if dups.contains(&d) {
-                        found += 1;
-                    } else {
-                        wrong += 1;
-                    }
+            if let DuplicateResult::Duplicate(d) = finder.report() {
+                if dups.contains(&d) {
+                    found += 1;
+                } else {
+                    wrong += 1;
                 }
-                _ => {}
             }
         }
         assert_eq!(wrong, 0);

@@ -50,7 +50,11 @@ impl DuplicateFinder {
 
     /// Process one letter of the stream (an element of `[0, n)`).
     pub fn process_letter(&mut self, letter: u64) {
-        assert!(letter < self.dimension, "letter {letter} outside alphabet [0, {})", self.dimension);
+        assert!(
+            letter < self.dimension,
+            "letter {letter} outside alphabet [0, {})",
+            self.dimension
+        );
         self.letters_seen += 1;
         self.finder.process_update(Update::new(letter, 1));
     }

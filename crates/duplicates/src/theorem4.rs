@@ -16,8 +16,8 @@
 //! sample is produced with constant probability per copy.
 
 use lps_hash::SeedSequence;
-use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 use lps_sketch::{RecoveryOutput, SparseRecovery};
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
 use crate::positive::PositiveCoordinateFinder;
 use crate::result::DuplicateResult;
@@ -93,10 +93,7 @@ impl ShortStreamDuplicateFinder {
 
 impl SpaceUsage for ShortStreamDuplicateFinder {
     fn space(&self) -> SpaceBreakdown {
-        self.recovery
-            .space()
-            .combine(&self.finder.space())
-            .combine(&SpaceBreakdown::new(1, 64, 0))
+        self.recovery.space().combine(&self.finder.space()).combine(&SpaceBreakdown::new(1, 64, 0))
     }
 }
 

@@ -43,6 +43,7 @@ impl Fp {
 
     /// Field addition.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // the `std::ops` impls below delegate here
     pub fn add(self, rhs: Fp) -> Fp {
         let mut s = self.0 + rhs.0; // < 2^62, no overflow
         if s >= MERSENNE_P {
@@ -53,6 +54,7 @@ impl Fp {
 
     /// Field subtraction.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // the `std::ops` impls below delegate here
     pub fn sub(self, rhs: Fp) -> Fp {
         if self.0 >= rhs.0 {
             Fp(self.0 - rhs.0)
@@ -63,6 +65,7 @@ impl Fp {
 
     /// Field negation.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // the `std::ops` impls below delegate here
     pub fn neg(self) -> Fp {
         if self.0 == 0 {
             Fp(0)
@@ -73,6 +76,7 @@ impl Fp {
 
     /// Field multiplication via u128 widening and Mersenne reduction.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // the `std::ops` impls below delegate here
     pub fn mul(self, rhs: Fp) -> Fp {
         Fp(mul_mod(self.0, rhs.0))
     }

@@ -4,11 +4,13 @@ use lps_hash::{Fp, KWiseHash, SeedSequence, MERSENNE_P};
 use proptest::prelude::*;
 
 fn ref_add(a: u64, b: u64) -> u64 {
-    (((a as u128 % MERSENNE_P as u128) + (b as u128 % MERSENNE_P as u128)) % MERSENNE_P as u128) as u64
+    (((a as u128 % MERSENNE_P as u128) + (b as u128 % MERSENNE_P as u128)) % MERSENNE_P as u128)
+        as u64
 }
 
 fn ref_mul(a: u64, b: u64) -> u64 {
-    (((a as u128 % MERSENNE_P as u128) * (b as u128 % MERSENNE_P as u128)) % MERSENNE_P as u128) as u64
+    (((a as u128 % MERSENNE_P as u128) * (b as u128 % MERSENNE_P as u128)) % MERSENNE_P as u128)
+        as u64
 }
 
 proptest! {
@@ -54,7 +56,7 @@ proptest! {
         let x = Fp::new(a);
         let mut expected = Fp::ONE;
         for _ in 0..e {
-            expected = expected * x;
+            expected *= x;
         }
         prop_assert_eq!(x.pow(e).value(), expected.value());
     }

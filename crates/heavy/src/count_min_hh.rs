@@ -9,9 +9,9 @@
 //! extending the φ^{-p} trade-off to every `p ∈ (0, 2]` via count-sketch.
 
 use lps_hash::SeedSequence;
-use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
-use lps_sketch::{CountMinSketch, PStableSketch};
 use lps_sketch::linear::LinearSketch;
+use lps_sketch::{CountMinSketch, PStableSketch};
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
 /// Count-min based heavy hitters for the strict turnstile model, p = 1.
 #[derive(Debug, Clone)]
@@ -59,7 +59,7 @@ impl CountMinHeavyHitters {
     /// Report the heavy hitter set using the internal L1 norm estimate.
     pub fn report(&self) -> Vec<u64> {
         let r = self.norm.upper_estimate();
-        if !(r > 0.0) {
+        if r.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Vec::new();
         }
         self.report_with_norm(0.75 * r)
@@ -68,9 +68,7 @@ impl CountMinHeavyHitters {
     /// Report using an externally supplied (e.g. exact) value of `‖x‖₁`.
     pub fn report_with_norm(&self, norm: f64) -> Vec<u64> {
         let threshold = 0.75 * self.phi * norm;
-        (0..self.dimension)
-            .filter(|&i| self.sketch.estimate(i) as f64 >= threshold)
-            .collect()
+        (0..self.dimension).filter(|&i| self.sketch.estimate(i) as f64 >= threshold).collect()
     }
 }
 

@@ -11,8 +11,8 @@
 //! `O(φ^{-p} log² n)` bits — matching the Theorem 9 lower bound.
 
 use lps_hash::SeedSequence;
-use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 use lps_sketch::{CountSketch, LinearSketch, PStableSketch};
+use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
 use crate::exact_hh::exact_heavy_hitters;
 
@@ -72,7 +72,7 @@ impl CountSketchHeavyHitters {
         // upper_estimate() is in [‖x‖_p, 2‖x‖_p]; halve it to centre the
         // threshold between the φ and φ/2 validity boundaries.
         let r = self.norm.upper_estimate();
-        if !(r > 0.0) {
+        if r.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Vec::new();
         }
         let norm_guess = 0.75 * r; // in [0.75, 1.5]·‖x‖_p w.h.p.
@@ -90,9 +90,7 @@ impl CountSketchHeavyHitters {
     /// count-sketch error from the norm-estimation error).
     pub fn report_with_norm(&self, exact_norm: f64) -> Vec<u64> {
         let threshold = 0.75 * self.phi * exact_norm;
-        (0..self.dimension)
-            .filter(|&i| self.sketch.estimate(i).abs() >= threshold)
-            .collect()
+        (0..self.dimension).filter(|&i| self.sketch.estimate(i).abs() >= threshold).collect()
     }
 
     /// Convenience for tests: the exact heavy hitters of a ground-truth vector.

@@ -56,11 +56,9 @@ impl AmsSketch {
         let mut group_means: Vec<f64> = Vec::with_capacity(self.groups);
         for g in 0..self.groups {
             let start = g * self.group_size;
-            let mean: f64 = self.counters[start..start + self.group_size]
-                .iter()
-                .map(|c| c * c)
-                .sum::<f64>()
-                / self.group_size as f64;
+            let mean: f64 =
+                self.counters[start..start + self.group_size].iter().map(|c| c * c).sum::<f64>()
+                    / self.group_size as f64;
             group_means.push(mean);
         }
         crate::count_sketch::median(&mut group_means)

@@ -46,11 +46,7 @@ pub struct SparseApprox {
 impl SparseApprox {
     /// The estimated value at `index` (zero if not among the kept entries).
     pub fn get(&self, index: u64) -> f64 {
-        self.entries
-            .iter()
-            .find(|(i, _)| *i == index)
-            .map(|(_, v)| *v)
-            .unwrap_or(0.0)
+        self.entries.iter().find(|(i, _)| *i == index).map(|(_, v)| *v).unwrap_or(0.0)
     }
 
     /// Indices of the kept entries.
@@ -65,7 +61,7 @@ impl SparseApprox {
 pub fn rows_for_dimension(n: u64) -> usize {
     let l = ((n.max(2) as f64).log2() * 1.5).ceil() as usize;
     let l = l.max(5);
-    if l % 2 == 0 {
+    if l.is_multiple_of(2) {
         l + 1
     } else {
         l
@@ -156,10 +152,8 @@ impl CountSketch {
     /// the `count` coordinates with largest |x*_i| (Lemma 1). By default the
     /// sampler uses `count = self.m()`.
     pub fn best_m_sparse(&self, count: usize) -> SparseApprox {
-        let mut all: Vec<(u64, f64)> = (0..self.dimension)
-            .map(|i| (i, self.estimate(i)))
-            .filter(|(_, v)| *v != 0.0)
-            .collect();
+        let mut all: Vec<(u64, f64)> =
+            (0..self.dimension).map(|i| (i, self.estimate(i))).filter(|(_, v)| *v != 0.0).collect();
         all.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
         all.truncate(count);
         SparseApprox { entries: all }
@@ -288,10 +282,7 @@ mod tests {
         }
         for (i, v) in entries {
             let est = cs.estimate(i);
-            assert!(
-                (est - v).abs() < 1e-9,
-                "estimate {est} for coordinate {i} should equal {v}"
-            );
+            assert!((est - v).abs() < 1e-9, "estimate {est} for coordinate {i} should equal {v}");
         }
     }
 

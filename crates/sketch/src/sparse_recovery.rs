@@ -154,7 +154,9 @@ impl SparseRecovery {
         let buckets = (2 * capacity).max(2);
         let rows = (((capacity as f64).log2().ceil() as usize).max(1) + 3).max(4);
         let hashes = (0..rows).map(|_| PairwiseHash::new(seeds)).collect();
-        let fingerprint_base = Fp::new(SeedSequence::new(seeds.next_u64()).next_u64() % (lps_hash::MERSENNE_P - 2) + 1);
+        let fingerprint_base = Fp::new(
+            SeedSequence::new(seeds.next_u64()).next_u64() % (lps_hash::MERSENNE_P - 2) + 1,
+        );
         SparseRecovery {
             dimension,
             capacity,
@@ -242,7 +244,9 @@ impl SparseRecovery {
             // find a decodable cell
             let mut found: Option<(u64, i64)> = None;
             for cell in scratch.iter() {
-                if let CellState::OneSparse(i, v) = cell.state(self.dimension, self.fingerprint_base) {
+                if let CellState::OneSparse(i, v) =
+                    cell.state(self.dimension, self.fingerprint_base)
+                {
                     found = Some((i, v));
                     break;
                 }
@@ -267,8 +271,7 @@ impl SpaceUsage for SparseRecovery {
         // Each cell stores three counters (sum, index-weighted sum, fingerprint).
         let counters = (self.rows * self.buckets * 3) as u64;
         let counter_bits = counter_bits_for(self.dimension, self.dimension).max(61);
-        let randomness: u64 =
-            self.hashes.iter().map(|h| h.random_bits()).sum::<u64>() + 61;
+        let randomness: u64 = self.hashes.iter().map(|h| h.random_bits()).sum::<u64>() + 61;
         SpaceBreakdown::new(counters, counter_bits, randomness)
     }
 }
@@ -380,7 +383,8 @@ mod tests {
         let mut s = seeds(5);
         let cap = 12usize;
         let mut rec = SparseRecovery::new(1 << 12, cap, &mut s);
-        let entries: Vec<(u64, i64)> = (0..cap as u64).map(|i| (i * 300 + 7, i as i64 + 1)).collect();
+        let entries: Vec<(u64, i64)> =
+            (0..cap as u64).map(|i| (i * 300 + 7, i as i64 + 1)).collect();
         for &(i, v) in &entries {
             rec.update(i, v);
         }

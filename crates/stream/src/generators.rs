@@ -272,12 +272,7 @@ pub fn duplicate_stream_n_plus_s(
         counts[letter as usize] += 1;
         stream.push_insert(letter);
     }
-    let dups = counts
-        .iter()
-        .enumerate()
-        .filter(|(_, &c)| c >= 2)
-        .map(|(i, _)| i as u64)
-        .collect();
+    let dups = counts.iter().enumerate().filter(|(_, &c)| c >= 2).map(|(i, _)| i as u64).collect();
     (stream, dups)
 }
 
@@ -389,7 +384,7 @@ mod tests {
         let stream = signed_churn_stream(500, 12, 20, 3, &mut s);
         let v = TruthVector::from_stream(&stream);
         // noise cancels, churn pieces sum to the planted values
-        assert!(v.l0() <= 12 + 0, "support too large: {}", v.l0());
+        assert!(v.l0() <= 12, "support too large: {}", v.l0());
         assert!(v.l0() >= 1);
     }
 
@@ -445,8 +440,7 @@ mod tests {
         let (stream, dups) = duplicate_stream_n_plus_s(256, 64, &mut s);
         assert_eq!(stream.len() as u64, 320);
         let v = TruthVector::from_stream(&stream);
-        let expected: Vec<u64> =
-            (0..256).filter(|&i| v.get(i) >= 2).collect();
+        let expected: Vec<u64> = (0..256).filter(|&i| v.get(i) >= 2).collect();
         assert_eq!(dups, expected);
         assert!(!dups.is_empty(), "with s=n/4 duplicates exist with overwhelming probability");
     }

@@ -25,8 +25,8 @@ pub mod vector;
 
 pub use generators::{
     almost_cancelled_stream, duplicate_stream_n_minus_s, duplicate_stream_n_plus_1,
-    duplicate_stream_n_plus_s, pm_one_vector_stream, random_permutation, sample_distinct,
-    shuffle, signed_churn_stream, sparse_vector_stream, uniform_stream, zipf_stream, Zipf,
+    duplicate_stream_n_plus_s, pm_one_vector_stream, random_permutation, sample_distinct, shuffle,
+    signed_churn_stream, sparse_vector_stream, uniform_stream, zipf_stream, Zipf,
 };
 pub use space::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 pub use stats::{

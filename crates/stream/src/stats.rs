@@ -156,7 +156,15 @@ impl Summary {
     /// Compute summary statistics of a slice of values.
     pub fn of(values: &[f64]) -> Summary {
         if values.is_empty() {
-            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0, median: 0.0, p95: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+                median: 0.0,
+                p95: 0.0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());

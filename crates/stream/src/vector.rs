@@ -59,12 +59,7 @@ impl TruthVector {
 
     /// Indices of non-zero coordinates (the support of `x`).
     pub fn support(&self) -> Vec<u64> {
-        self.values
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v != 0)
-            .map(|(i, _)| i as u64)
-            .collect()
+        self.values.iter().enumerate().filter(|(_, &v)| v != 0).map(|(i, _)| i as u64).collect()
     }
 
     /// Number of non-zero coordinates, `‖x‖₀`.
@@ -125,9 +120,7 @@ impl TruthVector {
                 return None;
             }
             let w = 1.0 / k as f64;
-            return Some(
-                self.values.iter().map(|&v| if v != 0 { w } else { 0.0 }).collect(),
-            );
+            return Some(self.values.iter().map(|&v| if v != 0 { w } else { 0.0 }).collect());
         }
         let total = self.lp_norm_pow(p);
         if total == 0.0 {
@@ -151,12 +144,7 @@ impl TruthVector {
     pub fn difference(&self, other: &TruthVector) -> TruthVector {
         assert_eq!(self.dimension(), other.dimension());
         TruthVector {
-            values: self
-                .values
-                .iter()
-                .zip(other.values.iter())
-                .map(|(&a, &b)| a - b)
-                .collect(),
+            values: self.values.iter().zip(other.values.iter()).map(|(&a, &b)| a - b).collect(),
         }
     }
 }

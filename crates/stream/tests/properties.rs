@@ -3,8 +3,8 @@
 
 use lps_hash::SeedSequence;
 use lps_stream::{
-    duplicate_stream_n_minus_s, duplicate_stream_n_plus_1, sample_distinct, total_variation_distance,
-    TruthVector, TurnstileModel, Update, UpdateStream,
+    duplicate_stream_n_minus_s, duplicate_stream_n_plus_1, sample_distinct,
+    total_variation_distance, TruthVector, TurnstileModel, Update, UpdateStream,
 };
 use proptest::prelude::*;
 

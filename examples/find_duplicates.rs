@@ -5,7 +5,9 @@
 //! Run with `cargo run --release --example find_duplicates`.
 
 use lp_samplers::prelude::*;
-use lps_stream::{duplicate_stream_n_minus_s, duplicate_stream_n_plus_1, duplicate_stream_n_plus_s};
+use lps_stream::{
+    duplicate_stream_n_minus_s, duplicate_stream_n_plus_1, duplicate_stream_n_plus_s,
+};
 
 fn main() {
     let n: u64 = 1 << 12;
@@ -16,7 +18,7 @@ fn main() {
     let (stream, dups) = duplicate_stream_n_plus_1(n, 5, &mut seeds);
     let mut finder = DuplicateFinder::new(n, delta, &mut seeds);
     finder.process_stream(&stream);
-    let naive_bits = n * 1; // a bitmap of seen ids
+    let naive_bits = n; // a bitmap of seen ids
     println!("[n+1]  planted duplicates: {dups:?}");
     println!(
         "[n+1]  Theorem 3 finder: {:?} using {} bits (naive bitmap needs {} bits)",

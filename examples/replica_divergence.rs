@@ -33,7 +33,10 @@ fn main() {
             instance.is_valid_answer(i),
             outcome.message_bits
         ),
-        None => println!("protocol failed (probability ≤ 0.1); message was {} bits", outcome.message_bits),
+        None => println!(
+            "protocol failed (probability ≤ 0.1); message was {} bits",
+            outcome.message_bits
+        ),
     }
     println!("sending the whole replica description would cost {n} bits");
 

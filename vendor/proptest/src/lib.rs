@@ -1,0 +1,457 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so this crate vendors the slice of proptest's API that the
+//! workspace's property tests use: the [`proptest!`] macro (including
+//! `#![proptest_config(..)]`), [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`], [`any`], range and tuple strategies,
+//! [`collection::vec`], and [`sample::select`].
+//!
+//! Differences from the real crate: generation is driven by a deterministic
+//! splitmix64 stream keyed on the property name and case index (so failures
+//! reproduce across runs), rejected cases are skipped rather than retried,
+//! and there is no shrinking — a failing case reports its inputs via the
+//! assertion message only.
+
+use std::marker::PhantomData;
+
+/// Deterministic test-case RNG (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create an RNG from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        // Rejection sampling to avoid modulo bias on huge bounds.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a over a string, used to key the per-property RNG stream.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Test-runner configuration and error types, mirroring
+/// `proptest::test_runner`.
+pub mod test_runner {
+    /// Per-property configuration (`ProptestConfig` in the real crate).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` and should be skipped.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// `Result` alias used by generated test bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Value-generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for ::std::ops::Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let width = (self.end as i128 - self.start as i128) as u64;
+                        let off = rng.next_below(width);
+                        (self.start as i128 + off as i128) as $t
+                    }
+                }
+                impl Strategy for ::std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty range strategy");
+                        let width = (end as i128 - start as i128) as u64;
+                        if width == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        let off = rng.next_below(width + 1);
+                        (start as i128 + off as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {
+            $(
+                #[allow(non_snake_case)]
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+    /// Reference forwarding so `&strategy` is itself a strategy.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+/// `any::<T>()` support, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::{PhantomData, TestRng};
+
+    /// Types with a canonical full-range generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values spanning a wide range of magnitudes.
+            let mag = rng.next_f64() * 600.0 - 300.0;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * mag.exp2() * (1.0 + rng.next_f64())
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Admissible length range for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end_exclusive: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { start: r.start, end_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { start: *r.start(), end_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end_exclusive, "empty size range");
+            let width = (self.size.end_exclusive - self.size.start) as u64;
+            let len = self.size.start + rng.next_below(width) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, len_range)` — a vector of generated elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Sampling strategies, mirroring `proptest::sample`.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "select over an empty list");
+            let i = rng.next_below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+
+    /// `select(options)` — pick one of the given values per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of the real crate's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the `#![proptest_config(..)]` header, `mut` argument patterns,
+/// multiple properties per invocation, and helper items between properties
+/// are not supported (keep helpers outside the macro, as this workspace does).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let name_key = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::new(name_key ^ (case as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: $crate::test_runner::TestCaseResult = (|| { { $body } Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed at case {}: {}", stringify!($name), case, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fallible assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fallible inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skip cases that do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
