@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the batched update path: sequential vs
+//! batched ingestion for the structures with specialized `process_batch`
+//! implementations, plus the pre-optimization reference path where one is
+//! retained (sparse recovery, L0 sampler). The wall-clock suite behind
+//! `BENCH_samplers.json` lives in `lps_bench::throughput`; these benches
+//! give per-call numbers for finer-grained regression hunting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lps_bench::throughput::workload;
+use lps_core::{L0Sampler, LpSampler};
+use lps_hash::SeedSequence;
+use lps_sketch::{CountSketch, LinearSketch, SparseRecovery};
+
+const N: u64 = 1 << 16;
+const BATCH: usize = 1024;
+
+fn bench_sparse_recovery(c: &mut Criterion) {
+    let updates = workload(N, BATCH, 1);
+    let mut group = c.benchmark_group("sparse_recovery_throughput");
+    let mut seeds = SeedSequence::new(1);
+    let proto = SparseRecovery::new(N, 8, &mut seeds);
+
+    let mut reference = proto.clone();
+    group.bench_function("reference_1k", |b| {
+        b.iter(|| {
+            for u in &updates {
+                reference.update_reference(u.index, u.delta);
+            }
+        })
+    });
+    let mut sequential = proto.clone();
+    group.bench_function("sequential_1k", |b| {
+        b.iter(|| {
+            for u in &updates {
+                sequential.update(u.index, u.delta);
+            }
+        })
+    });
+    let mut batched = proto;
+    group.bench_function("batched_1k", |b| b.iter(|| batched.process_batch(&updates)));
+    group.finish();
+}
+
+fn bench_l0_sampler(c: &mut Criterion) {
+    let updates = workload(N, BATCH, 2);
+    let mut group = c.benchmark_group("l0_sampler_throughput");
+    let mut seeds = SeedSequence::new(2);
+    let proto = L0Sampler::new(N, 0.25, &mut seeds);
+
+    let mut reference = proto.clone();
+    group.bench_function("reference_1k", |b| {
+        b.iter(|| {
+            for u in &updates {
+                reference.process_update_reference(*u);
+            }
+        })
+    });
+    let mut sequential = proto.clone();
+    group.bench_function("sequential_1k", |b| {
+        b.iter(|| {
+            for u in &updates {
+                sequential.process_update(*u);
+            }
+        })
+    });
+    let mut batched = proto;
+    group.bench_function("batched_1k", |b| b.iter(|| batched.process_batch(&updates)));
+    group.finish();
+}
+
+fn bench_count_sketch(c: &mut Criterion) {
+    let updates = workload(N, BATCH, 3);
+    let mut group = c.benchmark_group("count_sketch_throughput");
+    let mut seeds = SeedSequence::new(3);
+    let proto = CountSketch::with_default_rows(N, 16, &mut seeds);
+
+    let mut sequential = proto.clone();
+    group.bench_function("sequential_1k", |b| {
+        b.iter(|| {
+            for u in &updates {
+                sequential.update_int(*u);
+            }
+        })
+    });
+    let mut batched = proto;
+    group.bench_function("batched_1k", |b| b.iter(|| batched.process_batch(&updates)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sparse_recovery, bench_l0_sampler, bench_count_sketch
+}
+criterion_main!(benches);

@@ -3,20 +3,41 @@
 //! Usage:
 //!   cargo run --release -p lps-bench --bin experiments -- all [--full]
 //!   cargo run --release -p lps-bench --bin experiments -- e1 e5 e9
+//!   cargo run --release -p lps-bench --bin experiments -- bench --json
 //!
 //! Without `--full` the harness runs in "quick" mode (fewer trials), which is
-//! what EXPERIMENTS.md reports; `--full` multiplies the trial counts.
+//! what EXPERIMENTS.md reports; `--full` multiplies the trial counts. The
+//! `bench` experiment runs the update-path throughput suite (E13); with
+//! `--json` it also writes the results to `BENCH_samplers.json` so every PR
+//! leaves a machine-readable perf datapoint.
 
 use lps_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let json = args.iter().any(|a| a == "--json");
     let quick = !full;
     let selected: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     let run_everything = selected.is_empty() || selected.iter().any(|s| s == "all");
 
     let wants = |id: &str| run_everything || selected.iter().any(|s| s == id);
+
+    // The throughput suite (E13) only runs when asked for by name or via
+    // --json — it is a perf measurement, not one of the paper's statistical
+    // experiments, so `all` does not imply it.
+    if selected.iter().any(|s| s == "bench") || json {
+        let records = throughput_suite(quick);
+        println!("{}", throughput_table(&records).render());
+        if json {
+            let path = "BENCH_samplers.json";
+            std::fs::write(path, to_json(&records, quick)).expect("write BENCH_samplers.json");
+            println!("wrote {path}");
+        }
+        if !run_everything && selected.iter().all(|s| s == "bench") {
+            return;
+        }
+    }
 
     if wants("e1") || wants("e4") {
         println!("{}", e1_sampler_accuracy(quick).render());

@@ -4,7 +4,9 @@
 //! EXPERIMENTS.md (E1–E11) has a function here that regenerates its table,
 //! and the `experiments` binary runs them (`cargo run --release -p lps-bench
 //! --bin experiments -- all`). Criterion micro-benchmarks for update
-//! throughput (E12) live under `benches/`.
+//! throughput (E12) live under `benches/`, and the wall-clock throughput
+//! suite behind `BENCH_samplers.json` (E13) lives in [`throughput`]
+//! (`experiments -- bench --json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,12 +16,14 @@ pub mod e_heavy;
 pub mod e_lower;
 pub mod e_samplers;
 pub mod report;
+pub mod throughput;
 
 pub use e_duplicates::{e5_duplicates, e6_duplicates_short, e7_duplicates_long};
 pub use e_heavy::e8_heavy_hitters;
 pub use e_lower::{e10_reductions, e11_hh_reduction, e9_ur_protocol};
 pub use e_samplers::{e1_sampler_accuracy, e2_sampler_space, e3_l0_sampler};
 pub use report::Table;
+pub use throughput::{throughput_suite, throughput_table, to_json, ThroughputRecord};
 
 /// Run every experiment and return the rendered tables in order.
 pub fn run_all(quick: bool) -> Vec<String> {

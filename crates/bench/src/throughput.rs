@@ -1,0 +1,432 @@
+//! Update-path throughput benchmarks (Experiment E13) and the
+//! machine-readable `BENCH_samplers.json` writer that seeds the workspace's
+//! performance trajectory.
+//!
+//! For every structure with a batched ingestion path this module measures
+//! updates/second in up to three modes over the same pre-generated update
+//! batch:
+//!
+//! * `reference` — the pre-optimization update path (fingerprint power
+//!   `r^index` recomputed per cell by square-and-multiply), retained on the
+//!   structures that had one so each PR's speedup is measured against a
+//!   faithful baseline rather than a guess;
+//! * `sequential` — one `process_update` / `update` call per stream update,
+//!   using the hoisted fingerprint terms and power tables;
+//! * `batched` — `process_batch` over [`lps_stream::DEFAULT_BATCH_SIZE`]
+//!   chunks (coalescing, cached hash evaluations, row-major cell walks).
+//!
+//! `cargo run --release -p lps-bench --bin experiments -- bench --json`
+//! renders the table and writes `BENCH_samplers.json`; CI runs the quick
+//! variant so every PR leaves a machine-readable perf datapoint.
+
+use std::time::Instant;
+
+use lps_core::{AkoSampler, FisL0Sampler, L0Sampler, LpSampler, PrecisionLpSampler};
+use lps_hash::SeedSequence;
+use lps_heavy::CountSketchHeavyHitters;
+use lps_sketch::{
+    AmsSketch, CountMinSketch, CountSketch, LinearSketch, PStableSketch, SparseRecovery,
+};
+use lps_stream::{Update, DEFAULT_BATCH_SIZE};
+
+use crate::report::{f1, int, Table};
+
+/// One measured (structure, mode) data point.
+#[derive(Debug, Clone)]
+pub struct ThroughputRecord {
+    /// Structure identifier, e.g. `"sparse_recovery"`.
+    pub structure: &'static str,
+    /// `"reference"`, `"sequential"` or `"batched"`.
+    pub mode: &'static str,
+    /// Dimension `n` of the underlying vector.
+    pub dimension: u64,
+    /// Number of stream updates processed.
+    pub updates: u64,
+    /// Wall-clock nanoseconds for the whole run.
+    pub elapsed_ns: u128,
+    /// Updates per second.
+    pub updates_per_sec: f64,
+}
+
+fn time_updates(
+    structure: &'static str,
+    mode: &'static str,
+    dimension: u64,
+    batch: &[Update],
+    mut run: impl FnMut(&[Update]),
+) -> ThroughputRecord {
+    let start = Instant::now();
+    run(batch);
+    let elapsed = start.elapsed();
+    let elapsed_ns = elapsed.as_nanos().max(1);
+    ThroughputRecord {
+        structure,
+        mode,
+        dimension,
+        updates: batch.len() as u64,
+        elapsed_ns,
+        updates_per_sec: batch.len() as f64 / (elapsed_ns as f64 / 1e9),
+    }
+}
+
+/// A deterministic mixed insert/delete workload over `[0, n)`.
+pub fn workload(n: u64, updates: usize, master: u64) -> Vec<Update> {
+    let mut seeds = SeedSequence::new(master);
+    (0..updates)
+        .map(|_| {
+            let index = seeds.next_below(n);
+            let delta = (seeds.next_below(9) as i64) - 4;
+            Update::new(index, if delta == 0 { 1 } else { delta })
+        })
+        .collect()
+}
+
+fn chunked(s: &mut impl LpSampler, batch: &[Update]) {
+    for chunk in batch.chunks(DEFAULT_BATCH_SIZE) {
+        s.process_batch(chunk);
+    }
+}
+
+/// Run the full throughput suite. Quick mode shrinks the workload so CI can
+/// afford it; full mode measures the headline `n = 2^20`, `10^6`-update
+/// configuration the perf trajectory tracks.
+pub fn throughput_suite(quick: bool) -> Vec<ThroughputRecord> {
+    let n: u64 = 1 << 20;
+    let heavy_updates: usize = if quick { 100_000 } else { 1_000_000 };
+    let light_updates: usize = if quick { 20_000 } else { 200_000 };
+    let batch = workload(n, heavy_updates, 0xBE7C);
+    let light = &batch[..light_updates];
+    let mut out = Vec::new();
+
+    // --- sparse recovery (Lemma 5), the hottest kernel in the workspace ---
+    {
+        let mut s = SeedSequence::new(1);
+        let proto = SparseRecovery::new(n, 8, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("sparse_recovery", "reference", n, &batch, |b| {
+            for u in b {
+                a.update_reference(u.index, u.delta);
+            }
+        }));
+        let mut b_ = proto.clone();
+        out.push(time_updates("sparse_recovery", "sequential", n, &batch, |b| {
+            for u in b {
+                b_.update(u.index, u.delta);
+            }
+        }));
+        let mut c = proto;
+        out.push(time_updates("sparse_recovery", "batched", n, &batch, |b| {
+            for chunk in b.chunks(DEFAULT_BATCH_SIZE) {
+                c.process_batch(chunk);
+            }
+        }));
+    }
+
+    // --- the Theorem 2 L0 sampler ---
+    {
+        let mut s = SeedSequence::new(2);
+        let proto = L0Sampler::new(n, 0.25, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("l0_sampler", "reference", n, &batch, |b| {
+            for u in b {
+                a.process_update_reference(*u);
+            }
+        }));
+        let mut b_ = proto.clone();
+        out.push(time_updates("l0_sampler", "sequential", n, &batch, |b| {
+            for u in b {
+                b_.process_update(*u);
+            }
+        }));
+        let mut c = proto;
+        out.push(time_updates("l0_sampler", "batched", n, &batch, |b| chunked(&mut c, b)));
+    }
+
+    // --- FIS-style L0 baseline (shared fingerprint base across all slots) ---
+    {
+        let mut s = SeedSequence::new(3);
+        let proto = FisL0Sampler::new(n, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("fis_l0", "sequential", n, light, |b| {
+            for u in b {
+                a.process_update(*u);
+            }
+        }));
+        let mut b_ = proto;
+        out.push(time_updates("fis_l0", "batched", n, light, |b| chunked(&mut b_, b)));
+    }
+
+    // --- precision Lp sampler and the AKO baseline ---
+    {
+        let mut s = SeedSequence::new(4);
+        let proto = PrecisionLpSampler::new(n, 1.0, 0.25, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("precision_lp", "sequential", n, light, |b| {
+            for u in b {
+                a.process_update(*u);
+            }
+        }));
+        let mut b_ = proto;
+        out.push(time_updates("precision_lp", "batched", n, light, |b| chunked(&mut b_, b)));
+    }
+    {
+        let mut s = SeedSequence::new(5);
+        let proto = AkoSampler::new(n, 1.0, 0.25, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("ako_sampler", "sequential", n, light, |b| {
+            for u in b {
+                a.process_update(*u);
+            }
+        }));
+        let mut b_ = proto;
+        out.push(time_updates("ako_sampler", "batched", n, light, |b| chunked(&mut b_, b)));
+    }
+
+    // --- the plain sketches ---
+    {
+        let mut s = SeedSequence::new(6);
+        let proto = CountSketch::with_default_rows(n, 16, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("count_sketch", "sequential", n, &batch, |b| {
+            for u in b {
+                a.update_int(*u);
+            }
+        }));
+        let mut b_ = proto;
+        out.push(time_updates("count_sketch", "batched", n, &batch, |b| {
+            for chunk in b.chunks(DEFAULT_BATCH_SIZE) {
+                b_.process_batch(chunk);
+            }
+        }));
+    }
+    {
+        let mut s = SeedSequence::new(7);
+        let proto = CountMinSketch::new(n, 1024, 7, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("count_min", "sequential", n, &batch, |b| {
+            for u in b {
+                a.update(u.index, u.delta);
+            }
+        }));
+        let mut b_ = proto;
+        out.push(time_updates("count_min", "batched", n, &batch, |b| {
+            for chunk in b.chunks(DEFAULT_BATCH_SIZE) {
+                b_.process_batch(chunk);
+            }
+        }));
+    }
+    {
+        let mut s = SeedSequence::new(8);
+        let proto = AmsSketch::with_default_shape(n, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("ams_sketch", "sequential", n, light, |b| {
+            for u in b {
+                a.update_int(*u);
+            }
+        }));
+        let mut b_ = proto;
+        out.push(time_updates("ams_sketch", "batched", n, light, |b| {
+            for chunk in b.chunks(DEFAULT_BATCH_SIZE) {
+                b_.process_batch(chunk);
+            }
+        }));
+    }
+    {
+        let mut s = SeedSequence::new(9);
+        let proto = PStableSketch::with_default_rows(n, 1.0, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("pstable_sketch", "sequential", n, light, |b| {
+            for u in b {
+                a.update_int(*u);
+            }
+        }));
+        let mut b_ = proto;
+        out.push(time_updates("pstable_sketch", "batched", n, light, |b| {
+            for chunk in b.chunks(DEFAULT_BATCH_SIZE) {
+                b_.process_batch(chunk);
+            }
+        }));
+    }
+
+    // --- a composite driver: count-sketch heavy hitters ---
+    {
+        let mut s = SeedSequence::new(10);
+        let proto = CountSketchHeavyHitters::new(n, 1.0, 0.125, &mut s);
+        let mut a = proto.clone();
+        out.push(time_updates("cs_heavy_hitters", "sequential", n, light, |b| {
+            for u in b {
+                a.update(u.index, u.delta);
+            }
+        }));
+        let mut b_ = proto;
+        out.push(time_updates("cs_heavy_hitters", "batched", n, light, |b| {
+            for chunk in b.chunks(DEFAULT_BATCH_SIZE) {
+                b_.process_batch(chunk);
+            }
+        }));
+    }
+
+    out
+}
+
+/// Speedup of `mode_a` over `mode_b` for a structure, if both were measured.
+pub fn speedup(
+    records: &[ThroughputRecord],
+    structure: &str,
+    fast: &str,
+    slow: &str,
+) -> Option<f64> {
+    let rate = |mode: &str| {
+        records
+            .iter()
+            .find(|r| r.structure == structure && r.mode == mode)
+            .map(|r| r.updates_per_sec)
+    };
+    Some(rate(fast)? / rate(slow)?)
+}
+
+/// Render the records as an experiment table.
+pub fn throughput_table(records: &[ThroughputRecord]) -> Table {
+    let mut table = Table::new(
+        "E13: update-path throughput (updates/sec; reference = pre-optimization path)",
+        &["structure", "mode", "log2(n)", "updates", "updates_per_sec", "speedup_vs_seq"],
+    );
+    for r in records {
+        let vs_seq = speedup(records, r.structure, r.mode, "sequential").unwrap_or(1.0);
+        table.row(&[
+            r.structure.to_string(),
+            r.mode.to_string(),
+            int((r.dimension as f64).log2() as u64),
+            int(r.updates),
+            f1(r.updates_per_sec),
+            format!("{vs_seq:.2}"),
+        ]);
+    }
+    table
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize the suite to the `BENCH_samplers.json` document (no external
+/// JSON dependency is available in the build environment, so the writer is
+/// hand-rolled; the format is plain flat JSON).
+pub fn to_json(records: &[ThroughputRecord], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"update_throughput\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str(
+        "  \"command\": \"cargo run --release -p lps-bench --bin experiments -- bench --json\",\n",
+    );
+    // absent (or non-finite) ratios serialize as null, never as a bare NaN
+    // token that would make the whole document unparseable
+    let ratio = |fast: &str, slow: &str, name: &str| -> String {
+        match speedup(records, name, fast, slow) {
+            Some(v) if v.is_finite() => format!("{v:.3}"),
+            _ => "null".to_string(),
+        }
+    };
+    out.push_str("  \"headline\": {\n");
+    out.push_str(&format!(
+        "    \"sparse_recovery_batched_vs_reference\": {},\n",
+        ratio("batched", "reference", "sparse_recovery")
+    ));
+    out.push_str(&format!(
+        "    \"l0_sampler_batched_vs_reference\": {},\n",
+        ratio("batched", "reference", "l0_sampler")
+    ));
+    out.push_str(&format!(
+        "    \"sparse_recovery_sequential_vs_reference\": {},\n",
+        ratio("sequential", "reference", "sparse_recovery")
+    ));
+    out.push_str(&format!(
+        "    \"l0_sampler_sequential_vs_reference\": {}\n",
+        ratio("sequential", "reference", "l0_sampler")
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"structure\": \"{}\", \"mode\": \"{}\", \"dimension\": {}, \"updates\": {}, \"elapsed_ns\": {}, \"updates_per_sec\": {:.1}}}{}\n",
+            json_escape(r.structure),
+            json_escape(r.mode),
+            r.dimension,
+            r.updates,
+            r.elapsed_ns,
+            r.updates_per_sec,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_in_range() {
+        let a = workload(1 << 10, 500, 7);
+        let b = workload(1 << 10, 500, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|u| u.index < (1 << 10) && u.delta != 0));
+    }
+
+    #[test]
+    fn json_writer_produces_balanced_document() {
+        let records = vec![
+            ThroughputRecord {
+                structure: "sparse_recovery",
+                mode: "reference",
+                dimension: 1 << 10,
+                updates: 100,
+                elapsed_ns: 2_000_000,
+                updates_per_sec: 50_000.0,
+            },
+            ThroughputRecord {
+                structure: "sparse_recovery",
+                mode: "batched",
+                dimension: 1 << 10,
+                updates: 100,
+                elapsed_ns: 400_000,
+                updates_per_sec: 250_000.0,
+            },
+        ];
+        let json = to_json(&records, true);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"sparse_recovery_batched_vs_reference\": 5.000"));
+        // pairs missing from the records serialize as null, not NaN
+        assert!(json.contains("\"sparse_recovery_sequential_vs_reference\": null"));
+        assert!(json.contains("\"l0_sampler_batched_vs_reference\": null"));
+        assert!(!json.contains("NaN"));
+        assert!(json.contains("\"updates_per_sec\": 250000.0"));
+    }
+
+    #[test]
+    fn speedup_reads_the_right_pair() {
+        let records = vec![
+            ThroughputRecord {
+                structure: "x",
+                mode: "sequential",
+                dimension: 4,
+                updates: 1,
+                elapsed_ns: 1,
+                updates_per_sec: 10.0,
+            },
+            ThroughputRecord {
+                structure: "x",
+                mode: "batched",
+                dimension: 4,
+                updates: 1,
+                elapsed_ns: 1,
+                updates_per_sec: 30.0,
+            },
+        ];
+        assert_eq!(speedup(&records, "x", "batched", "sequential"), Some(3.0));
+        assert_eq!(speedup(&records, "x", "batched", "reference"), None);
+    }
+}

@@ -14,8 +14,8 @@
 //! high probability; conditioned on success the recovered element is (close
 //! to) uniform over the support by symmetry.
 
-use lps_hash::{Fp, SeedSequence, TabulationHash};
-use lps_sketch::{CellState, OneSparseCell};
+use lps_hash::{Fp, PowTable, SeedSequence, TabulationHash};
+use lps_sketch::{fingerprint_term, CellState, OneSparseCell};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -35,7 +35,11 @@ pub struct FisL0Sampler {
     levels: usize,
     repetitions: usize,
     slots: Vec<Slot>,
-    fingerprint_base: Fp,
+    /// Precomputed powers of the shared fingerprint base (derived, not
+    /// charged as stored randomness): every slot's cell folds in the same
+    /// `signed(Δ)·r^i` term, so it is computed once per update. The base
+    /// itself is recoverable via `pow.base()`.
+    pow: PowTable,
 }
 
 impl FisL0Sampler {
@@ -49,7 +53,8 @@ impl FisL0Sampler {
             slots.push(Slot { inclusion: TabulationHash::new(seeds), cell: OneSparseCell::new() });
         }
         let fingerprint_base = Fp::new(seeds.next_u64() % (lps_hash::MERSENNE_P - 2) + 1);
-        FisL0Sampler { dimension, levels, repetitions, slots, fingerprint_base }
+        let pow = PowTable::new(fingerprint_base);
+        FisL0Sampler { dimension, levels, repetitions, slots, pow }
     }
 
     /// Number of subsampling levels.
@@ -80,15 +85,38 @@ impl LpSampler for FisL0Sampler {
         if update.delta == 0 {
             return;
         }
+        // one fingerprint-term computation shared by all included slots
+        let term = fingerprint_term(update.index, update.delta, &self.pow);
         for level in 0..self.levels {
             for rep in 0..self.repetitions {
                 if self.slot_included(level, rep, update.index) {
-                    let base = self.fingerprint_base;
-                    self.slots[level * self.repetitions + rep].cell.update(
+                    self.slots[level * self.repetitions + rep].cell.apply(
                         update.index,
                         update.delta,
-                        base,
+                        term,
                     );
+                }
+            }
+        }
+    }
+
+    /// Batched fast path: coalesce the batch, compute each entry's
+    /// fingerprint term once, then walk the slot table level-major so each
+    /// pass touches one level's contiguous cells.
+    fn process_batch(&mut self, updates: &[Update]) {
+        let coalesced = lps_stream::coalesce_updates(updates);
+        if coalesced.is_empty() {
+            return;
+        }
+        let terms: Vec<Fp> =
+            coalesced.iter().map(|&(i, d)| fingerprint_term(i, d, &self.pow)).collect();
+        for level in 0..self.levels {
+            for rep in 0..self.repetitions {
+                for (&(index, delta), &term) in coalesced.iter().zip(terms.iter()) {
+                    debug_assert!(index < self.dimension);
+                    if self.slot_included(level, rep, index) {
+                        self.slots[level * self.repetitions + rep].cell.apply(index, delta, term);
+                    }
                 }
             }
         }
@@ -101,7 +129,7 @@ impl LpSampler for FisL0Sampler {
             for rep in 0..self.repetitions {
                 let cell = &self.slots[level * self.repetitions + rep].cell;
                 if let CellState::OneSparse(index, value) =
-                    cell.state(self.dimension, self.fingerprint_base)
+                    cell.state_with(self.dimension, &self.pow)
                 {
                     return Some(Sample { index, estimate: value as f64 });
                 }

@@ -72,6 +72,14 @@ impl<S: LpSampler> LpSampler for RepeatedSampler<S> {
         }
     }
 
+    /// Forward the batch to every copy so each inner sampler's own batched
+    /// fast path (coalescing, cached multipliers) kicks in.
+    fn process_batch(&mut self, updates: &[Update]) {
+        for c in self.copies.iter_mut() {
+            c.process_batch(updates);
+        }
+    }
+
     fn sample(&self) -> Option<Sample> {
         self.copies.iter().find_map(|c| c.sample())
     }

@@ -27,10 +27,26 @@ pub trait LpSampler: SpaceUsage {
     /// Process one turnstile update.
     fn process_update(&mut self, update: Update);
 
-    /// Process a whole stream (convenience).
-    fn process_stream(&mut self, stream: &UpdateStream) {
-        for u in stream {
+    /// Process a batch of turnstile updates.
+    ///
+    /// The default loops over [`LpSampler::process_update`]; samplers with a
+    /// cheaper amortised path (coalescing repeated indices, hoisting
+    /// per-index hash evaluations and fingerprint powers across their
+    /// internal sketches) override it. Every override must be
+    /// **interchangeable** with the sequential loop: identical sketch state
+    /// and identical [`LpSampler::sample`] output — pinned by the
+    /// batch-equivalence property tests.
+    fn process_batch(&mut self, updates: &[Update]) {
+        for u in updates {
             self.process_update(*u);
+        }
+    }
+
+    /// Process a whole stream (convenience), feeding it through
+    /// [`LpSampler::process_batch`] in chunks.
+    fn process_stream(&mut self, stream: &UpdateStream) {
+        for chunk in stream.chunks(lps_stream::DEFAULT_BATCH_SIZE) {
+            self.process_batch(chunk);
         }
     }
 

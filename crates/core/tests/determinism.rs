@@ -5,9 +5,13 @@
 //! any distributed deployment that re-derives sampler state from a shared
 //! seed) reproducible.
 
-use lps_core::{repetitions_for, L0Sampler, LpSampler, PrecisionLpSampler, RepeatedSampler};
+use lps_core::{
+    repetitions_for, AkoSampler, FisL0Sampler, L0Sampler, LpSampler, PrecisionLpSampler,
+    RepeatedSampler,
+};
 use lps_hash::SeedSequence;
 use lps_stream::{zipf_stream, SpaceUsage, Update, UpdateStream};
+use proptest::prelude::*;
 
 /// A moderately adversarial stream: Zipfian inserts plus some deletions.
 fn test_stream(n: u64) -> UpdateStream {
@@ -81,6 +85,103 @@ fn repeated_sampler_is_deterministic_for_a_fixed_seed() {
         b.map(|s| (s.index, s.estimate.to_bits())),
         "repeated sampler output diverged across two runs with the same master seed"
     );
+}
+
+/// A comparable fingerprint of a sampler's output: `(index, estimate bits)`.
+type SampleKey = Option<(u64, u64)>;
+
+/// Drive one copy of a sampler sequentially and one through `process_batch`
+/// (split across a chunk boundary), returning both samples for comparison.
+/// The batched ingestion path must be *interchangeable* with the sequential
+/// one: identical internal state, hence identical samples bit for bit.
+fn batch_vs_sequential<S: LpSampler + Clone>(
+    proto: &S,
+    updates: &[Update],
+) -> (SampleKey, SampleKey) {
+    let mut sequential = proto.clone();
+    for u in updates {
+        sequential.process_update(*u);
+    }
+    let mut batched = proto.clone();
+    let half = updates.len() / 2;
+    batched.process_batch(&updates[..half]);
+    batched.process_batch(&updates[half..]);
+    let key = |s: &S| s.sample().map(|x| (x.index, x.estimate.to_bits()));
+    (key(&sequential), key(&batched))
+}
+
+fn updates_strategy(n: u64, max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..n, -20i64..20), 0..max_len)
+}
+
+fn to_updates(pairs: &[(u64, i64)]) -> Vec<Update> {
+    pairs.iter().map(|&(i, d)| Update::new(i, d)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn l0_sampler_batch_is_interchangeable_with_sequential(a in updates_strategy(256, 80), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = L0Sampler::new(256, 0.25, &mut seeds);
+        let (sequential, batched) = batch_vs_sequential(&proto, &to_updates(&a));
+        prop_assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn fis_l0_batch_is_interchangeable_with_sequential(a in updates_strategy(256, 80), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = FisL0Sampler::new(256, &mut seeds);
+        let (sequential, batched) = batch_vs_sequential(&proto, &to_updates(&a));
+        prop_assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn precision_sampler_batch_is_interchangeable_with_sequential(a in updates_strategy(256, 60), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = PrecisionLpSampler::new(256, 1.0, 0.4, &mut seeds);
+        let (sequential, batched) = batch_vs_sequential(&proto, &to_updates(&a));
+        prop_assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn ako_sampler_batch_is_interchangeable_with_sequential(a in updates_strategy(256, 60), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = AkoSampler::new(256, 1.0, 0.4, &mut seeds);
+        let (sequential, batched) = batch_vs_sequential(&proto, &to_updates(&a));
+        prop_assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn repeated_sampler_batch_is_interchangeable_with_sequential(a in updates_strategy(128, 40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = RepeatedSampler::new(3, &mut seeds, |s| PrecisionLpSampler::new(128, 1.0, 0.5, s));
+        let (sequential, batched) = batch_vs_sequential(&proto, &to_updates(&a));
+        prop_assert_eq!(sequential, batched);
+    }
+}
+
+#[test]
+fn l0_batch_matches_sequential_on_a_zipf_stream() {
+    // an end-to-end check on a realistic duplicate-heavy stream, where the
+    // coalescing path actually merges entries
+    let n = 512;
+    let stream = test_stream(n);
+    let mut seeds = SeedSequence::new(4242);
+    let proto = L0Sampler::new(n, 0.1, &mut seeds);
+    let mut sequential = proto.clone();
+    for u in &stream {
+        sequential.process_update(*u);
+    }
+    let mut batched = proto;
+    batched.process_stream(&stream); // chunked through process_batch
+    assert_eq!(
+        sequential.sample().map(|s| (s.index, s.estimate.to_bits())),
+        batched.sample().map(|s| (s.index, s.estimate.to_bits())),
+    );
+    assert_eq!(sequential.successful_level(), batched.successful_level());
+    assert_eq!(sequential.recover_first_nonzero(), batched.recover_first_nonzero());
 }
 
 #[test]

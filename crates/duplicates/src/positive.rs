@@ -77,10 +77,18 @@ impl PositiveCoordinateFinder {
         }
     }
 
-    /// Process a whole stream.
+    /// Process a batch of updates, letting every sampler copy use its
+    /// batched fast path (cached scale multipliers per distinct index).
+    pub fn process_batch(&mut self, updates: &[Update]) {
+        for c in self.copies.iter_mut() {
+            c.process_batch(updates);
+        }
+    }
+
+    /// Process a whole stream through the batched path.
     pub fn process_stream(&mut self, stream: &UpdateStream) {
-        for u in stream {
-            self.process_update(*u);
+        for chunk in stream.chunks(lps_stream::DEFAULT_BATCH_SIZE) {
+            self.process_batch(chunk);
         }
     }
 

@@ -59,12 +59,34 @@ impl DuplicateFinder {
         self.finder.process_update(Update::new(letter, 1));
     }
 
+    /// Process a batch of letters at once, forwarding one coalescible batch
+    /// of `(letter, +1)` updates to the internal sampler copies.
+    pub fn process_letters(&mut self, letters: &[u64]) {
+        let updates: Vec<Update> = letters
+            .iter()
+            .map(|&letter| {
+                assert!(
+                    letter < self.dimension,
+                    "letter {letter} outside alphabet [0, {})",
+                    self.dimension
+                );
+                Update::insert(letter)
+            })
+            .collect();
+        self.letters_seen += letters.len() as u64;
+        self.finder.process_batch(&updates);
+    }
+
     /// Process a whole letter stream given as unit insertions.
     pub fn process_stream(&mut self, stream: &UpdateStream) {
         assert_eq!(stream.dimension(), self.dimension);
-        for u in stream {
-            assert_eq!(u.delta, 1, "the duplicates problem consumes unit insertions only");
-            self.process_letter(u.index);
+        for chunk in stream.chunks(lps_stream::DEFAULT_BATCH_SIZE) {
+            for u in chunk {
+                assert_eq!(u.delta, 1, "the duplicates problem consumes unit insertions only");
+                assert!(u.index < self.dimension);
+            }
+            self.letters_seen += chunk.len() as u64;
+            self.finder.process_batch(chunk);
         }
     }
 

@@ -64,12 +64,33 @@ impl ShortStreamDuplicateFinder {
         self.finder.process_update(Update::new(letter, 1));
     }
 
+    /// Process a batch of letters at once: the sparse-recovery structure
+    /// takes the whole batch through its coalesced row-major path and the
+    /// sampler copies take it through theirs.
+    pub fn process_letters(&mut self, letters: &[u64]) {
+        let updates: Vec<Update> = letters
+            .iter()
+            .map(|&letter| {
+                assert!(letter < self.dimension);
+                Update::insert(letter)
+            })
+            .collect();
+        self.letters_seen += letters.len() as u64;
+        self.recovery.process_batch(&updates);
+        self.finder.process_batch(&updates);
+    }
+
     /// Process a whole letter stream (unit insertions).
     pub fn process_stream(&mut self, stream: &UpdateStream) {
         assert_eq!(stream.dimension(), self.dimension);
-        for u in stream {
-            assert_eq!(u.delta, 1, "the duplicates problem consumes unit insertions only");
-            self.process_letter(u.index);
+        for chunk in stream.chunks(lps_stream::DEFAULT_BATCH_SIZE) {
+            for u in chunk {
+                assert_eq!(u.delta, 1, "the duplicates problem consumes unit insertions only");
+                assert!(u.index < self.dimension);
+            }
+            self.letters_seen += chunk.len() as u64;
+            self.recovery.process_batch(chunk);
+            self.finder.process_batch(chunk);
         }
     }
 

@@ -1,0 +1,76 @@
+//! Batched-vs-sequential interchangeability for the duplicate-finding
+//! drivers: feeding letters through `process_letters` / the chunked
+//! `process_stream` must leave the finders in a state that reports exactly
+//! what the letter-at-a-time path reports.
+
+use lps_duplicates::{DuplicateFinder, PositiveCoordinateFinder, ShortStreamDuplicateFinder};
+use lps_hash::SeedSequence;
+use lps_stream::{duplicate_stream_n_minus_s, duplicate_stream_n_plus_1, Update};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn theorem3_batched_letters_match_sequential(seed in any::<u64>(), dup_count in 1u64..20) {
+        let n = 128u64;
+        let mut gen = SeedSequence::new(seed);
+        let (stream, _) = duplicate_stream_n_plus_1(n, dup_count, &mut gen);
+        let letters: Vec<u64> = stream.iter().map(|u| u.index).collect();
+
+        let mut s1 = SeedSequence::new(seed ^ 0xD0);
+        let mut sequential = DuplicateFinder::new(n, 0.3, &mut s1);
+        for &l in &letters {
+            sequential.process_letter(l);
+        }
+        let mut s2 = SeedSequence::new(seed ^ 0xD0);
+        let mut batched = DuplicateFinder::new(n, 0.3, &mut s2);
+        let half = letters.len() / 2;
+        batched.process_letters(&letters[..half]);
+        batched.process_letters(&letters[half..]);
+
+        prop_assert_eq!(sequential.report(), batched.report());
+        prop_assert_eq!(sequential.letters_seen(), batched.letters_seen());
+    }
+
+    #[test]
+    fn theorem4_batched_letters_match_sequential(seed in any::<u64>(), dup_count in 0u64..10) {
+        let n = 128u64;
+        let s = 8u64;
+        let mut gen = SeedSequence::new(seed);
+        let (stream, _) = duplicate_stream_n_minus_s(n, s, dup_count, &mut gen);
+        let letters: Vec<u64> = stream.iter().map(|u| u.index).collect();
+
+        let mut s1 = SeedSequence::new(seed ^ 0xD4);
+        let mut sequential = ShortStreamDuplicateFinder::new(n, s, 0.3, &mut s1);
+        for &l in &letters {
+            sequential.process_letter(l);
+        }
+        let mut s2 = SeedSequence::new(seed ^ 0xD4);
+        let mut batched = ShortStreamDuplicateFinder::new(n, s, 0.3, &mut s2);
+        let half = letters.len() / 2;
+        batched.process_letters(&letters[..half]);
+        batched.process_letters(&letters[half..]);
+
+        prop_assert_eq!(sequential.report(), batched.report());
+    }
+
+    #[test]
+    fn positive_finder_batch_matches_sequential(
+        updates in prop::collection::vec((0u64..64, -10i64..10), 0..60),
+        seed in any::<u64>(),
+    ) {
+        let ups: Vec<Update> = updates.iter().map(|&(i, d)| Update::new(i, d)).collect();
+        let mut s1 = SeedSequence::new(seed);
+        let mut sequential = PositiveCoordinateFinder::new(64, 0.4, &mut s1);
+        for u in &ups {
+            sequential.process_update(*u);
+        }
+        let mut s2 = SeedSequence::new(seed);
+        let mut batched = PositiveCoordinateFinder::new(64, 0.4, &mut s2);
+        let half = ups.len() / 2;
+        batched.process_batch(&ups[..half]);
+        batched.process_batch(&ups[half..]);
+        prop_assert_eq!(sequential.find_positive(), batched.find_positive());
+    }
+}

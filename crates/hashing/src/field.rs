@@ -29,6 +29,21 @@ impl Fp {
         Fp(reduce_u64(v))
     }
 
+    /// Construct a field element from a value that is **already** a canonical
+    /// residue in `[0, P)`, skipping the reduction of [`Fp::new`].
+    ///
+    /// Every stream coordinate index in this workspace is far below `P`
+    /// (indices are at most `2^40` in all experiments), so the hot update
+    /// paths use this constructor instead of re-reducing on every hash
+    /// evaluation. The precondition is debug-asserted; in release builds a
+    /// violating input would silently produce a non-canonical element, so
+    /// callers must only pass values they can prove reduced.
+    #[inline]
+    pub fn from_reduced(v: u64) -> Self {
+        debug_assert!(v < MERSENNE_P, "from_reduced requires a canonical residue, got {v}");
+        Fp(v)
+    }
+
     /// Construct from an arbitrary 128-bit value, reducing modulo P.
     #[inline]
     pub fn from_u128(v: u128) -> Self {
@@ -93,6 +108,17 @@ impl Fp {
             e >>= 1;
         }
         acc
+    }
+
+    /// Exponentiation using a precomputed [`PowTable`] for this base.
+    ///
+    /// `self` must be the base the table was built from (debug-asserted);
+    /// the cost is one field multiplication per non-zero 4-bit digit of the
+    /// exponent instead of the ~61 squarings of [`Fp::pow`].
+    #[inline]
+    pub fn pow_with_table(self, table: &PowTable, e: u64) -> Fp {
+        debug_assert_eq!(self, table.base(), "pow_with_table used with a mismatched table");
+        table.pow(e)
     }
 
     /// Multiplicative inverse via Fermat's little theorem (`a^(P-2)`).
@@ -162,6 +188,76 @@ impl std::ops::AddAssign for Fp {
 impl std::ops::MulAssign for Fp {
     fn mul_assign(&mut self, rhs: Fp) {
         *self = Fp::mul(*self, rhs);
+    }
+}
+
+/// Number of 4-bit windows covering a full 64-bit exponent.
+const POW_WINDOWS: usize = 16;
+/// Number of digit values per 4-bit window.
+const POW_DIGITS: usize = 16;
+
+/// Precomputed powers of a fixed base `r`, supporting `r^e` in at most 15
+/// field multiplications for any 64-bit exponent `e`.
+///
+/// The table stores `table[w][d] = r^(d · 16^w)` for every window
+/// `w ∈ [0, 16)` and digit `d ∈ [0, 16)`. Writing the exponent in base 16 as
+/// `e = Σ_w d_w · 16^w`, the law of exponents gives
+/// `r^e = Π_w r^(d_w · 16^w) = Π_w table[w][d_w]`, so evaluating `r^e` costs
+/// one multiplication per **non-zero** digit (≤ 15 after the first factor).
+///
+/// **Correctness argument.** Each row is built by induction:
+/// `table[w][0] = 1 = r^0` and `table[w][d] = table[w][d-1] · step_w` where
+/// `step_w = r^(16^w)`, so `table[w][d] = r^(d·16^w)` exactly; the next
+/// window's step is `step_{w+1} = table[w][15] · step_w = r^(15·16^w + 16^w)
+/// = r^(16^{w+1})`. All arithmetic is exact modular arithmetic in canonical
+/// reduced form, so the windowed product equals [`Fp::pow`] bit for bit —
+/// pinned by the `pow_table_matches_square_and_multiply` test below.
+///
+/// This is the hot-path replacement for the per-cell `r.pow(index)` in the
+/// sparse-recovery fingerprint `Σ x_i · r^i`: sketches build one table per
+/// fingerprint base at construction time (2 KiB, derived — not charged as
+/// stored randomness) and amortise it over every stream update.
+#[derive(Debug, Clone)]
+pub struct PowTable {
+    base: Fp,
+    table: [[Fp; POW_DIGITS]; POW_WINDOWS],
+}
+
+impl PowTable {
+    /// Precompute the windowed power table of `base`.
+    pub fn new(base: Fp) -> Self {
+        let mut table = [[Fp::ONE; POW_DIGITS]; POW_WINDOWS];
+        let mut step = base; // r^(16^w), starting at w = 0
+        for row in table.iter_mut() {
+            for d in 1..POW_DIGITS {
+                row[d] = row[d - 1].mul(step);
+            }
+            step = row[POW_DIGITS - 1].mul(step);
+        }
+        PowTable { base, table }
+    }
+
+    /// The base `r` this table was built from.
+    #[inline]
+    pub fn base(&self) -> Fp {
+        self.base
+    }
+
+    /// Compute `base^e` from the table: one multiplication per non-zero
+    /// 4-bit digit of `e`.
+    #[inline]
+    pub fn pow(&self, mut e: u64) -> Fp {
+        let mut acc = Fp::ONE;
+        let mut w = 0usize;
+        while e != 0 {
+            let d = (e & 0xF) as usize;
+            if d != 0 {
+                acc = acc.mul(self.table[w][d]);
+            }
+            e >>= 4;
+            w += 1;
+        }
+        acc
     }
 }
 
@@ -278,6 +374,61 @@ mod tests {
         assert_eq!(horner(&coeffs, x), direct);
         // empty polynomial is identically zero
         assert_eq!(horner(&[], x), Fp::ZERO);
+    }
+
+    #[test]
+    fn from_reduced_is_identity_on_canonical_residues() {
+        for v in [0u64, 1, 12345, MERSENNE_P - 1] {
+            assert_eq!(Fp::from_reduced(v), Fp::new(v));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn from_reduced_rejects_unreduced_input_in_debug() {
+        let _ = Fp::from_reduced(MERSENNE_P);
+    }
+
+    #[test]
+    fn pow_table_matches_square_and_multiply() {
+        let bases = [Fp::new(2), Fp::new(123456789012345), Fp::new(MERSENNE_P - 1)];
+        for base in bases {
+            let table = PowTable::new(base);
+            assert_eq!(table.base(), base);
+            let exponents = [
+                0u64,
+                1,
+                2,
+                15,
+                16,
+                17,
+                (1 << 40) - 1,
+                1 << 40,
+                0xDEAD_BEEF_CAFE_F00D,
+                u64::MAX,
+                MERSENNE_P - 1,
+                MERSENNE_P - 2,
+            ];
+            for e in exponents {
+                assert_eq!(
+                    table.pow(e),
+                    base.pow(e),
+                    "windowed pow diverged at base {} exponent {e}",
+                    base.value()
+                );
+                assert_eq!(base.pow_with_table(&table, e), base.pow(e));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_table_handles_zero_and_one_bases() {
+        let zero = PowTable::new(Fp::ZERO);
+        assert_eq!(zero.pow(0), Fp::ONE);
+        assert_eq!(zero.pow(7), Fp::ZERO);
+        let one = PowTable::new(Fp::ONE);
+        assert_eq!(one.pow(u64::MAX), Fp::ONE);
     }
 
     #[test]

@@ -43,19 +43,28 @@ impl KWiseHash {
         self.coeffs.len()
     }
 
-    /// Evaluate the hash on an arbitrary 64-bit key, returning a field element.
+    /// Evaluate the hash on a key that is already a canonical field residue
+    /// (`key < P`), returning a field element.
+    ///
+    /// Every stream coordinate index in the workspace is at most `2^40`, far
+    /// below `P`, so the update paths skip the modular reduction that
+    /// `Fp::new` would perform on every evaluation. The precondition is
+    /// debug-asserted by [`Fp::from_reduced`].
     #[inline]
     pub fn hash_field(&self, key: u64) -> Fp {
-        horner(&self.coeffs, Fp::new(key))
+        horner(&self.coeffs, Fp::from_reduced(key))
     }
 
     /// Evaluate the hash, returning the canonical residue in `[0, P)`.
+    ///
+    /// Like every entry point below, the key must already be a reduced
+    /// residue (`key < P`) — see [`KWiseHash::hash_field`].
     #[inline]
     pub fn hash(&self, key: u64) -> u64 {
         self.hash_field(key).value()
     }
 
-    /// Map the hash output to a bucket in `[0, m)`.
+    /// Map the hash output to a bucket in `[0, m)`. Requires `key < P`.
     ///
     /// Uses the multiply-shift range reduction, which keeps the distribution
     /// within O(m/P) of uniform — negligible for every m we use.
@@ -65,7 +74,7 @@ impl KWiseHash {
         ((self.hash(key) as u128 * m as u128) >> 61) as usize
     }
 
-    /// Map the hash output to a sign in `{-1, +1}`.
+    /// Map the hash output to a sign in `{-1, +1}`. Requires `key < P`.
     #[inline]
     pub fn sign(&self, key: u64) -> i64 {
         if self.hash(key) & 1 == 1 {
@@ -75,7 +84,7 @@ impl KWiseHash {
         }
     }
 
-    /// Map the hash output to a uniform value in `(0, 1]`.
+    /// Map the hash output to a uniform value in `(0, 1]`. Requires `key < P`.
     ///
     /// The precision sampler divides by `t_i^{1/p}`, so zero must be excluded;
     /// we return `(h + 1) / P` which lies in `(0, 1]` and is uniform over a
@@ -94,6 +103,9 @@ impl KWiseHash {
 }
 
 /// A pairwise (2-wise) independent hash function.
+///
+/// All evaluation methods require reduced keys (`key < P`), like
+/// [`KWiseHash::hash_field`]; stream indices always satisfy this.
 #[derive(Debug, Clone)]
 pub struct PairwiseHash(KWiseHash);
 
@@ -128,6 +140,9 @@ impl PairwiseHash {
 }
 
 /// A 4-wise independent hash function (needed by the AMS variance argument).
+///
+/// All evaluation methods require reduced keys (`key < P`), like
+/// [`KWiseHash::hash_field`]; stream indices always satisfy this.
 #[derive(Debug, Clone)]
 pub struct FourWiseHash(KWiseHash);
 

@@ -31,7 +31,7 @@ pub mod nisan;
 pub mod seeds;
 pub mod tabulation;
 
-pub use field::{mul_mod, Fp, MERSENNE_P};
+pub use field::{mul_mod, Fp, PowTable, MERSENNE_P};
 pub use kwise::{FourWiseHash, KWiseHash, PairwiseHash};
 pub use nisan::{NisanPrg, NisanStream};
 pub use seeds::{derive_seeds, splitmix64, SeedSequence};

@@ -62,7 +62,9 @@ proptest! {
     }
 
     #[test]
-    fn kwise_hash_outputs_are_in_field_and_deterministic(seed in any::<u64>(), key in any::<u64>(), k in 1usize..8) {
+    // hash keys are field residues (stream indices in practice), so the
+    // strategies draw from [0, P) — the domain the fast constructor asserts
+    fn kwise_hash_outputs_are_in_field_and_deterministic(seed in any::<u64>(), key in 0..MERSENNE_P, k in 1usize..8) {
         let mut s1 = SeedSequence::new(seed);
         let mut s2 = SeedSequence::new(seed);
         let h1 = KWiseHash::new(k, &mut s1);
@@ -73,7 +75,7 @@ proptest! {
     }
 
     #[test]
-    fn kwise_bucket_and_unit_interval_ranges(seed in any::<u64>(), key in any::<u64>(), m in 1usize..10_000) {
+    fn kwise_bucket_and_unit_interval_ranges(seed in any::<u64>(), key in 0..MERSENNE_P, m in 1usize..10_000) {
         let mut s = SeedSequence::new(seed);
         let h = KWiseHash::new(4, &mut s);
         prop_assert!(h.bucket(key, m) < m);

@@ -49,10 +49,17 @@ impl CountMinHeavyHitters {
         self.norm.update(index, delta as f64);
     }
 
-    /// Process a whole stream.
+    /// Process a batch of updates through both internal sketches' batched
+    /// fast paths.
+    pub fn process_batch(&mut self, updates: &[Update]) {
+        self.sketch.process_batch(updates);
+        self.norm.process_batch(updates);
+    }
+
+    /// Process a whole stream through the batched path.
     pub fn process(&mut self, stream: &UpdateStream) {
-        for Update { index, delta } in stream.iter().copied() {
-            self.update(index, delta);
+        for chunk in stream.chunks(lps_stream::DEFAULT_BATCH_SIZE) {
+            self.process_batch(chunk);
         }
     }
 

@@ -1,0 +1,50 @@
+//! Batched-vs-sequential interchangeability for the heavy-hitter drivers:
+//! `process_batch` must leave the sketches in a state that reports exactly
+//! the heavy-hitter set the update-at-a-time path reports.
+
+use lps_hash::SeedSequence;
+use lps_heavy::{CountMinHeavyHitters, CountSketchHeavyHitters};
+use lps_stream::Update;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn count_sketch_hh_batch_matches_sequential(
+        updates in prop::collection::vec((0u64..512, -30i64..30), 0..120),
+        seed in any::<u64>(),
+    ) {
+        let ups: Vec<Update> = updates.iter().map(|&(i, d)| Update::new(i, d)).collect();
+        let mut s = SeedSequence::new(seed);
+        let proto = CountSketchHeavyHitters::new(512, 1.0, 0.125, &mut s);
+        let mut sequential = proto.clone();
+        for u in &ups {
+            sequential.update(u.index, u.delta);
+        }
+        let mut batched = proto;
+        let half = ups.len() / 2;
+        batched.process_batch(&ups[..half]);
+        batched.process_batch(&ups[half..]);
+        prop_assert_eq!(sequential.report(), batched.report());
+    }
+
+    #[test]
+    fn count_min_hh_batch_matches_sequential(
+        updates in prop::collection::vec((0u64..512, 0i64..30), 0..120),
+        seed in any::<u64>(),
+    ) {
+        let ups: Vec<Update> = updates.iter().map(|&(i, d)| Update::new(i, d)).collect();
+        let mut s = SeedSequence::new(seed);
+        let proto = CountMinHeavyHitters::new(512, 0.125, &mut s);
+        let mut sequential = proto.clone();
+        for u in &ups {
+            sequential.update(u.index, u.delta);
+        }
+        let mut batched = proto;
+        let half = ups.len() / 2;
+        batched.process_batch(&ups[..half]);
+        batched.process_batch(&ups[half..]);
+        prop_assert_eq!(sequential.report(), batched.report());
+    }
+}

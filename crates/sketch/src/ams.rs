@@ -101,6 +101,16 @@ impl LinearSketch for AmsSketch {
         }
     }
 
+    /// Batched fast path: coalesce repeated indices so each distinct index
+    /// walks the `groups × group_size` sign hashes exactly once per batch.
+    /// Signed-unit counters stay exact integers in f64 for integer
+    /// workloads, so coalescing matches the sequential loop.
+    fn process_batch(&mut self, updates: &[lps_stream::Update]) {
+        for (index, delta) in lps_stream::coalesce_updates(updates) {
+            self.update(index, delta as f64);
+        }
+    }
+
     fn merge(&mut self, other: &Self) {
         assert_eq!(self.counters.len(), other.counters.len());
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {

@@ -55,10 +55,25 @@ impl CountMinSketch {
         }
     }
 
-    /// Process a whole stream.
+    /// Batched fast path: coalesce repeated indices and walk the table in
+    /// row-major order. Pure integer counters, so the final state is
+    /// identical to the sequential loop for any batch.
+    pub fn process_batch(&mut self, updates: &[Update]) {
+        let coalesced = lps_stream::coalesce_updates(updates);
+        for j in 0..self.rows {
+            let row = &mut self.table[j * self.width..(j + 1) * self.width];
+            let hash = &self.hashes[j];
+            for &(index, delta) in &coalesced {
+                debug_assert!(index < self.dimension);
+                row[hash.bucket(index, self.width)] += delta;
+            }
+        }
+    }
+
+    /// Process a whole stream through the batched fast path.
     pub fn process(&mut self, stream: &UpdateStream) {
-        for u in stream {
-            self.update(u.index, u.delta);
+        for chunk in stream.chunks(lps_stream::DEFAULT_BATCH_SIZE) {
+            self.process_batch(chunk);
         }
     }
 
@@ -151,6 +166,21 @@ impl LinearSketch for CountMedianSketch {
         for j in 0..self.rows {
             let k = self.hashes[j].bucket(index, self.width);
             self.table[j * self.width + k] += delta;
+        }
+    }
+
+    /// Batched fast path: coalesce repeated indices (exact integer sums) and
+    /// walk the table row-major; identical to the sequential loop for
+    /// integer workloads (counters remain exact integers in f64).
+    fn process_batch(&mut self, updates: &[Update]) {
+        let coalesced = lps_stream::coalesce_updates(updates);
+        for j in 0..self.rows {
+            let row = &mut self.table[j * self.width..(j + 1) * self.width];
+            let hash = &self.hashes[j];
+            for &(index, delta) in &coalesced {
+                debug_assert!(index < self.dimension);
+                row[hash.bucket(index, self.width)] += delta as f64;
+            }
         }
     }
 

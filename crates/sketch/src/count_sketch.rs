@@ -196,6 +196,26 @@ impl LinearSketch for CountSketch {
         }
     }
 
+    /// Batched fast path: coalesce repeated indices (exact integer sums) and
+    /// walk the bucket table in row-major order, so each pass touches one
+    /// row's `6m` contiguous counters instead of striding across the whole
+    /// table per update. Signed-unit buckets keep every counter an exact
+    /// integer in f64 for integer workloads, so coalescing is
+    /// state-identical to the sequential loop.
+    fn process_batch(&mut self, updates: &[lps_stream::Update]) {
+        let coalesced = lps_stream::coalesce_updates(updates);
+        for j in 0..self.rows {
+            let row = &mut self.table[j * self.width..(j + 1) * self.width];
+            let bucket_hash = &self.bucket_hashes[j];
+            let sign_hash = &self.sign_hashes[j];
+            for &(index, delta) in &coalesced {
+                debug_assert!(index < self.dimension, "index out of range");
+                let k = bucket_hash.bucket(index, self.width);
+                row[k] += sign_hash.sign(index) as f64 * delta as f64;
+            }
+        }
+    }
+
     fn merge(&mut self, other: &Self) {
         self.assert_same_shape(other);
         for (a, b) in self.table.iter_mut().zip(other.table.iter()) {

@@ -31,4 +31,6 @@ pub use count_min::{CountMedianSketch, CountMinSketch};
 pub use count_sketch::{median, rows_for_dimension, CountSketch, SparseApprox, WIDTH_FACTOR};
 pub use linear::LinearSketch;
 pub use pstable::{stable_sample, PStableSketch};
-pub use sparse_recovery::{CellState, OneSparseCell, RecoveryOutput, SparseRecovery};
+pub use sparse_recovery::{
+    fingerprint_term, signed_field, CellState, OneSparseCell, RecoveryOutput, SparseRecovery,
+};

@@ -26,10 +26,24 @@ pub trait LinearSketch: SpaceUsage {
         self.update(update.index, update.delta as f64);
     }
 
-    /// Process an entire update stream.
-    fn process(&mut self, stream: &UpdateStream) {
-        for u in stream {
+    /// Apply a batch of integer stream updates.
+    ///
+    /// The default simply loops; implementors override it with a batched
+    /// fast path (coalescing repeated indices, caching per-index hash
+    /// evaluations, walking counters in row-major order). Every override
+    /// must leave the sketch in a state **identical** to the sequential
+    /// loop — the batch-vs-sequential property tests pin this for each
+    /// implementor.
+    fn process_batch(&mut self, updates: &[Update]) {
+        for u in updates {
             self.update_int(*u);
+        }
+    }
+
+    /// Process an entire update stream through the batched ingestion path.
+    fn process(&mut self, stream: &UpdateStream) {
+        for chunk in stream.chunks(lps_stream::DEFAULT_BATCH_SIZE) {
+            self.process_batch(chunk);
         }
     }
 

@@ -99,6 +99,33 @@ impl LinearSketch for PStableSketch {
         }
     }
 
+    /// Batched fast path: cache the p-stable coefficient vector per distinct
+    /// index (a pure function of the index whose CMS transform — `sin`,
+    /// `cos`, `powf`, `ln` — dominates the update cost), but apply the
+    /// updates in stream order so the floating-point accumulation in each
+    /// counter matches the sequential path bit for bit. Unlike the integer
+    /// sketches, the coefficients are arbitrary reals, so coalescing deltas
+    /// would change rounding; caching does not.
+    fn process_batch(&mut self, updates: &[lps_stream::Update]) {
+        let mut cache: std::collections::HashMap<u64, Vec<f64>> = std::collections::HashMap::new();
+        for u in updates {
+            debug_assert!(u.index < self.dimension);
+            let rows = self.rows;
+            let coeffs = match cache.entry(u.index) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let coeffs: Vec<f64> =
+                        (0..rows).map(|row| self.coefficient(row, u.index)).collect();
+                    e.insert(coeffs)
+                }
+            };
+            let delta = u.delta as f64;
+            for (counter, c) in self.counters.iter_mut().zip(coeffs.iter()) {
+                *counter += c * delta;
+            }
+        }
+    }
+
     fn merge(&mut self, other: &Self) {
         assert_eq!(self.rows, other.rows);
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {

@@ -19,8 +19,10 @@
 //! probability `O(n/2^61)` per cell — the "low probability" regime the paper
 //! works in.
 
-use lps_hash::{Fp, PairwiseHash, SeedSequence};
-use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage, UpdateStream};
+use lps_hash::{Fp, PairwiseHash, PowTable, SeedSequence};
+use lps_stream::{
+    coalesce_updates, counter_bits_for, SpaceBreakdown, SpaceUsage, Update, UpdateStream,
+};
 
 /// What a single 1-sparse detection cell currently contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,10 +51,28 @@ impl OneSparseCell {
 
     /// Apply `x[index] += delta` to the cell, where `r` is the shared
     /// fingerprint base.
+    ///
+    /// This recomputes `r^index` by square-and-multiply on every call (~61
+    /// field multiplications). The hot paths instead compute the fingerprint
+    /// term once per sketch update with [`fingerprint_term`] and fold it into
+    /// every touched cell via [`OneSparseCell::apply`]; this method remains
+    /// as the simple reference (and is what the throughput benchmarks use to
+    /// quantify the speedup of the hoisted path).
     pub fn update(&mut self, index: u64, delta: i64, r: Fp) {
+        self.apply(index, delta, signed_field(delta).mul(r.pow(index)));
+    }
+
+    /// Apply `x[index] += delta` given the precomputed fingerprint term
+    /// `signed_field(delta) · r^index`.
+    ///
+    /// The term depends only on `(index, delta, r)`, not on the cell, so a
+    /// sketch touching many cells per update (rows × levels in the L0
+    /// sampler) computes it once and reuses it everywhere.
+    #[inline]
+    pub fn apply(&mut self, index: u64, delta: i64, term: Fp) {
         self.sum += delta;
         self.index_sum += index as i128 * delta as i128;
-        self.fingerprint = self.fingerprint.add(signed_field(delta).mul(r.pow(index)));
+        self.fingerprint = self.fingerprint.add(term);
     }
 
     /// Merge another cell (same fingerprint base).
@@ -71,6 +91,16 @@ impl OneSparseCell {
 
     /// Classify the cell contents, verifying candidates with the fingerprint.
     pub fn state(&self, dimension: u64, r: Fp) -> CellState {
+        self.classify(dimension, |idx| r.pow(idx))
+    }
+
+    /// Classify the cell using a precomputed [`PowTable`] for the fingerprint
+    /// base — the fast path the peeling decoder uses.
+    pub fn state_with(&self, dimension: u64, table: &PowTable) -> CellState {
+        self.classify(dimension, |idx| table.pow(idx))
+    }
+
+    fn classify(&self, dimension: u64, pow: impl Fn(u64) -> Fp) -> CellState {
         if self.sum == 0 && self.index_sum == 0 && self.fingerprint.is_zero() {
             return CellState::Zero;
         }
@@ -78,7 +108,7 @@ impl OneSparseCell {
             let idx = self.index_sum / self.sum as i128;
             if idx >= 0 && (idx as u64) < dimension {
                 let idx = idx as u64;
-                let expected = signed_field(self.sum).mul(r.pow(idx));
+                let expected = signed_field(self.sum).mul(pow(idx));
                 if expected == self.fingerprint {
                     return CellState::OneSparse(idx, self.sum);
                 }
@@ -100,12 +130,20 @@ impl Default for OneSparseCell {
 }
 
 /// Map a signed integer into the field (negative values wrap to `P - |v|`).
-fn signed_field(v: i64) -> Fp {
+pub fn signed_field(v: i64) -> Fp {
     if v >= 0 {
         Fp::new(v as u64)
     } else {
         Fp::new(v.unsigned_abs()).neg()
     }
+}
+
+/// The fingerprint contribution `signed_field(delta) · r^index` of a single
+/// update, with `r^index` served from the precomputed power table — computed
+/// once per sketch update and shared by every cell the update touches.
+#[inline]
+pub fn fingerprint_term(index: u64, delta: i64, table: &PowTable) -> Fp {
+    signed_field(delta).mul(table.pow(index))
 }
 
 /// Result of attempting sparse recovery.
@@ -139,6 +177,9 @@ pub struct SparseRecovery {
     cells: Vec<OneSparseCell>,
     hashes: Vec<PairwiseHash>,
     fingerprint_base: Fp,
+    /// Precomputed powers of the fingerprint base; derived from it (no extra
+    /// stored randomness), shared by the update path and the peeling decoder.
+    pow: PowTable,
 }
 
 impl SparseRecovery {
@@ -165,6 +206,7 @@ impl SparseRecovery {
             cells: vec![OneSparseCell::new(); rows * buckets],
             hashes,
             fingerprint_base,
+            pow: PowTable::new(fingerprint_base),
         }
     }
 
@@ -189,7 +231,28 @@ impl SparseRecovery {
     }
 
     /// Apply `x[index] += delta`.
+    ///
+    /// The fingerprint term `signed_field(delta) · r^index` is computed once
+    /// (≤ 15 field multiplications via the power table) and folded into every
+    /// row's cell, instead of re-deriving `r^index` per cell.
     pub fn update(&mut self, index: u64, delta: i64) {
+        debug_assert!(index < self.dimension);
+        if delta == 0 {
+            return;
+        }
+        let term = fingerprint_term(index, delta, &self.pow);
+        for j in 0..self.rows {
+            let b = self.hashes[j].bucket(index, self.buckets);
+            self.cells[j * self.buckets + b].apply(index, delta, term);
+        }
+    }
+
+    /// The pre-optimization update path: square-and-multiply `r^index` in
+    /// every cell, exactly as the seed implementation did. Retained solely so
+    /// the throughput benchmarks can report the speedup of the hoisted /
+    /// table-driven fast path against a faithful baseline; production callers
+    /// should use [`SparseRecovery::update`].
+    pub fn update_reference(&mut self, index: u64, delta: i64) {
         debug_assert!(index < self.dimension);
         if delta == 0 {
             return;
@@ -200,10 +263,37 @@ impl SparseRecovery {
         }
     }
 
-    /// Process a whole integer update stream.
+    /// Apply a batch of updates: coalesce repeated indices, compute each
+    /// fingerprint term once, and walk the cell table in row-major order for
+    /// cache locality. The resulting state is identical to applying the
+    /// updates one at a time (all cell arithmetic is exact, so coalescing
+    /// and reordering across cells commute).
+    pub fn process_batch(&mut self, updates: &[Update]) {
+        let coalesced = coalesce_updates(updates);
+        self.apply_coalesced(&coalesced);
+    }
+
+    /// Apply already-coalesced `(index, delta)` entries (deltas non-zero).
+    /// Shared with the L0 sampler, which coalesces once and feeds every
+    /// level's recovery structure from the same entry list.
+    pub fn apply_coalesced(&mut self, entries: &[(u64, i64)]) {
+        let terms: Vec<Fp> =
+            entries.iter().map(|&(i, d)| fingerprint_term(i, d, &self.pow)).collect();
+        for j in 0..self.rows {
+            let row = &mut self.cells[j * self.buckets..(j + 1) * self.buckets];
+            let hash = &self.hashes[j];
+            for (&(index, delta), &term) in entries.iter().zip(terms.iter()) {
+                debug_assert!(index < self.dimension);
+                let b = hash.bucket(index, self.buckets);
+                row[b].apply(index, delta, term);
+            }
+        }
+    }
+
+    /// Process a whole integer update stream through the batched fast path.
     pub fn process(&mut self, stream: &UpdateStream) {
-        for u in stream {
-            self.update(u.index, u.delta);
+        for chunk in stream.chunks(lps_stream::DEFAULT_BATCH_SIZE) {
+            self.process_batch(chunk);
         }
     }
 
@@ -244,9 +334,7 @@ impl SparseRecovery {
             // find a decodable cell
             let mut found: Option<(u64, i64)> = None;
             for cell in scratch.iter() {
-                if let CellState::OneSparse(i, v) =
-                    cell.state(self.dimension, self.fingerprint_base)
-                {
+                if let CellState::OneSparse(i, v) = cell.state_with(self.dimension, &self.pow) {
                     found = Some((i, v));
                     break;
                 }
@@ -255,9 +343,12 @@ impl SparseRecovery {
                 None => return RecoveryOutput::Dense,
                 Some((i, v)) => {
                     recovered.push((i, v));
+                    // hoist the subtraction term across the rows, exactly as
+                    // the update path does
+                    let term = fingerprint_term(i, -v, &self.pow);
                     for j in 0..self.rows {
                         let b = self.hashes[j].bucket(i, self.buckets);
-                        scratch[j * self.buckets + b].update(i, -v, self.fingerprint_base);
+                        scratch[j * self.buckets + b].apply(i, -v, term);
                     }
                 }
             }
@@ -323,6 +414,47 @@ mod tests {
         let mut cell = OneSparseCell::new();
         cell.update(9, -6, r);
         assert_eq!(cell.state(100, r), CellState::OneSparse(9, -6));
+    }
+
+    #[test]
+    fn apply_with_hoisted_term_matches_reference_update() {
+        let r = Fp::new(424242);
+        let table = lps_hash::PowTable::new(r);
+        let mut reference = OneSparseCell::new();
+        let mut hoisted = OneSparseCell::new();
+        for (i, d) in [(7u64, 5i64), (1000, -3), (7, -5), (123456, 40)] {
+            reference.update(i, d, r);
+            hoisted.apply(i, d, fingerprint_term(i, d, &table));
+            assert_eq!(reference, hoisted);
+            assert_eq!(reference.state(1 << 20, r), hoisted.state_with(1 << 20, &table));
+        }
+    }
+
+    #[test]
+    fn batched_updates_match_sequential_state() {
+        let mut s = seeds(40);
+        let proto = SparseRecovery::new(1 << 12, 8, &mut s);
+        let updates: Vec<Update> = vec![
+            Update::new(3, 5),
+            Update::new(70, -2),
+            Update::new(3, 4),
+            Update::new(999, 1),
+            Update::new(70, 2),
+            Update::new(5, 0),
+        ];
+        let mut sequential = proto.clone();
+        for u in &updates {
+            sequential.update(u.index, u.delta);
+        }
+        let mut reference = proto.clone();
+        for u in &updates {
+            reference.update_reference(u.index, u.delta);
+        }
+        let mut batched = proto.clone();
+        batched.process_batch(&updates);
+        assert_eq!(sequential.cells, batched.cells, "batched state diverged");
+        assert_eq!(sequential.cells, reference.cells, "hoisted path diverged from reference");
+        assert_eq!(sequential.recover(), batched.recover());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use lps_hash::SeedSequence;
 use lps_sketch::{
-    AmsSketch, CountMedianSketch, CountSketch, LinearSketch, PStableSketch, RecoveryOutput,
-    SparseRecovery,
+    AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, LinearSketch, PStableSketch,
+    RecoveryOutput, SparseRecovery,
 };
 use lps_stream::{TruthVector, TurnstileModel, Update, UpdateStream};
 use proptest::prelude::*;
@@ -22,6 +22,25 @@ fn stream_of(updates: &[(u64, i64)]) -> UpdateStream {
         TurnstileModel::General,
         updates.iter().filter(|(_, d)| *d != 0).map(|&(i, d)| Update::new(i, d)).collect(),
     )
+}
+
+fn to_updates(updates: &[(u64, i64)]) -> Vec<Update> {
+    updates.iter().map(|&(i, d)| Update::new(i, d)).collect()
+}
+
+/// Drive one copy of a sketch sequentially and one through `process_batch`
+/// (split into two chunks so chunk boundaries are exercised), then hand both
+/// to the caller for a state comparison.
+fn batch_vs_sequential<S: LinearSketch + Clone>(proto: &S, updates: &[Update]) -> (S, S) {
+    let mut sequential = proto.clone();
+    for u in updates {
+        sequential.update_int(*u);
+    }
+    let mut batched = proto.clone();
+    let half = updates.len() / 2;
+    batched.process_batch(&updates[..half]);
+    batched.process_batch(&updates[half..]);
+    (sequential, batched)
 }
 
 proptest! {
@@ -121,6 +140,85 @@ proptest! {
                 prop_assert_eq!(truth.get(i), v, "recovered a wrong value at {}", i);
             }
         }
+    }
+
+    // --- batched-vs-sequential equivalence: every structure exposing ---
+    // --- process_batch must be interchangeable with the one-at-a-time path ---
+
+    #[test]
+    fn count_sketch_batch_matches_sequential_bit_for_bit(a in updates_strategy(80), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountSketch::new(DIM, 4, 5, &mut seeds);
+        let (sequential, batched) = batch_vs_sequential(&proto, &to_updates(&a));
+        for i in 0..DIM {
+            prop_assert_eq!(sequential.estimate(i).to_bits(), batched.estimate(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn count_median_batch_matches_sequential_bit_for_bit(a in updates_strategy(80), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountMedianSketch::new(DIM, 32, 5, &mut seeds);
+        let (sequential, batched) = batch_vs_sequential(&proto, &to_updates(&a));
+        for i in 0..DIM {
+            prop_assert_eq!(sequential.estimate(i).to_bits(), batched.estimate(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn count_min_batch_matches_sequential(a in updates_strategy(80), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountMinSketch::new(DIM, 32, 5, &mut seeds);
+        let updates = to_updates(&a);
+        let mut sequential = proto.clone();
+        for u in &updates {
+            sequential.update(u.index, u.delta);
+        }
+        let mut batched = proto.clone();
+        let half = updates.len() / 2;
+        batched.process_batch(&updates[..half]);
+        batched.process_batch(&updates[half..]);
+        for i in 0..DIM {
+            prop_assert_eq!(sequential.estimate(i), batched.estimate(i));
+        }
+    }
+
+    #[test]
+    fn ams_batch_matches_sequential_bit_for_bit(a in updates_strategy(60), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = AmsSketch::new(DIM, 5, 4, &mut seeds);
+        let (sequential, batched) = batch_vs_sequential(&proto, &to_updates(&a));
+        prop_assert_eq!(sequential.f2_estimate().to_bits(), batched.f2_estimate().to_bits());
+    }
+
+    #[test]
+    fn pstable_batch_matches_sequential_bit_for_bit(a in updates_strategy(60), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = PStableSketch::new(DIM, 1.0, 9, &mut seeds);
+        let (sequential, batched) = batch_vs_sequential(&proto, &to_updates(&a));
+        prop_assert_eq!(sequential.estimate().to_bits(), batched.estimate().to_bits());
+    }
+
+    #[test]
+    fn sparse_recovery_batch_matches_sequential(a in updates_strategy(80), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = SparseRecovery::new(DIM, 8, &mut seeds);
+        let updates = to_updates(&a);
+        let mut sequential = proto.clone();
+        for u in &updates {
+            sequential.update(u.index, u.delta);
+        }
+        let mut reference = proto.clone();
+        for u in &updates {
+            reference.update_reference(u.index, u.delta);
+        }
+        let mut batched = proto.clone();
+        let half = updates.len() / 2;
+        batched.process_batch(&updates[..half]);
+        batched.process_batch(&updates[half..]);
+        // the recover() output is a total observation of the decodable state
+        prop_assert_eq!(sequential.recover(), batched.recover());
+        prop_assert_eq!(sequential.recover(), reference.recover());
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub use stats::{
     bernoulli_tolerance, ks_statistic, relative_error, total_variation_distance,
     EmpiricalDistribution, Summary,
 };
-pub use update::{TurnstileModel, Update, UpdateStream};
+pub use update::{coalesce_updates, TurnstileModel, Update, UpdateStream, DEFAULT_BATCH_SIZE};
 pub use vector::TruthVector;

@@ -125,6 +125,15 @@ impl UpdateStream {
         self.updates.iter()
     }
 
+    /// Iterate over the updates in contiguous chunks of at most `size`
+    /// updates — the shape the batched ingestion APIs consume
+    /// (`process_batch` on samplers and sketches). The final chunk may be
+    /// shorter; `size` must be positive.
+    pub fn chunks(&self, size: usize) -> std::slice::Chunks<'_, Update> {
+        assert!(size > 0, "chunk size must be positive");
+        self.updates.chunks(size)
+    }
+
     /// The updates as a slice.
     pub fn updates(&self) -> &[Update] {
         &self.updates
@@ -157,6 +166,40 @@ impl UpdateStream {
         }
         acc.values().all(|&v| v >= 0)
     }
+}
+
+/// Default chunk size used when feeding a whole stream through a batched
+/// ingestion path: large enough to amortise per-batch setup (coalescing
+/// maps, cached hash evaluations), small enough to keep the per-batch
+/// scratch in cache.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Coalesce a batch of updates into at most one `(index, total_delta)` entry
+/// per distinct coordinate, sorted by index, dropping entries whose deltas
+/// cancel to zero.
+///
+/// Because every sketch in the workspace is a *linear* function of the
+/// frequency vector maintained with exact integer / field arithmetic,
+/// applying the coalesced deltas leaves the structure in a state identical
+/// to applying the original updates one at a time — this is the core of the
+/// batched update fast path. (Floating-point sketches additionally need
+/// their counter contents to stay within f64's exactly-representable
+/// integer range, which every integer-update workload here does.)
+pub fn coalesce_updates(updates: &[Update]) -> Vec<(u64, i64)> {
+    // sort-based merge: one allocation, no per-entry tree nodes — this runs
+    // on every batch of the hot ingestion path
+    let mut entries: Vec<(u64, i64)> =
+        updates.iter().filter(|u| u.delta != 0).map(|u| (u.index, u.delta)).collect();
+    entries.sort_unstable_by_key(|&(i, _)| i);
+    let mut out: Vec<(u64, i64)> = Vec::with_capacity(entries.len());
+    for (index, delta) in entries {
+        match out.last_mut() {
+            Some((last, acc)) if *last == index => *acc += delta,
+            _ => out.push((index, delta)),
+        }
+    }
+    out.retain(|&(_, d)| d != 0);
+    out
 }
 
 impl<'a> IntoIterator for &'a UpdateStream {
@@ -220,6 +263,34 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.updates()[0].index, 1);
         assert_eq!(c.updates()[1].index, 2);
+    }
+
+    #[test]
+    fn chunks_cover_the_stream_in_order() {
+        let mut s = UpdateStream::new(16, TurnstileModel::General);
+        for i in 0..10u64 {
+            s.push(Update::new(i, i as i64 + 1));
+        }
+        let chunks: Vec<&[Update]> = s.chunks(4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[2].len(), 2);
+        let flat: Vec<Update> = chunks.concat();
+        assert_eq!(flat, s.updates());
+    }
+
+    #[test]
+    fn coalesce_sums_deltas_and_drops_cancellations() {
+        let ups = [
+            Update::new(5, 3),
+            Update::new(2, -1),
+            Update::new(5, 4),
+            Update::new(9, 2),
+            Update::new(9, -2),
+            Update::new(1, 0),
+        ];
+        assert_eq!(coalesce_updates(&ups), vec![(2, -1), (5, 7)]);
+        assert!(coalesce_updates(&[]).is_empty());
     }
 
     #[test]
