@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the parallel sharded ingestion engine:
+//! single-thread batched ingestion versus the engine at 1/2/4/8 shards for
+//! the two structures whose per-update work is heavy enough to parallelise
+//! (sparse recovery and the Theorem 2 L0 sampler). The wall-clock scaling
+//! suite behind the `BENCH_samplers.json` shard records (E14) lives in
+//! `lps_bench::throughput`; these benches give per-call numbers. Shard
+//! speedups require physical cores — on a single-core host expect ratios
+//! near 1 (the engine then measures its coordination overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lps_bench::throughput::workload;
+use lps_core::L0Sampler;
+use lps_engine::parallel_ingest;
+use lps_hash::SeedSequence;
+use lps_sketch::SparseRecovery;
+
+const N: u64 = 1 << 16;
+const UPDATES: usize = 8 * 1024;
+
+fn bench_engine_sparse_recovery(c: &mut Criterion) {
+    let updates = workload(N, UPDATES, 11);
+    let mut group = c.benchmark_group("engine_sparse_recovery");
+    let mut seeds = SeedSequence::new(11);
+    let proto = SparseRecovery::new(N, 8, &mut seeds);
+    let mut sequential = proto.clone();
+    group.bench_function("sequential_8k", |b| b.iter(|| sequential.process_batch(&updates)));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("shards_{shards}_8k"), |b| {
+            b.iter(|| parallel_ingest(&proto, &updates, shards))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_l0_sampler(c: &mut Criterion) {
+    let updates = workload(N, UPDATES, 12);
+    let mut group = c.benchmark_group("engine_l0_sampler");
+    let mut seeds = SeedSequence::new(12);
+    let proto = L0Sampler::new(N, 0.25, &mut seeds);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("shards_{shards}_8k"), |b| {
+            b.iter(|| parallel_ingest(&proto, &updates, shards))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_sparse_recovery, bench_engine_l0_sampler);
+criterion_main!(benches);

@@ -4,12 +4,16 @@
 //!   cargo run --release -p lps-bench --bin experiments -- all [--full]
 //!   cargo run --release -p lps-bench --bin experiments -- e1 e5 e9
 //!   cargo run --release -p lps-bench --bin experiments -- bench --json
+//!   cargo run --release -p lps-bench --bin experiments -- bench --json --check baseline.json
 //!
 //! Without `--full` the harness runs in "quick" mode (fewer trials), which is
 //! what EXPERIMENTS.md reports; `--full` multiplies the trial counts. The
-//! `bench` experiment runs the update-path throughput suite (E13); with
-//! `--json` it also writes the results to `BENCH_samplers.json` so every PR
-//! leaves a machine-readable perf datapoint.
+//! `bench` experiment runs the update-path throughput suite (E13) and the
+//! sharded-ingestion engine scaling suite (E14); with `--json` it also
+//! writes the results to `BENCH_samplers.json` so every PR leaves a
+//! machine-readable perf datapoint. `--check <path>` re-reads a committed
+//! baseline document, compares the gated headline speedups, and exits
+//! non-zero on a regression beyond the tolerance — this is the CI perf gate.
 
 use lps_bench::*;
 
@@ -17,22 +21,77 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
+    let check_baseline: Option<String> = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).cloned().expect("--check requires a baseline path"));
     let quick = !full;
-    let selected: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let selected: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            // skip flags and the value consumed by --check
+            let consumed_by_check = *i > 0 && args[i - 1] == "--check";
+            !(a.starts_with("--") || consumed_by_check)
+        })
+        .map(|(_, a)| a.clone())
+        .collect();
     let run_everything = selected.is_empty() || selected.iter().any(|s| s == "all");
 
     let wants = |id: &str| run_everything || selected.iter().any(|s| s == id);
 
-    // The throughput suite (E13) only runs when asked for by name or via
-    // --json — it is a perf measurement, not one of the paper's statistical
-    // experiments, so `all` does not imply it.
-    if selected.iter().any(|s| s == "bench") || json {
-        let records = throughput_suite(quick);
+    // The throughput suites (E13 + E14) only run when asked for by name or
+    // via --json / --check — they are perf measurements, not one of the
+    // paper's statistical experiments, so `all` does not imply them.
+    if selected.iter().any(|s| s == "bench") || json || check_baseline.is_some() {
+        let meta = BenchMeta::collect();
+        // Read the baseline BEFORE --json can overwrite it: `--json --check
+        // BENCH_samplers.json` must compare against the committed bytes, not
+        // against the freshly written results.
+        let baseline_doc = check_baseline.as_ref().map(|baseline_path| {
+            std::fs::read_to_string(baseline_path)
+                .unwrap_or_else(|e| panic!("read perf baseline {baseline_path}: {e}"))
+        });
+        let mut records = throughput_suite(quick);
         println!("{}", throughput_table(&records).render());
+        let scaling = engine_scaling_suite(quick);
+        println!("{}", engine_scaling_table(&scaling, meta.host_cpus).render());
+        records.extend(scaling);
         if json {
             let path = "BENCH_samplers.json";
-            std::fs::write(path, to_json(&records, quick)).expect("write BENCH_samplers.json");
+            std::fs::write(path, to_json(&records, quick, &meta))
+                .expect("write BENCH_samplers.json");
             println!("wrote {path}");
+        }
+        if let (Some(baseline_path), Some(baseline_doc)) = (&check_baseline, &baseline_doc) {
+            let fresh_mode = if quick { "quick" } else { "full" };
+            if let Some(baseline_mode) = parse_mode(baseline_doc) {
+                if baseline_mode != fresh_mode {
+                    println!(
+                        "perf gate note: comparing a {fresh_mode}-mode run against a \
+                         {baseline_mode}-mode baseline — ratios are dimensionless but \
+                         workload sizes differ, so expect extra noise"
+                    );
+                }
+            }
+            let baseline = parse_headline(baseline_doc);
+            let fresh = headline_ratios(&records);
+            println!("perf gate vs {baseline_path} (tolerance {:.0}%):", GATE_TOLERANCE * 100.0);
+            match check_headline_regression(&fresh, &baseline, GATE_TOLERANCE) {
+                Ok(report) => {
+                    for line in report {
+                        println!("  {line}");
+                    }
+                    println!("perf gate: PASS");
+                }
+                Err(failures) => {
+                    for line in failures {
+                        println!("  {line}");
+                    }
+                    println!("perf gate: FAIL");
+                    std::process::exit(1);
+                }
+            }
         }
         if !run_everything && selected.iter().all(|s| s == "bench") {
             return;

@@ -5,8 +5,10 @@
 //! and the `experiments` binary runs them (`cargo run --release -p lps-bench
 //! --bin experiments -- all`). Criterion micro-benchmarks for update
 //! throughput (E12) live under `benches/`, and the wall-clock throughput
-//! suite behind `BENCH_samplers.json` (E13) lives in [`throughput`]
-//! (`experiments -- bench --json`).
+//! suites behind `BENCH_samplers.json` — single-thread E13 and the sharded
+//! ingestion engine scaling E14 — live in [`throughput`]
+//! (`experiments -- bench --json`), together with the headline-ratio
+//! regression gate CI runs via `experiments -- bench --check <baseline>`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +25,11 @@ pub use e_heavy::e8_heavy_hitters;
 pub use e_lower::{e10_reductions, e11_hh_reduction, e9_ur_protocol};
 pub use e_samplers::{e1_sampler_accuracy, e2_sampler_space, e3_l0_sampler};
 pub use report::Table;
-pub use throughput::{throughput_suite, throughput_table, to_json, ThroughputRecord};
+pub use throughput::{
+    check_headline_regression, engine_scaling_suite, engine_scaling_table, headline_ratios,
+    parse_headline, parse_mode, throughput_suite, throughput_table, to_json, BenchMeta,
+    ThroughputRecord, GATE_TOLERANCE,
+};
 
 /// Run every experiment and return the rendered tables in order.
 pub fn run_all(quick: bool) -> Vec<String> {

@@ -1,4 +1,4 @@
-//! Update-path throughput benchmarks (Experiment E13) and the
+//! Update-path throughput benchmarks (Experiments E13 and E14) and the
 //! machine-readable `BENCH_samplers.json` writer that seeds the workspace's
 //! performance trajectory.
 //!
@@ -15,13 +15,23 @@
 //! * `batched` — `process_batch` over [`lps_stream::DEFAULT_BATCH_SIZE`]
 //!   chunks (coalescing, cached hash evaluations, row-major cell walks).
 //!
+//! Experiment E14 ([`engine_scaling_suite`]) adds `shards-1/2/4/8` modes:
+//! the same workload pushed through the `lps-engine` sharded ingestion
+//! pipeline, so the artifact tracks multi-core scaling next to the
+//! single-thread numbers. Shard speedups require physical cores; the JSON is
+//! stamped with `host_cpus` (and the git commit) so the trajectory across
+//! PRs stays interpretable.
+//!
 //! `cargo run --release -p lps-bench --bin experiments -- bench --json`
-//! renders the table and writes `BENCH_samplers.json`; CI runs the quick
-//! variant so every PR leaves a machine-readable perf datapoint.
+//! renders the tables and writes `BENCH_samplers.json`; CI runs the quick
+//! variant so every PR leaves a machine-readable perf datapoint, then
+//! re-reads the committed baseline with `--check` and fails on a >30%
+//! headline regression ([`check_headline_regression`]).
 
 use std::time::Instant;
 
 use lps_core::{AkoSampler, FisL0Sampler, L0Sampler, LpSampler, PrecisionLpSampler};
+use lps_engine::parallel_ingest;
 use lps_hash::SeedSequence;
 use lps_heavy::CountSketchHeavyHitters;
 use lps_sketch::{
@@ -269,6 +279,56 @@ pub fn throughput_suite(quick: bool) -> Vec<ThroughputRecord> {
     out
 }
 
+/// The shard counts Experiment E14 sweeps.
+pub const ENGINE_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn shard_mode(shards: usize) -> &'static str {
+    match shards {
+        1 => "shards-1",
+        2 => "shards-2",
+        4 => "shards-4",
+        8 => "shards-8",
+        other => panic!("unsupported shard count {other} (extend ENGINE_SHARD_COUNTS)"),
+    }
+}
+
+/// Experiment E14: multi-core scaling of the `lps-engine` sharded ingestion
+/// pipeline for the two structures whose per-update work dominates the
+/// engine's distribution overhead — sparse recovery and the Theorem 2 L0
+/// sampler. Each configuration pushes the same workload through
+/// [`parallel_ingest`] at 1/2/4/8 shards; `shards-1` is the engine's own
+/// single-worker baseline, so the ratios isolate thread scaling from engine
+/// overhead. Speedup requires physical cores (see the `host_cpus` stamp in
+/// the JSON document).
+pub fn engine_scaling_suite(quick: bool) -> Vec<ThroughputRecord> {
+    let n: u64 = 1 << 20;
+    let heavy_updates: usize = if quick { 100_000 } else { 1_000_000 };
+    let batch = workload(n, heavy_updates, 0xE14);
+    let mut out = Vec::new();
+
+    {
+        let mut s = SeedSequence::new(14);
+        let proto = SparseRecovery::new(n, 8, &mut s);
+        for shards in ENGINE_SHARD_COUNTS {
+            out.push(time_updates("sparse_recovery", shard_mode(shards), n, &batch, |b| {
+                let merged = parallel_ingest(&proto, b, shards);
+                std::hint::black_box(&merged);
+            }));
+        }
+    }
+    {
+        let mut s = SeedSequence::new(15);
+        let proto = L0Sampler::new(n, 0.25, &mut s);
+        for shards in ENGINE_SHARD_COUNTS {
+            out.push(time_updates("l0_sampler", shard_mode(shards), n, &batch, |b| {
+                let merged = parallel_ingest(&proto, b, shards);
+                std::hint::black_box(&merged);
+            }));
+        }
+    }
+    out
+}
+
 /// Speedup of `mode_a` over `mode_b` for a structure, if both were measured.
 pub fn speedup(
     records: &[ThroughputRecord],
@@ -283,6 +343,31 @@ pub fn speedup(
             .map(|r| r.updates_per_sec)
     };
     Some(rate(fast)? / rate(slow)?)
+}
+
+/// Render the E14 engine scaling records as an experiment table: one row per
+/// (structure, shard count), with the speedup over the engine's own
+/// single-shard configuration.
+pub fn engine_scaling_table(records: &[ThroughputRecord], host_cpus: usize) -> Table {
+    let mut table = Table::new(
+        &format!(
+            "E14: sharded ingestion engine scaling (updates/sec; host_cpus = {host_cpus}, \
+             speedup is vs shards-1)"
+        ),
+        &["structure", "shards", "log2(n)", "updates", "updates_per_sec", "speedup_vs_1shard"],
+    );
+    for r in records {
+        let vs_one = speedup(records, r.structure, r.mode, "shards-1").unwrap_or(1.0);
+        table.row(&[
+            r.structure.to_string(),
+            r.mode.trim_start_matches("shards-").to_string(),
+            int((r.dimension as f64).log2() as u64),
+            int(r.updates),
+            f1(r.updates_per_sec),
+            format!("{vs_one:.2}"),
+        ]);
+    }
+    table
 }
 
 /// Render the records as an experiment table.
@@ -309,10 +394,77 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The headline ratio names and the (structure, fast mode, slow mode)
+/// triples they are computed from. The first four are the E13 single-thread
+/// speedups over the pre-optimization reference path; the last two are the
+/// E14 engine scaling ratios (4 shards vs 1 shard).
+pub const HEADLINE_RATIOS: [(&str, &str, &str, &str); 6] = [
+    ("sparse_recovery_batched_vs_reference", "sparse_recovery", "batched", "reference"),
+    ("l0_sampler_batched_vs_reference", "l0_sampler", "batched", "reference"),
+    ("sparse_recovery_sequential_vs_reference", "sparse_recovery", "sequential", "reference"),
+    ("l0_sampler_sequential_vs_reference", "l0_sampler", "sequential", "reference"),
+    ("sparse_recovery_4shard_vs_1shard", "sparse_recovery", "shards-4", "shards-1"),
+    ("l0_sampler_4shard_vs_1shard", "l0_sampler", "shards-4", "shards-1"),
+];
+
+/// The headline ratios the CI perf gate enforces. The shard-scaling ratios
+/// are stamped into the artifact but *not* gated: they measure how many
+/// physical cores the host exposes at least as much as they measure the
+/// code, so gating them would make CI verdicts depend on runner hardware.
+pub const GATED_HEADLINE_KEYS: [&str; 4] = [
+    "sparse_recovery_batched_vs_reference",
+    "l0_sampler_batched_vs_reference",
+    "sparse_recovery_sequential_vs_reference",
+    "l0_sampler_sequential_vs_reference",
+];
+
+/// Compute every headline ratio from a record set (`None` when one side was
+/// not measured or the ratio is non-finite).
+pub fn headline_ratios(records: &[ThroughputRecord]) -> Vec<(&'static str, Option<f64>)> {
+    HEADLINE_RATIOS
+        .iter()
+        .map(|&(key, structure, fast, slow)| {
+            let v = speedup(records, structure, fast, slow).filter(|v| v.is_finite());
+            (key, v)
+        })
+        .collect()
+}
+
+/// Provenance stamped into `BENCH_samplers.json` so the artifact trajectory
+/// across PRs stays interpretable: which commit produced the numbers, how
+/// many CPUs the host exposed (shard scaling is meaningless without it), and
+/// which shard counts E14 swept.
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    /// `git rev-parse --short=12 HEAD`, or `"unknown"` outside a checkout.
+    pub git_commit: String,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cpus: usize,
+    /// The shard counts the engine scaling records cover.
+    pub shard_counts: Vec<usize>,
+}
+
+impl BenchMeta {
+    /// Collect the metadata from the current environment.
+    pub fn collect() -> Self {
+        let git_commit = std::process::Command::new("git")
+            .args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        BenchMeta { git_commit, host_cpus, shard_counts: ENGINE_SHARD_COUNTS.to_vec() }
+    }
+}
+
 /// Serialize the suite to the `BENCH_samplers.json` document (no external
 /// JSON dependency is available in the build environment, so the writer is
 /// hand-rolled; the format is plain flat JSON).
-pub fn to_json(records: &[ThroughputRecord], quick: bool) -> String {
+pub fn to_json(records: &[ThroughputRecord], quick: bool, meta: &BenchMeta) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"update_throughput\",\n");
@@ -320,31 +472,22 @@ pub fn to_json(records: &[ThroughputRecord], quick: bool) -> String {
     out.push_str(
         "  \"command\": \"cargo run --release -p lps-bench --bin experiments -- bench --json\",\n",
     );
+    out.push_str(&format!("  \"git_commit\": \"{}\",\n", json_escape(&meta.git_commit)));
+    out.push_str(&format!("  \"host_cpus\": {},\n", meta.host_cpus));
+    let shard_list = meta.shard_counts.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ");
+    out.push_str(&format!("  \"engine_shard_counts\": [{shard_list}],\n"));
     // absent (or non-finite) ratios serialize as null, never as a bare NaN
     // token that would make the whole document unparseable
-    let ratio = |fast: &str, slow: &str, name: &str| -> String {
-        match speedup(records, name, fast, slow) {
-            Some(v) if v.is_finite() => format!("{v:.3}"),
-            _ => "null".to_string(),
-        }
-    };
     out.push_str("  \"headline\": {\n");
-    out.push_str(&format!(
-        "    \"sparse_recovery_batched_vs_reference\": {},\n",
-        ratio("batched", "reference", "sparse_recovery")
-    ));
-    out.push_str(&format!(
-        "    \"l0_sampler_batched_vs_reference\": {},\n",
-        ratio("batched", "reference", "l0_sampler")
-    ));
-    out.push_str(&format!(
-        "    \"sparse_recovery_sequential_vs_reference\": {},\n",
-        ratio("sequential", "reference", "sparse_recovery")
-    ));
-    out.push_str(&format!(
-        "    \"l0_sampler_sequential_vs_reference\": {}\n",
-        ratio("sequential", "reference", "l0_sampler")
-    ));
+    let ratios = headline_ratios(records);
+    for (i, (key, value)) in ratios.iter().enumerate() {
+        let rendered = match value {
+            Some(v) => format!("{v:.3}"),
+            None => "null".to_string(),
+        };
+        let comma = if i + 1 == ratios.len() { "" } else { "," };
+        out.push_str(&format!("    \"{key}\": {rendered}{comma}\n"));
+    }
     out.push_str("  },\n");
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -361,6 +504,99 @@ pub fn to_json(records: &[ThroughputRecord], quick: bool) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Extract the `"headline"` ratios from a `BENCH_samplers.json` document.
+///
+/// The workspace has no JSON dependency, so this is a purpose-built scanner
+/// for the flat document [`to_json`] writes: it locates the `"headline"`
+/// object and reads its `"key": number` pairs (`null` entries are skipped).
+pub fn parse_headline(json: &str) -> Vec<(String, f64)> {
+    let Some(start) = json.find("\"headline\"") else {
+        return Vec::new();
+    };
+    let Some(open) = json[start..].find('{') else {
+        return Vec::new();
+    };
+    let body_start = start + open + 1;
+    let Some(close) = json[body_start..].find('}') else {
+        return Vec::new();
+    };
+    let body = &json[body_start..body_start + close];
+    let mut out = Vec::new();
+    for entry in body.split(',') {
+        let mut parts = entry.splitn(2, ':');
+        let (Some(raw_key), Some(raw_value)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let key = raw_key.trim().trim_matches('"');
+        if key.is_empty() {
+            continue;
+        }
+        if let Ok(value) = raw_value.trim().parse::<f64>() {
+            out.push((key.to_string(), value));
+        }
+    }
+    out
+}
+
+/// Extract the top-level `"mode"` stamp (`"quick"` / `"full"`) from a
+/// `BENCH_samplers.json` document, so the gate can tell the operator when a
+/// quick-mode run is being compared against a full-mode baseline.
+pub fn parse_mode(json: &str) -> Option<String> {
+    let start = json.find("\"mode\":")?;
+    let rest = &json[start + "\"mode\":".len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// The default regression tolerance of the CI perf gate: fail when a gated
+/// headline ratio drops more than 30% below the committed baseline.
+pub const GATE_TOLERANCE: f64 = 0.30;
+
+/// Compare freshly measured headline ratios against a committed baseline
+/// document. Returns `Ok` with one human-readable line per gated key, or
+/// `Err` with the offending lines when any gated ratio regressed by more
+/// than `tolerance` (a fraction, e.g. 0.30 for 30%).
+///
+/// Only [`GATED_HEADLINE_KEYS`] participate; keys missing from either side
+/// are reported but never fail the gate (a brand-new baseline should not
+/// brick CI). Improvements never fail.
+pub fn check_headline_regression(
+    fresh: &[(&'static str, Option<f64>)],
+    baseline: &[(String, f64)],
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    for key in GATED_HEADLINE_KEYS {
+        let fresh_value = fresh.iter().find(|(k, _)| *k == key).and_then(|(_, v)| *v);
+        let base_value = baseline.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        match (fresh_value, base_value) {
+            (Some(f), Some(b)) => {
+                let floor = b * (1.0 - tolerance);
+                let change = (f / b - 1.0) * 100.0;
+                let line = format!(
+                    "{key}: fresh {f:.3} vs baseline {b:.3} ({change:+.1}%, floor {floor:.3})"
+                );
+                if f < floor {
+                    failures.push(format!("REGRESSION {line}"));
+                } else {
+                    report.push(format!("ok {line}"));
+                }
+            }
+            (None, _) => report.push(format!("skip {key}: not measured in this run")),
+            (_, None) => report.push(format!("skip {key}: absent from baseline")),
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        failures.extend(report);
+        Err(failures)
+    }
 }
 
 #[cfg(test)]
@@ -395,7 +631,12 @@ mod tests {
                 updates_per_sec: 250_000.0,
             },
         ];
-        let json = to_json(&records, true);
+        let meta = BenchMeta {
+            git_commit: "abc123def456".to_string(),
+            host_cpus: 4,
+            shard_counts: vec![1, 2, 4, 8],
+        };
+        let json = to_json(&records, true, &meta);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"sparse_recovery_batched_vs_reference\": 5.000"));
@@ -404,6 +645,69 @@ mod tests {
         assert!(json.contains("\"l0_sampler_batched_vs_reference\": null"));
         assert!(!json.contains("NaN"));
         assert!(json.contains("\"updates_per_sec\": 250000.0"));
+        // provenance stamps
+        assert!(json.contains("\"git_commit\": \"abc123def456\""));
+        assert!(json.contains("\"host_cpus\": 4"));
+        assert!(json.contains("\"engine_shard_counts\": [1, 2, 4, 8]"));
+        // the writer's own headline block round-trips through the parser
+        let parsed = parse_headline(&json);
+        assert_eq!(
+            parsed,
+            vec![("sparse_recovery_batched_vs_reference".to_string(), 5.0)],
+            "only the non-null ratio should parse back"
+        );
+    }
+
+    #[test]
+    fn regression_gate_passes_and_fails_correctly() {
+        let fresh: Vec<(&'static str, Option<f64>)> = vec![
+            ("sparse_recovery_batched_vs_reference", Some(7.5)),
+            ("l0_sampler_batched_vs_reference", Some(12.0)),
+            ("sparse_recovery_sequential_vs_reference", Some(10.7)),
+            ("l0_sampler_sequential_vs_reference", Some(13.1)),
+        ];
+        let baseline: Vec<(String, f64)> =
+            fresh.iter().map(|(k, v)| (k.to_string(), v.unwrap())).collect();
+        // identical numbers pass
+        assert!(check_headline_regression(&fresh, &baseline, GATE_TOLERANCE).is_ok());
+        // a 2x slowdown on one gated ratio fails
+        let mut slowed = fresh.clone();
+        slowed[0].1 = Some(7.5 / 2.0);
+        let err = check_headline_regression(&slowed, &baseline, GATE_TOLERANCE).unwrap_err();
+        assert!(err.iter().any(|l| l.starts_with("REGRESSION sparse_recovery_batched")));
+        // a 29% drop stays within the 30% tolerance
+        let mut borderline = fresh.clone();
+        borderline[1].1 = Some(12.0 * 0.71);
+        assert!(check_headline_regression(&borderline, &baseline, GATE_TOLERANCE).is_ok());
+        // improvements never fail, missing keys are skipped not fatal
+        let sparse_baseline = vec![("l0_sampler_batched_vs_reference".to_string(), 1.0)];
+        assert!(check_headline_regression(&fresh, &sparse_baseline, GATE_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn parse_mode_reads_the_stamp() {
+        assert_eq!(parse_mode("{\n  \"mode\": \"full\",\n}").as_deref(), Some("full"));
+        assert_eq!(parse_mode("{\"mode\": \"quick\"}").as_deref(), Some("quick"));
+        assert_eq!(parse_mode("{}"), None);
+    }
+
+    #[test]
+    fn parse_headline_reads_the_committed_document_shape() {
+        let doc = r#"{
+  "benchmark": "update_throughput",
+  "headline": {
+    "sparse_recovery_batched_vs_reference": 7.568,
+    "l0_sampler_batched_vs_reference": 12.033,
+    "sparse_recovery_4shard_vs_1shard": null
+  },
+  "records": []
+}"#;
+        let parsed = parse_headline(doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "sparse_recovery_batched_vs_reference");
+        assert!((parsed[0].1 - 7.568).abs() < 1e-9);
+        assert!((parsed[1].1 - 12.033).abs() < 1e-9);
+        assert!(parse_headline("{}").is_empty());
     }
 
     #[test]

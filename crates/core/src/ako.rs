@@ -16,7 +16,9 @@
 //! samplers as n grows, which is where the `log³` vs `log²` gap shows.
 
 use lps_hash::{KWiseHash, SeedSequence};
-use lps_sketch::{rows_for_dimension, CountSketch, LinearSketch, PStableSketch};
+use lps_sketch::{
+    rows_for_dimension, CountSketch, LinearSketch, Mergeable, PStableSketch, StateDigest,
+};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -114,6 +116,24 @@ impl LpSampler for AkoSampler {
 
     fn name(&self) -> &'static str {
         "ako-baseline"
+    }
+}
+
+impl Mergeable for AkoSampler {
+    /// Merge an identically-seeded baseline by composing its inner sketch
+    /// merges (real-valued counters: linear up to floating-point rounding).
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.p, other.p, "exponent mismatch");
+        assert_eq!(self.epsilon, other.epsilon, "epsilon mismatch");
+        self.count_sketch.merge_from(&other.count_sketch);
+        self.norm_sketch.merge_from(&other.norm_sketch);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.write_u64(self.count_sketch.state_digest()).write_u64(self.norm_sketch.state_digest());
+        d.finish()
     }
 }
 

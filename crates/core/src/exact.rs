@@ -7,6 +7,7 @@
 //! against in EXPERIMENTS.md.
 
 use lps_hash::SeedSequence;
+use lps_sketch::{Mergeable, StateDigest};
 use lps_stream::{SpaceBreakdown, SpaceUsage, TruthVector, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -60,6 +61,28 @@ impl ExactSampler {
         dist.iter()
             .rposition(|&v| v > 0.0)
             .map(|i| Sample { index: i as u64, estimate: self.vector.get(i as u64) as f64 })
+    }
+}
+
+impl Mergeable for ExactSampler {
+    /// The identity map is trivially linear: merging adds the exact vectors
+    /// coordinate by coordinate.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.vector.dimension(), other.vector.dimension(), "dimension mismatch");
+        for i in 0..other.vector.dimension() {
+            let v = other.vector.get(i);
+            if v != 0 {
+                self.vector.apply(Update::new(i, v));
+            }
+        }
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for &v in self.vector.values() {
+            d.write_i64(v);
+        }
+        d.finish()
     }
 }
 

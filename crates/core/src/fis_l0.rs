@@ -15,7 +15,7 @@
 //! to) uniform over the support by symmetry.
 
 use lps_hash::{Fp, PowTable, SeedSequence, TabulationHash};
-use lps_sketch::{fingerprint_term, CellState, OneSparseCell};
+use lps_sketch::{fingerprint_term, CellState, Mergeable, OneSparseCell, StateDigest};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -148,6 +148,26 @@ impl LpSampler for FisL0Sampler {
 
     fn name(&self) -> &'static str {
         "fis-l0-baseline"
+    }
+}
+
+impl Mergeable for FisL0Sampler {
+    /// Merge an identically-seeded baseline slot by slot (field/integer
+    /// arithmetic, so the merge is exact).
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.slots.len(), other.slots.len(), "slot-count mismatch");
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            a.cell.merge_from(&b.cell);
+        }
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for slot in &self.slots {
+            d.write_u64(slot.cell.state_digest());
+        }
+        d.finish()
     }
 }
 

@@ -34,7 +34,7 @@
 //! the stored randomness down to O(log² n) bits (Theorem 2's accounting).
 
 use lps_hash::{KWiseHash, NisanPrg, NisanStream, SeedSequence};
-use lps_sketch::{RecoveryOutput, SparseRecovery};
+use lps_sketch::{Mergeable, RecoveryOutput, SparseRecovery, StateDigest};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -231,6 +231,28 @@ impl L0Sampler {
     /// The level index whose recovery succeeded, for diagnostics.
     pub fn successful_level(&self) -> Option<usize> {
         self.recover_first_nonzero().map(|(k, _)| k)
+    }
+}
+
+impl Mergeable for L0Sampler {
+    /// Merge an identically-seeded sampler level by level. All per-level
+    /// state is field/integer arithmetic, so the merged state is bit-identical
+    /// to ingesting the concatenated streams sequentially.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.levels.len(), other.levels.len(), "level-count mismatch");
+        for (a, b) in self.levels.iter_mut().zip(other.levels.iter()) {
+            assert_eq!(a.threshold, b.threshold, "level threshold mismatch");
+            a.recovery.merge_from(&b.recovery);
+        }
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for level in &self.levels {
+            d.write_u64(level.threshold).write_u64(level.recovery.state_digest());
+        }
+        d.finish()
     }
 }
 

@@ -54,8 +54,12 @@ pub mod traits;
 
 pub use ako::AkoSampler;
 pub use exact::ExactSampler;
+// Mergeability is defined next to the sketches but is equally a sampler
+// capability (every sampler here is a bundle of linear sketches), so the
+// trait is re-exported for downstream crates like `lps-engine`.
 pub use fis_l0::FisL0Sampler;
 pub use l0::{L0Randomness, L0Sampler};
+pub use lps_sketch::{Mergeable, StateDigest};
 pub use precision::{PrecisionLpSampler, PrecisionParams, RecoveryState};
 pub use repeat::{repetitions_for, RepeatedSampler};
 pub use reservoir::{PositionReservoir, ReservoirSampler};

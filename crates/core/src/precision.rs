@@ -24,7 +24,7 @@
 //! probability below δ (see [`crate::repeat`]).
 
 use lps_hash::{KWiseHash, SeedSequence};
-use lps_sketch::{AmsSketch, CountSketch, LinearSketch, PStableSketch};
+use lps_sketch::{AmsSketch, CountSketch, LinearSketch, Mergeable, PStableSketch, StateDigest};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -219,6 +219,28 @@ impl LpSampler for PrecisionLpSampler {
 
     fn name(&self) -> &'static str {
         "precision-lp"
+    }
+}
+
+impl Mergeable for PrecisionLpSampler {
+    /// Merge an identically-seeded sampler by composing the merges of its
+    /// three internal linear sketches. Counter contents are real-valued
+    /// (scaled by `t_i^{−1/p}`), so merging is linear up to floating-point
+    /// rounding: commutative bitwise, associative approximately.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.params, other.params, "parameter mismatch");
+        self.count_sketch.merge_from(&other.count_sketch);
+        self.norm_sketch.merge_from(&other.norm_sketch);
+        self.l2_sketch.merge_from(&other.l2_sketch);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.write_u64(self.count_sketch.state_digest())
+            .write_u64(self.norm_sketch.state_digest())
+            .write_u64(self.l2_sketch.state_digest());
+        d.finish()
     }
 }
 

@@ -9,6 +9,7 @@
 //! generically over any [`LpSampler`].
 
 use lps_hash::SeedSequence;
+use lps_sketch::{Mergeable, StateDigest};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -94,6 +95,25 @@ impl<S: LpSampler> LpSampler for RepeatedSampler<S> {
 
     fn name(&self) -> &'static str {
         "repeated"
+    }
+}
+
+impl<S: Mergeable> Mergeable for RepeatedSampler<S> {
+    /// Merge copy by copy — every inner sampler absorbs its identically-seeded
+    /// counterpart.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.copies.len(), other.copies.len(), "copy-count mismatch");
+        for (a, b) in self.copies.iter_mut().zip(other.copies.iter()) {
+            a.merge_from(b);
+        }
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for c in &self.copies {
+            d.write_u64(c.state_digest());
+        }
+        d.finish()
     }
 }
 

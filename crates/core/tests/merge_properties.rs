@@ -1,0 +1,152 @@
+//! Merge-law property tests for the `Mergeable` samplers: bit-exact
+//! commutativity/associativity for the field/integer-arithmetic L0 samplers
+//! and the exact baseline, bitwise commutativity plus estimator-level
+//! associativity for the floating-point precision/AKO samplers and the
+//! repetition wrapper built on them.
+
+use lps_core::{
+    AkoSampler, ExactSampler, FisL0Sampler, L0Sampler, LpSampler, Mergeable, PrecisionLpSampler,
+    RepeatedSampler,
+};
+use lps_hash::SeedSequence;
+use lps_stream::Update;
+use proptest::prelude::*;
+
+const DIM: u64 = 256;
+
+fn updates_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DIM, -20i64..20), 0..max_len)
+}
+
+fn to_updates(updates: &[(u64, i64)]) -> Vec<Update> {
+    updates.iter().map(|&(i, d)| Update::new(i, d)).collect()
+}
+
+fn three_samplers<S: LpSampler + Clone>(
+    proto: &S,
+    a: &[(u64, i64)],
+    b: &[(u64, i64)],
+    c: &[(u64, i64)],
+) -> (S, S, S) {
+    let mut sa = proto.clone();
+    let mut sb = proto.clone();
+    let mut sc = proto.clone();
+    sa.process_batch(&to_updates(a));
+    sb.process_batch(&to_updates(b));
+    sc.process_batch(&to_updates(c));
+    (sa, sb, sc)
+}
+
+fn assert_exact_merge_laws<S: Mergeable + Clone>(sa: &S, sb: &S, sc: &S) {
+    let mut ab = sa.clone();
+    ab.merge_from(sb);
+    let mut ba = sb.clone();
+    ba.merge_from(sa);
+    assert_eq!(ab.state_digest(), ba.state_digest(), "merge must commute");
+    let mut ab_c = ab;
+    ab_c.merge_from(sc);
+    let mut bc = sb.clone();
+    bc.merge_from(sc);
+    let mut a_bc = sa.clone();
+    a_bc.merge_from(&bc);
+    assert_eq!(ab_c.state_digest(), a_bc.state_digest(), "merge must associate");
+}
+
+/// Bitwise commutativity (float addition commutes exactly) plus
+/// sample-output agreement under reassociation for float-counter samplers.
+fn assert_float_merge_laws<S: Mergeable + LpSampler + Clone>(sa: &S, sb: &S, sc: &S) {
+    let mut ab = sa.clone();
+    ab.merge_from(sb);
+    let mut ba = sb.clone();
+    ba.merge_from(sa);
+    assert_eq!(ab.state_digest(), ba.state_digest(), "merge must commute bitwise");
+    let mut ab_c = ab;
+    ab_c.merge_from(sc);
+    let mut bc = sb.clone();
+    bc.merge_from(sc);
+    let mut a_bc = sa.clone();
+    a_bc.merge_from(&bc);
+    // Reassociated floating-point sums differ in rounding only; the decoded
+    // sample must agree on the chosen index and near-exactly on the estimate.
+    match (ab_c.sample(), a_bc.sample()) {
+        (Some(x), Some(y)) => {
+            assert_eq!(x.index, y.index, "reassociation changed the sampled index");
+            let scale = 1.0 + x.estimate.abs().max(y.estimate.abs());
+            assert!(
+                (x.estimate - y.estimate).abs() <= 1e-6 * scale,
+                "reassociation drifted the estimate: {} vs {}",
+                x.estimate,
+                y.estimate
+            );
+        }
+        (x, y) => assert_eq!(x.is_some(), y.is_some(), "reassociation flipped FAIL"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn l0_sampler_merge_laws(a in updates_strategy(30), b in updates_strategy(30), c in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = L0Sampler::new(DIM, 0.25, &mut seeds);
+        let (sa, sb, sc) = three_samplers(&proto, &a, &b, &c);
+        assert_exact_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn fis_l0_merge_laws(a in updates_strategy(30), b in updates_strategy(30), c in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = FisL0Sampler::new(DIM, &mut seeds);
+        let (sa, sb, sc) = three_samplers(&proto, &a, &b, &c);
+        assert_exact_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn exact_sampler_merge_laws(a in updates_strategy(30), b in updates_strategy(30), c in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = ExactSampler::new(DIM, 1.0, &mut seeds);
+        let (sa, sb, sc) = three_samplers(&proto, &a, &b, &c);
+        assert_exact_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn precision_sampler_merge_laws(a in updates_strategy(20), b in updates_strategy(20), c in updates_strategy(20), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = PrecisionLpSampler::new(DIM, 1.0, 0.4, &mut seeds);
+        let (sa, sb, sc) = three_samplers(&proto, &a, &b, &c);
+        assert_float_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn ako_sampler_merge_laws(a in updates_strategy(20), b in updates_strategy(20), c in updates_strategy(20), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = AkoSampler::new(DIM, 1.0, 0.4, &mut seeds);
+        let (sa, sb, sc) = three_samplers(&proto, &a, &b, &c);
+        assert_float_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn repeated_sampler_merge_laws(a in updates_strategy(20), b in updates_strategy(20), c in updates_strategy(20), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = RepeatedSampler::new(3, &mut seeds, |s| PrecisionLpSampler::new(DIM, 1.0, 0.4, s));
+        let (sa, sb, sc) = three_samplers(&proto, &a, &b, &c);
+        assert_float_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn l0_merge_is_the_sketch_of_the_concatenation(a in updates_strategy(20), b in updates_strategy(20), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = L0Sampler::new(DIM, 0.25, &mut seeds);
+        let mut sa = proto.clone();
+        sa.process_batch(&to_updates(&a));
+        let mut sb = proto.clone();
+        sb.process_batch(&to_updates(&b));
+        sa.merge_from(&sb);
+        let mut concat = proto.clone();
+        concat.process_batch(&to_updates(&a));
+        concat.process_batch(&to_updates(&b));
+        prop_assert_eq!(sa.state_digest(), concat.state_digest());
+        prop_assert_eq!(sa.sample(), concat.sample());
+    }
+}

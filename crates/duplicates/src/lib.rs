@@ -3,7 +3,7 @@
 //! Finding duplicates in data streams (Section 3 of Jowhari–Sağlam–Tardos,
 //! PODS 2011) via the L1 samplers of `lps-core`:
 //!
-//! * [`theorem3`] — streams of length n + 1 over [n]: O(log² n log(1/δ)) bits.
+//! * [`theorem3`] — streams of length n + 1 over `[n]`: O(log² n log(1/δ)) bits.
 //! * [`theorem4`] — streams of length n − s: O(s log n + log² n log(1/δ))
 //!   bits, with an exact NO-DUPLICATE certificate in the sparse regime.
 //! * [`oversample`] — streams of length n + s: O(min{log² n, (n/s) log n}) bits.

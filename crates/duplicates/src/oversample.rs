@@ -1,4 +1,4 @@
-//! Duplicates in streams of length n + s over [n] (final paragraph of
+//! Duplicates in streams of length n + s over `[n]` (final paragraph of
 //! Section 3): O(min{log² n, (n/s)·log n}) bits.
 //!
 //! With `s` extra letters the stream contains at least `s` positions whose

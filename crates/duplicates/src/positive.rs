@@ -14,7 +14,7 @@
 //! is a true positive coordinate except with low probability (the estimate
 //! would need the wrong sign).
 
-use lps_core::{LpSampler, PrecisionLpSampler};
+use lps_core::{LpSampler, Mergeable, PrecisionLpSampler, StateDigest};
 use lps_hash::SeedSequence;
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
@@ -107,6 +107,27 @@ impl PositiveCoordinateFinder {
     /// Diagnostic: number of copies that produced any (positive or negative) sample.
     pub fn successful_copies(&self) -> usize {
         self.copies.iter().filter(|c| c.sample().is_some()).count()
+    }
+}
+
+impl Mergeable for PositiveCoordinateFinder {
+    /// Merge an identically-seeded finder copy by copy. The finder starts
+    /// from zero state, so plain additive composition carries the usual
+    /// linear-sketch semantics (concatenated streams).
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.copies.len(), other.copies.len(), "copy-count mismatch");
+        for (a, b) in self.copies.iter_mut().zip(other.copies.iter()) {
+            a.merge_from(b);
+        }
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for c in &self.copies {
+            d.write_u64(c.state_digest());
+        }
+        d.finish()
     }
 }
 

@@ -1,4 +1,4 @@
-//! Theorem 3: finding a duplicate in a stream of length n + 1 over [n] in
+//! Theorem 3: finding a duplicate in a stream of length n + 1 over `[n]` in
 //! O(log² n · log(1/δ)) bits.
 //!
 //! The reduction: let `x ∈ Z^n` start at zero, subtract 1 from every
@@ -11,6 +11,7 @@
 //! push the failure probability below δ while keeping the error probability
 //! (reporting a non-duplicate) low.
 
+use lps_core::{Mergeable, StateDigest};
 use lps_hash::SeedSequence;
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
@@ -31,10 +32,22 @@ impl DuplicateFinder {
     /// Construction immediately feeds the initial `(i, −1)` updates for every
     /// `i ∈ [n]` into the linear sketches, exactly as in the proof.
     pub fn new(n: u64, delta: f64, seeds: &mut SeedSequence) -> Self {
-        let mut finder = PositiveCoordinateFinder::new(n, delta, seeds);
+        let mut out = Self::new_shard(n, delta, seeds);
         for i in 0..n {
-            finder.process_update(Update::new(i, -1));
+            out.finder.process_update(Update::new(i, -1));
         }
+        out
+    }
+
+    /// An identically-seeded finder *without* the initial `(i, −1)` pass —
+    /// a "shard" for parallel ingestion. `new` and `new_shard` consume the
+    /// seed sequence identically, so a shard built from the same seed holds
+    /// the same random functions as the primary finder and [`Mergeable`]
+    /// composition is exact linear-sketch addition. The initialization mass
+    /// must live in exactly one operand of a merge chain: merge letter-only
+    /// shards into one finder built with [`DuplicateFinder::new`].
+    pub fn new_shard(n: u64, delta: f64, seeds: &mut SeedSequence) -> Self {
+        let finder = PositiveCoordinateFinder::new(n, delta, seeds);
         DuplicateFinder { dimension: n, finder, letters_seen: 0 }
     }
 
@@ -96,6 +109,26 @@ impl DuplicateFinder {
             Some(i) => DuplicateResult::Duplicate(i),
             None => DuplicateResult::Fail,
         }
+    }
+}
+
+impl Mergeable for DuplicateFinder {
+    /// Compose the inner sampler merges and sum the letter counts.
+    ///
+    /// Because `DuplicateFinder::new` pre-loads the `(i, −1)` initialization
+    /// vector, additive merging is stream-faithful only when exactly one
+    /// operand in a merge chain carries that mass — build the others with
+    /// [`DuplicateFinder::new_shard`].
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        self.finder.merge_from(&other.finder);
+        self.letters_seen += other.letters_seen;
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.write_u64(self.finder.state_digest()).write_u64(self.letters_seen);
+        d.finish()
     }
 }
 

@@ -1,4 +1,4 @@
-//! Theorem 4: finding duplicates in streams of length n − s over [n] in
+//! Theorem 4: finding duplicates in streams of length n − s over `[n]` in
 //! O(s log n + log² n · log(1/δ)) bits.
 //!
 //! With a shorter stream a duplicate need not exist. The vector
@@ -16,7 +16,7 @@
 //! sample is produced with constant probability per copy.
 
 use lps_hash::SeedSequence;
-use lps_sketch::{RecoveryOutput, SparseRecovery};
+use lps_sketch::{Mergeable, RecoveryOutput, SparseRecovery, StateDigest};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
 use crate::positive::PositiveCoordinateFinder;
@@ -35,14 +35,24 @@ pub struct ShortStreamDuplicateFinder {
 impl ShortStreamDuplicateFinder {
     /// Create a finder for streams of length `n − s` with failure probability ≤ δ.
     pub fn new(n: u64, s: u64, delta: f64, seeds: &mut SeedSequence) -> Self {
+        let mut out = Self::new_shard(n, s, delta, seeds);
+        for i in 0..n {
+            out.recovery.update(i, -1);
+            out.finder.process_update(Update::new(i, -1));
+        }
+        out
+    }
+
+    /// An identically-seeded finder *without* the initial `(i, −1)` pass — a
+    /// "shard" for parallel ingestion (see [`DuplicateFinder::new_shard`]
+    /// in `theorem3` for the merge discipline; the same rule applies here).
+    ///
+    /// [`DuplicateFinder::new_shard`]: crate::DuplicateFinder::new_shard
+    pub fn new_shard(n: u64, s: u64, delta: f64, seeds: &mut SeedSequence) -> Self {
         assert!(s < n, "the stream length n − s must be positive");
         let capacity = (5 * s).max(1) as usize;
-        let mut recovery = SparseRecovery::new(n, capacity, seeds);
-        let mut finder = PositiveCoordinateFinder::new(n, delta, seeds);
-        for i in 0..n {
-            recovery.update(i, -1);
-            finder.process_update(Update::new(i, -1));
-        }
+        let recovery = SparseRecovery::new(n, capacity, seeds);
+        let finder = PositiveCoordinateFinder::new(n, delta, seeds);
         ShortStreamDuplicateFinder { dimension: n, s, recovery, finder, letters_seen: 0 }
     }
 
@@ -109,6 +119,28 @@ impl ShortStreamDuplicateFinder {
                 None => DuplicateResult::Fail,
             },
         }
+    }
+}
+
+impl Mergeable for ShortStreamDuplicateFinder {
+    /// Compose the sparse-recovery and sampler merges and sum the letter
+    /// counts. As with `DuplicateFinder`, exactly one operand of a merge
+    /// chain may carry the construction-time initialization mass; build the
+    /// rest with [`ShortStreamDuplicateFinder::new_shard`].
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.s, other.s, "shortfall mismatch");
+        self.recovery.merge_from(&other.recovery);
+        self.finder.merge_from(&other.finder);
+        self.letters_seen += other.letters_seen;
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.write_u64(self.recovery.state_digest())
+            .write_u64(self.finder.state_digest())
+            .write_u64(self.letters_seen);
+        d.finish()
     }
 }
 

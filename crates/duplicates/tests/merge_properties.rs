@@ -1,0 +1,104 @@
+//! Merge-law tests for the duplicate finders. The finders pre-load an
+//! initial `(i, −1)` vector at construction, so the shard discipline is:
+//! one primary built with `new` carries the initialization mass, the other
+//! operands are letter-only shards built with `new_shard` (identical seed
+//! consumption → identical random functions). Merging then reproduces the
+//! single-finder semantics, which the behavioural assertions pin.
+
+use lps_core::Mergeable;
+use lps_duplicates::{DuplicateFinder, DuplicateResult, ShortStreamDuplicateFinder};
+use lps_hash::SeedSequence;
+use lps_stream::{duplicate_stream_n_minus_s, duplicate_stream_n_plus_1};
+use proptest::prelude::*;
+
+/// Partition a letter stream round-robin over `shards` letter-only shards
+/// plus one initialized primary, merge, and return the primary.
+fn sharded_theorem3(
+    n: u64,
+    delta: f64,
+    seed: u64,
+    letters: &[u64],
+    shards: usize,
+) -> DuplicateFinder {
+    let mut primary = DuplicateFinder::new(n, delta, &mut SeedSequence::new(seed));
+    let mut shard_finders: Vec<DuplicateFinder> = (0..shards)
+        .map(|_| DuplicateFinder::new_shard(n, delta, &mut SeedSequence::new(seed)))
+        .collect();
+    for (i, chunk) in letters.chunks(64).enumerate() {
+        shard_finders[i % shards].process_letters(chunk);
+    }
+    for shard in &shard_finders {
+        primary.merge_from(shard);
+    }
+    primary
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn positive_finder_merge_commutes_bitwise(seed in any::<u64>(), shards in 2usize..5) {
+        // the zero-init engine behind both theorems: merging is plain
+        // additive composition and commutes bitwise
+        let n = 128u64;
+        let mut gen = SeedSequence::new(seed ^ 0x7E3);
+        let (stream, _dups) = duplicate_stream_n_plus_1(n, 4, &mut gen);
+        let letters: Vec<u64> = stream.updates().iter().map(|u| u.index).collect();
+        let make = || DuplicateFinder::new_shard(n, 0.25, &mut SeedSequence::new(seed));
+        let mut a = make();
+        let mut b = make();
+        let half = letters.len() / shards.max(2);
+        a.process_letters(&letters[..half]);
+        b.process_letters(&letters[half..]);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(ab.state_digest(), ba.state_digest());
+    }
+
+    #[test]
+    fn sharded_theorem3_finder_still_finds_duplicates(seed in 0u64..2000, shards in 2usize..5) {
+        let n = 128u64;
+        let mut gen = SeedSequence::new(seed);
+        let (stream, dups) = duplicate_stream_n_plus_1(n, 24, &mut gen);
+        let letters: Vec<u64> = stream.updates().iter().map(|u| u.index).collect();
+        let merged = sharded_theorem3(n, 0.1, seed ^ 0xABCD, &letters, shards);
+        prop_assert_eq!(merged.letters_seen(), letters.len() as u64);
+        // a merged finder must never report a non-duplicate; failing is
+        // allowed (it is a randomized algorithm), reporting wrong is not
+        if let DuplicateResult::Duplicate(d) = merged.report() {
+            prop_assert!(dups.contains(&d), "merged finder reported non-duplicate {}", d);
+        }
+    }
+
+    #[test]
+    fn sharded_theorem4_finder_answers_exactly_in_sparse_regime(seed in 0u64..2000, shards in 2usize..5) {
+        // with few duplicates the answer comes from the sparse-recovery
+        // structure, whose arithmetic is exact — sharding must not change it
+        let n = 256u64;
+        let s = 8u64;
+        let mut gen = SeedSequence::new(seed);
+        let (stream, dups) = duplicate_stream_n_minus_s(n, s, 2, &mut gen);
+        let letters: Vec<u64> = stream.updates().iter().map(|u| u.index).collect();
+        let mut primary = ShortStreamDuplicateFinder::new(n, s, 0.2, &mut SeedSequence::new(seed ^ 0x44));
+        let mut shard_finders: Vec<ShortStreamDuplicateFinder> = (0..shards)
+            .map(|_| ShortStreamDuplicateFinder::new_shard(n, s, 0.2, &mut SeedSequence::new(seed ^ 0x44)))
+            .collect();
+        for (i, chunk) in letters.chunks(32).enumerate() {
+            shard_finders[i % shards].process_letters(chunk);
+        }
+        for shard in &shard_finders {
+            primary.merge_from(shard);
+        }
+        let mut sequential = ShortStreamDuplicateFinder::new(n, s, 0.2, &mut SeedSequence::new(seed ^ 0x44));
+        sequential.process_stream(&stream);
+        // the sparse-recovery half of the state is exact arithmetic, so the
+        // exact-regime verdicts must agree
+        match (primary.report(), sequential.report()) {
+            (DuplicateResult::Duplicate(d), _) => prop_assert!(dups.contains(&d)),
+            (DuplicateResult::NoDuplicate, other) => prop_assert_eq!(other, DuplicateResult::NoDuplicate),
+            (DuplicateResult::Fail, _) => {}
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! # lps-engine
+//!
+//! A multi-threaded sharded ingestion engine built on sketch mergeability.
+//!
+//! Every structure in this workspace maintains `L(x)` for a linear map `L`,
+//! so `sketch(A ++ B) == merge(sketch(A), sketch(B))` whenever both sides
+//! use the same seeds. The engine exploits exactly that identity for
+//! multi-core scaling:
+//!
+//! 1. **Shard** — `N` worker threads each own an identically-seeded clone of
+//!    the target structure (a fresh, zero-state prototype).
+//! 2. **Ingest** — incoming update batches are dealt round-robin to the
+//!    workers over channels; each worker feeds its clone through the batched
+//!    `process_batch` fast path (coalescing, hoisted fingerprint terms,
+//!    row-major table walks).
+//! 3. **Merge** — when the stream ends the shard states are combined by a
+//!    deterministic binary tree merge, producing the sketch of the full
+//!    stream.
+//!
+//! For the structures the engine supports (the [`ShardIngest`] implementors:
+//! sparse recovery, both L0 samplers, count-sketch, count-min, count-median
+//! and AMS) every counter is integer or field arithmetic — exact, commutative
+//! and associative — so the merged state is **bit-identical** to ingesting
+//! the whole stream sequentially on one thread, for *any* partition of the
+//! stream across shards. The equivalence tests pin this with
+//! [`Mergeable::state_digest`] comparisons.
+//!
+//! Floating-point structures whose counters hold non-integer reals (the
+//! p-stable sketch, the precision/AKO samplers and the drivers built on
+//! them) are deliberately *not* given [`ShardIngest`] implementations: their
+//! merges reassociate floating-point sums, which is linear only up to
+//! rounding. They still implement [`Mergeable`], so callers who accept
+//! approximate linearity can shard them manually.
+//!
+//! ## When parallel beats batched
+//!
+//! Sharding pays when the per-update sketch work dominates the per-update
+//! distribution overhead (one `Vec` clone + channel send per batch,
+//! amortised over [`DEFAULT_BATCH_SIZE`]-sized batches). Sparse recovery and
+//! the L0 sampler touch `O(rows)` / `O(rows · levels)` cells per update, so
+//! they scale; a bare count-min row update is so cheap that single-threaded
+//! batching stays competitive until batches get large. Throughput scales
+//! with *physical* cores: on a single-core host the engine degrades to
+//! sequential speed minus a small coordination overhead.
+//!
+//! ```
+//! use lps_engine::ShardedEngine;
+//! use lps_hash::SeedSequence;
+//! use lps_sketch::{Mergeable, SparseRecovery};
+//! use lps_stream::Update;
+//!
+//! let mut seeds = SeedSequence::new(7);
+//! let proto = SparseRecovery::new(1 << 12, 8, &mut seeds);
+//! let updates: Vec<Update> = (0..1000).map(|i| Update::new(i % 100, 1)).collect();
+//!
+//! // four identically-seeded shards, tree-merged at the end
+//! let mut engine = ShardedEngine::new(&proto, 4);
+//! engine.ingest(&updates);
+//! let merged = engine.finish();
+//!
+//! // bit-identical to sequential ingestion
+//! let mut sequential = proto.clone();
+//! sequential.process_batch(&updates);
+//! assert_eq!(merged.state_digest(), sequential.state_digest());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::mpsc::SyncSender;
+use std::thread::JoinHandle;
+
+use lps_core::{FisL0Sampler, L0Sampler, LpSampler};
+use lps_sketch::{
+    AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, LinearSketch, Mergeable,
+    SparseRecovery,
+};
+use lps_stream::{Update, UpdateStream, DEFAULT_BATCH_SIZE};
+
+/// A structure the sharded engine can drive: cloneable (identically-seeded
+/// clones), mergeable, and ingestible in batches.
+///
+/// Implementors must guarantee that batch ingestion plus
+/// [`Mergeable::merge_from`] is **exact**: for any partition of an integer
+/// update stream across identically-seeded clones, merging the shard states
+/// reproduces, bit for bit, the state of one clone ingesting the whole
+/// stream sequentially. This restricts implementations to structures whose
+/// counters use integer or field arithmetic (or `f64` counters that only
+/// ever hold exactly-representable integers); see the crate docs.
+pub trait ShardIngest: Mergeable + Clone + Send {
+    /// Ingest a batch of updates through the structure's fast path.
+    fn ingest_batch(&mut self, updates: &[Update]);
+}
+
+impl ShardIngest for SparseRecovery {
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        self.process_batch(updates);
+    }
+}
+
+impl ShardIngest for CountSketch {
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        LinearSketch::process_batch(self, updates);
+    }
+}
+
+impl ShardIngest for CountMinSketch {
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        self.process_batch(updates);
+    }
+}
+
+impl ShardIngest for CountMedianSketch {
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        LinearSketch::process_batch(self, updates);
+    }
+}
+
+impl ShardIngest for AmsSketch {
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        LinearSketch::process_batch(self, updates);
+    }
+}
+
+impl ShardIngest for L0Sampler {
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        LpSampler::process_batch(self, updates);
+    }
+}
+
+impl ShardIngest for FisL0Sampler {
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        LpSampler::process_batch(self, updates);
+    }
+}
+
+/// How many update batches may sit unprocessed in each worker's channel
+/// before `ingest` applies backpressure by blocking. Bounds peak memory at
+/// roughly `shards × BACKLOG × batch_size` updates.
+const WORKER_BACKLOG: usize = 8;
+
+struct Worker<T> {
+    sender: SyncSender<Vec<Update>>,
+    handle: JoinHandle<T>,
+}
+
+/// A running sharded ingestion pipeline for one target structure.
+///
+/// Construction spawns the worker threads; [`ShardedEngine::ingest`] (or
+/// [`ShardedEngine::ingest_stream`]) distributes update batches round-robin;
+/// [`ShardedEngine::finish`] closes the channels, joins the workers and
+/// tree-merges the shard states into the final structure.
+pub struct ShardedEngine<T: ShardIngest + 'static> {
+    workers: Vec<Worker<T>>,
+    batch_size: usize,
+    next: usize,
+}
+
+impl<T: ShardIngest + 'static> ShardedEngine<T> {
+    /// Spawn `shards` worker threads, each owning a clone of `prototype`,
+    /// dealing work in [`DEFAULT_BATCH_SIZE`]-update batches.
+    pub fn new(prototype: &T, shards: usize) -> Self {
+        Self::with_batch_size(prototype, shards, DEFAULT_BATCH_SIZE)
+    }
+
+    /// Spawn the engine with an explicit dispatch batch size.
+    pub fn with_batch_size(prototype: &T, shards: usize, batch_size: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(batch_size >= 1, "batch size must be positive");
+        let workers = (0..shards)
+            .map(|_| {
+                let mut shard = prototype.clone();
+                let (sender, receiver) =
+                    std::sync::mpsc::sync_channel::<Vec<Update>>(WORKER_BACKLOG);
+                let handle = std::thread::spawn(move || {
+                    while let Ok(batch) = receiver.recv() {
+                        shard.ingest_batch(&batch);
+                    }
+                    shard
+                });
+                Worker { sender, handle }
+            })
+            .collect();
+        ShardedEngine { workers, batch_size, next: 0 }
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Distribute a slice of updates across the workers in round-robin
+    /// batches. Blocks only when a worker's backlog is full (backpressure).
+    pub fn ingest(&mut self, updates: &[Update]) {
+        for chunk in updates.chunks(self.batch_size) {
+            self.ingest_batch(chunk);
+        }
+    }
+
+    /// Send one batch to the next worker in round-robin order.
+    pub fn ingest_batch(&mut self, batch: &[Update]) {
+        if batch.is_empty() {
+            return;
+        }
+        let worker = &self.workers[self.next];
+        self.next = (self.next + 1) % self.workers.len();
+        worker.sender.send(batch.to_vec()).expect("engine worker exited before the stream ended");
+    }
+
+    /// Distribute a whole update stream across the workers.
+    pub fn ingest_stream(&mut self, stream: &UpdateStream) {
+        self.ingest(stream.updates());
+    }
+
+    /// Close the channels, join the workers and tree-merge the shard states
+    /// into the final structure (the sketch of everything ingested).
+    ///
+    /// The merge is a deterministic binary tree over shard order
+    /// (`(s0+s1) + (s2+s3)`, …): `log₂ shards` rounds instead of a serial
+    /// left fold. For the exact-arithmetic [`ShardIngest`] structures any
+    /// merge order yields the same bits; the fixed tree keeps the result
+    /// reproducible for any future implementor whose merge only commutes
+    /// approximately.
+    pub fn finish(self) -> T {
+        let mut states: Vec<T> = self
+            .workers
+            .into_iter()
+            .map(|w| {
+                drop(w.sender);
+                w.handle.join().expect("engine worker panicked")
+            })
+            .collect();
+        while states.len() > 1 {
+            let mut next_round = Vec::with_capacity(states.len().div_ceil(2));
+            let mut it = states.into_iter();
+            while let Some(mut a) = it.next() {
+                if let Some(b) = it.next() {
+                    a.merge_from(&b);
+                }
+                next_round.push(a);
+            }
+            states = next_round;
+        }
+        states.pop().expect("at least one shard")
+    }
+}
+
+/// One-shot convenience: shard `updates` across `shards` identically-seeded
+/// clones of `prototype` and return the tree-merged result.
+///
+/// For [`ShardIngest`] structures the result is bit-identical to
+/// `prototype.clone()` ingesting `updates` sequentially.
+pub fn parallel_ingest<T: ShardIngest + 'static>(
+    prototype: &T,
+    updates: &[Update],
+    shards: usize,
+) -> T {
+    let mut engine = ShardedEngine::new(prototype, shards);
+    engine.ingest(updates);
+    engine.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_hash::SeedSequence;
+
+    fn workload(n: u64, len: usize, seed: u64) -> Vec<Update> {
+        let mut s = SeedSequence::new(seed);
+        (0..len)
+            .map(|_| {
+                let delta = (s.next_below(9) as i64) - 4;
+                Update::new(s.next_below(n), if delta == 0 { 1 } else { delta })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_recovery_sharded_matches_sequential_bitwise() {
+        let mut seeds = SeedSequence::new(1);
+        let proto = SparseRecovery::new(1 << 12, 8, &mut seeds);
+        let updates = workload(1 << 12, 5000, 2);
+        let mut sequential = proto.clone();
+        sequential.process_batch(&updates);
+        for shards in [1, 2, 3, 4, 8] {
+            let merged = parallel_ingest(&proto, &updates, shards);
+            assert_eq!(
+                merged.state_digest(),
+                sequential.state_digest(),
+                "digest mismatch at {shards} shards"
+            );
+            assert_eq!(merged.recover(), sequential.recover());
+        }
+    }
+
+    #[test]
+    fn l0_sampler_sharded_matches_sequential_bitwise() {
+        let mut seeds = SeedSequence::new(3);
+        let proto = L0Sampler::new(1 << 10, 0.25, &mut seeds);
+        let updates = workload(1 << 10, 4000, 4);
+        let mut sequential = proto.clone();
+        LpSampler::process_batch(&mut sequential, &updates);
+        let merged = parallel_ingest(&proto, &updates, 4);
+        assert_eq!(merged.state_digest(), sequential.state_digest());
+        assert_eq!(merged.sample(), sequential.sample());
+    }
+
+    #[test]
+    fn incremental_ingestion_across_many_calls() {
+        let mut seeds = SeedSequence::new(5);
+        let proto = CountMinSketch::new(1 << 10, 64, 5, &mut seeds);
+        let updates = workload(1 << 10, 3000, 6);
+        let mut engine = ShardedEngine::with_batch_size(&proto, 3, 128);
+        // feed in ragged pieces to exercise batch boundaries
+        for piece in updates.chunks(701) {
+            engine.ingest(piece);
+        }
+        let merged = engine.finish();
+        let mut sequential = proto.clone();
+        sequential.process_batch(&updates);
+        assert_eq!(merged.state_digest(), sequential.state_digest());
+    }
+
+    #[test]
+    fn empty_stream_yields_prototype_state() {
+        let mut seeds = SeedSequence::new(7);
+        let proto = AmsSketch::with_default_shape(256, &mut seeds);
+        let merged = parallel_ingest(&proto, &[], 4);
+        assert_eq!(merged.state_digest(), proto.state_digest());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_rejected() {
+        let mut seeds = SeedSequence::new(8);
+        let proto = CountSketch::with_default_rows(64, 4, &mut seeds);
+        let _ = ShardedEngine::new(&proto, 0);
+    }
+}

@@ -10,7 +10,7 @@
 
 use lps_hash::SeedSequence;
 use lps_sketch::linear::LinearSketch;
-use lps_sketch::{CountMinSketch, PStableSketch};
+use lps_sketch::{CountMinSketch, Mergeable, PStableSketch, StateDigest};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
 /// Count-min based heavy hitters for the strict turnstile model, p = 1.
@@ -76,6 +76,23 @@ impl CountMinHeavyHitters {
     pub fn report_with_norm(&self, norm: f64) -> Vec<u64> {
         let threshold = 0.75 * self.phi * norm;
         (0..self.dimension).filter(|&i| self.sketch.estimate(i) as f64 >= threshold).collect()
+    }
+}
+
+impl Mergeable for CountMinHeavyHitters {
+    /// Merge an identically-seeded driver by composing its inner merges
+    /// (exact integer count-min table, float p-stable norm counters).
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.phi, other.phi, "threshold mismatch");
+        self.sketch.merge(&other.sketch);
+        self.norm.merge_from(&other.norm);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.write_u64(self.sketch.state_digest()).write_u64(self.norm.state_digest());
+        d.finish()
     }
 }
 

@@ -11,7 +11,7 @@
 //! `O(φ^{-p} log² n)` bits — matching the Theorem 9 lower bound.
 
 use lps_hash::SeedSequence;
-use lps_sketch::{CountSketch, LinearSketch, PStableSketch};
+use lps_sketch::{CountSketch, LinearSketch, Mergeable, PStableSketch, StateDigest};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
 use crate::exact_hh::exact_heavy_hitters;
@@ -103,6 +103,25 @@ impl CountSketchHeavyHitters {
     /// Convenience for tests: the exact heavy hitters of a ground-truth vector.
     pub fn exact(x: &lps_stream::TruthVector, p: f64, phi: f64) -> Vec<u64> {
         exact_heavy_hitters(x, p, phi)
+    }
+}
+
+impl Mergeable for CountSketchHeavyHitters {
+    /// Merge an identically-seeded driver by composing its inner merges:
+    /// the count-sketch merge is exact for integer workloads, the p-stable
+    /// norm merge is linear up to floating-point rounding.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.phi, other.phi, "threshold mismatch");
+        assert_eq!(self.p, other.p, "exponent mismatch");
+        self.sketch.merge_from(&other.sketch);
+        self.norm.merge_from(&other.norm);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.write_u64(self.sketch.state_digest()).write_u64(self.norm.state_digest());
+        d.finish()
     }
 }
 

@@ -1,0 +1,84 @@
+//! Merge-law property tests for the heavy-hitter drivers: both compose an
+//! exact integer sketch (count-sketch / count-min table) with a
+//! floating-point p-stable norm sketch, so commutativity is bitwise while
+//! associativity is checked on the reported heavy-hitter set.
+
+use lps_hash::SeedSequence;
+use lps_heavy::{CountMinHeavyHitters, CountSketchHeavyHitters};
+use lps_sketch::Mergeable;
+use lps_stream::Update;
+use proptest::prelude::*;
+
+const DIM: u64 = 256;
+
+fn updates_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DIM, 1i64..20), 0..max_len)
+}
+
+fn to_updates(updates: &[(u64, i64)]) -> Vec<Update> {
+    updates.iter().map(|&(i, d)| Update::new(i, d)).collect()
+}
+
+fn merge_orders<S: Mergeable + Clone>(sa: &S, sb: &S, sc: &S) -> (S, S) {
+    let mut ab = sa.clone();
+    ab.merge_from(sb);
+    let mut ba = sb.clone();
+    ba.merge_from(sa);
+    assert_eq!(ab.state_digest(), ba.state_digest(), "merge must commute bitwise");
+    let mut ab_c = ab;
+    ab_c.merge_from(sc);
+    let mut bc = sb.clone();
+    bc.merge_from(sc);
+    let mut a_bc = sa.clone();
+    a_bc.merge_from(&bc);
+    (ab_c, a_bc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn count_sketch_hh_merge_laws(a in updates_strategy(30), b in updates_strategy(30), c in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountSketchHeavyHitters::new(DIM, 1.0, 0.25, &mut seeds);
+        let mut sa = proto.clone();
+        sa.process_batch(&to_updates(&a));
+        let mut sb = proto.clone();
+        sb.process_batch(&to_updates(&b));
+        let mut sc = proto.clone();
+        sc.process_batch(&to_updates(&c));
+        let (ab_c, a_bc) = merge_orders(&sa, &sb, &sc);
+        // float reassociation may shift the norm estimate by ULPs; the
+        // reported set must not change for these integer workloads
+        prop_assert_eq!(ab_c.report(), a_bc.report());
+    }
+
+    #[test]
+    fn count_min_hh_merge_laws(a in updates_strategy(30), b in updates_strategy(30), c in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountMinHeavyHitters::new(DIM, 0.25, &mut seeds);
+        let mut sa = proto.clone();
+        sa.process_batch(&to_updates(&a));
+        let mut sb = proto.clone();
+        sb.process_batch(&to_updates(&b));
+        let mut sc = proto.clone();
+        sc.process_batch(&to_updates(&c));
+        let (ab_c, a_bc) = merge_orders(&sa, &sb, &sc);
+        prop_assert_eq!(ab_c.report(), a_bc.report());
+    }
+
+    #[test]
+    fn hh_merge_matches_concatenated_stream_report(a in updates_strategy(30), b in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountSketchHeavyHitters::new(DIM, 1.0, 0.25, &mut seeds);
+        let mut sa = proto.clone();
+        sa.process_batch(&to_updates(&a));
+        let mut sb = proto.clone();
+        sb.process_batch(&to_updates(&b));
+        sa.merge_from(&sb);
+        let mut concat = proto.clone();
+        concat.process_batch(&to_updates(&a));
+        concat.process_batch(&to_updates(&b));
+        prop_assert_eq!(sa.report(), concat.report());
+    }
+}

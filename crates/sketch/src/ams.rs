@@ -13,6 +13,7 @@ use lps_hash::{FourWiseHash, SeedSequence};
 use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 
 use crate::linear::LinearSketch;
+use crate::mergeable::{Mergeable, StateDigest};
 
 /// An AMS sketch with `groups × group_size` sign counters.
 #[derive(Debug, Clone)]
@@ -127,6 +128,20 @@ impl LinearSketch for AmsSketch {
 
     fn dimension(&self) -> u64 {
         self.dimension
+    }
+}
+
+impl Mergeable for AmsSketch {
+    fn merge_from(&mut self, other: &Self) {
+        LinearSketch::merge(self, other);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for &v in &self.counters {
+            d.write_f64(v);
+        }
+        d.finish()
     }
 }
 

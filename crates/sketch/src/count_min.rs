@@ -1,7 +1,7 @@
 //! Count-min and count-median sketches (Cormode–Muthukrishnan).
 //!
 //! These are the classic alternatives to count-sketch referenced in Section
-//! 4.4 of the paper: the count-median algorithm of [8] gives the
+//! 4.4 of the paper: the count-median algorithm of \[8\] gives the
 //! `O(φ^{-1} log² n)` heavy hitter bound for `p = 1`, and the paper's point is
 //! that count-sketch matches/generalises it to all `p ∈ (0, 2]`. We implement
 //! both as comparison baselines for the heavy hitter experiments:
@@ -17,6 +17,7 @@ use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage, Update, UpdateStr
 
 use crate::count_sketch::median;
 use crate::linear::LinearSketch;
+use crate::mergeable::{Mergeable, StateDigest};
 
 /// A count-min sketch over integer-valued strict-turnstile streams.
 #[derive(Debug, Clone)]
@@ -93,6 +94,40 @@ impl CountMinSketch {
     /// Dimension of the underlying vector.
     pub fn dimension(&self) -> u64 {
         self.dimension
+    }
+
+    /// Add another sketch of the same shape and seeds (sketch of the
+    /// concatenated streams). Integer counters, so merging is exact.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.table.len(), other.table.len(), "shape mismatch");
+        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Subtract another sketch of the same shape and seeds (sketch of the
+    /// difference vector).
+    pub fn subtract(&mut self, other: &Self) {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        assert_eq!(self.table.len(), other.table.len(), "shape mismatch");
+        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mergeable for CountMinSketch {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for &v in &self.table {
+            d.write_i64(v);
+        }
+        d.finish()
     }
 }
 
@@ -202,6 +237,20 @@ impl LinearSketch for CountMedianSketch {
 
     fn dimension(&self) -> u64 {
         self.dimension
+    }
+}
+
+impl Mergeable for CountMedianSketch {
+    fn merge_from(&mut self, other: &Self) {
+        LinearSketch::merge(self, other);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for &v in &self.table {
+            d.write_f64(v);
+        }
+        d.finish()
     }
 }
 

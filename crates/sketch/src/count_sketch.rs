@@ -18,6 +18,7 @@ use lps_hash::{PairwiseHash, SeedSequence};
 use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 
 use crate::linear::LinearSketch;
+use crate::mergeable::{Mergeable, StateDigest};
 
 /// Width multiplier: the paper's count-sketch uses `6m` buckets per row.
 pub const WIDTH_FACTOR: usize = 6;
@@ -232,6 +233,20 @@ impl LinearSketch for CountSketch {
 
     fn dimension(&self) -> u64 {
         self.dimension
+    }
+}
+
+impl Mergeable for CountSketch {
+    fn merge_from(&mut self, other: &Self) {
+        LinearSketch::merge(self, other);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for &v in &self.table {
+            d.write_f64(v);
+        }
+        d.finish()
     }
 }
 

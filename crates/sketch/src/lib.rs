@@ -15,6 +15,9 @@
 //! * [`linear`] — the [`LinearSketch`] trait every sketch implements (merge /
 //!   subtract), which is what makes the recovery-stage algebra and the
 //!   communication reductions work.
+//! * [`mergeable`] — the [`Mergeable`] trait promoting merge to a
+//!   first-class capability with bit-level state digests, the contract the
+//!   parallel sharded ingestion engine (`lps-engine`) builds on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod ams;
 pub mod count_min;
 pub mod count_sketch;
 pub mod linear;
+pub mod mergeable;
 pub mod pstable;
 pub mod sparse_recovery;
 
@@ -30,6 +34,7 @@ pub use ams::AmsSketch;
 pub use count_min::{CountMedianSketch, CountMinSketch};
 pub use count_sketch::{median, rows_for_dimension, CountSketch, SparseApprox, WIDTH_FACTOR};
 pub use linear::LinearSketch;
+pub use mergeable::{Mergeable, StateDigest};
 pub use pstable::{stable_sample, PStableSketch};
 pub use sparse_recovery::{
     fingerprint_term, signed_field, CellState, OneSparseCell, RecoveryOutput, SparseRecovery,

@@ -20,6 +20,7 @@ use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 
 use crate::count_sketch::median;
 use crate::linear::LinearSketch;
+use crate::mergeable::{Mergeable, StateDigest};
 
 /// Number of Monte Carlo samples used to calibrate `median |S(p)|`.
 const CALIBRATION_SAMPLES: usize = 50_001;
@@ -142,6 +143,20 @@ impl LinearSketch for PStableSketch {
 
     fn dimension(&self) -> u64 {
         self.dimension
+    }
+}
+
+impl Mergeable for PStableSketch {
+    fn merge_from(&mut self, other: &Self) {
+        LinearSketch::merge(self, other);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for &v in &self.counters {
+            d.write_f64(v);
+        }
+        d.finish()
     }
 }
 

@@ -24,6 +24,8 @@ use lps_stream::{
     coalesce_updates, counter_bits_for, SpaceBreakdown, SpaceUsage, Update, UpdateStream,
 };
 
+use crate::mergeable::{Mergeable, StateDigest};
+
 /// What a single 1-sparse detection cell currently contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellState {
@@ -126,6 +128,18 @@ impl OneSparseCell {
 impl Default for OneSparseCell {
     fn default() -> Self {
         OneSparseCell::new()
+    }
+}
+
+impl Mergeable for OneSparseCell {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.write_i64(self.sum).write_i128(self.index_sum).write_u64(self.fingerprint.value());
+        d.finish()
     }
 }
 
@@ -354,6 +368,20 @@ impl SparseRecovery {
             }
         }
         RecoveryOutput::Dense
+    }
+}
+
+impl Mergeable for SparseRecovery {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for cell in &self.cells {
+            d.write_u64(cell.state_digest());
+        }
+        d.finish()
     }
 }
 

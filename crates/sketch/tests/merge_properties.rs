@@ -1,0 +1,149 @@
+//! Merge-law property tests for every `Mergeable` sketch: commutativity and
+//! associativity, pinned at the bit level via `state_digest` wherever the
+//! counters are exact (integer, field, or integer-valued `f64`), and at the
+//! estimator level for the p-stable sketch whose counters hold arbitrary
+//! reals (floating-point addition commutes bitwise but reassociates only
+//! approximately).
+
+use lps_hash::SeedSequence;
+use lps_sketch::{
+    AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, LinearSketch, Mergeable,
+    PStableSketch, SparseRecovery,
+};
+use lps_stream::Update;
+use proptest::prelude::*;
+
+const DIM: u64 = 256;
+
+fn updates_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DIM, -50i64..50), 0..max_len)
+}
+
+fn to_updates(updates: &[(u64, i64)]) -> Vec<Update> {
+    updates.iter().map(|&(i, d)| Update::new(i, d)).collect()
+}
+
+/// Ingest three streams into identically-seeded clones and return
+/// `(a, b, c)` ready for merge-law checks.
+fn three_sketches<S: Clone>(
+    proto: &S,
+    ingest: impl Fn(&mut S, &[Update]),
+    a: &[(u64, i64)],
+    b: &[(u64, i64)],
+    c: &[(u64, i64)],
+) -> (S, S, S) {
+    let mut sa = proto.clone();
+    let mut sb = proto.clone();
+    let mut sc = proto.clone();
+    ingest(&mut sa, &to_updates(a));
+    ingest(&mut sb, &to_updates(b));
+    ingest(&mut sc, &to_updates(c));
+    (sa, sb, sc)
+}
+
+/// Exact (bitwise) commutativity and associativity of `merge_from`.
+fn assert_exact_merge_laws<S: Mergeable + Clone>(sa: &S, sb: &S, sc: &S) {
+    // commutativity: a + b == b + a
+    let mut ab = sa.clone();
+    ab.merge_from(sb);
+    let mut ba = sb.clone();
+    ba.merge_from(sa);
+    assert_eq!(ab.state_digest(), ba.state_digest(), "merge must commute");
+    // associativity: (a + b) + c == a + (b + c)
+    let mut ab_c = ab;
+    ab_c.merge_from(sc);
+    let mut bc = sb.clone();
+    bc.merge_from(sc);
+    let mut a_bc = sa.clone();
+    a_bc.merge_from(&bc);
+    assert_eq!(ab_c.state_digest(), a_bc.state_digest(), "merge must associate");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sparse_recovery_merge_laws(a in updates_strategy(40), b in updates_strategy(40), c in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = SparseRecovery::new(DIM, 6, &mut seeds);
+        let (sa, sb, sc) = three_sketches(&proto, |s, u| s.process_batch(u), &a, &b, &c);
+        assert_exact_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn count_sketch_merge_laws(a in updates_strategy(40), b in updates_strategy(40), c in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountSketch::new(DIM, 4, 5, &mut seeds);
+        let (sa, sb, sc) = three_sketches(&proto, LinearSketch::process_batch, &a, &b, &c);
+        assert_exact_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn count_min_merge_laws(a in updates_strategy(40), b in updates_strategy(40), c in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountMinSketch::new(DIM, 16, 5, &mut seeds);
+        let (sa, sb, sc) = three_sketches(&proto, |s, u| s.process_batch(u), &a, &b, &c);
+        assert_exact_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn count_median_merge_laws(a in updates_strategy(40), b in updates_strategy(40), c in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountMedianSketch::new(DIM, 16, 5, &mut seeds);
+        let (sa, sb, sc) = three_sketches(&proto, LinearSketch::process_batch, &a, &b, &c);
+        assert_exact_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn ams_merge_laws(a in updates_strategy(40), b in updates_strategy(40), c in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = AmsSketch::new(DIM, 5, 4, &mut seeds);
+        let (sa, sb, sc) = three_sketches(&proto, LinearSketch::process_batch, &a, &b, &c);
+        assert_exact_merge_laws(&sa, &sb, &sc);
+    }
+
+    #[test]
+    fn pstable_merge_commutes_bitwise_and_associates_approximately(
+        a in updates_strategy(30), b in updates_strategy(30), c in updates_strategy(30), seed in any::<u64>()
+    ) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = PStableSketch::new(DIM, 1.0, 15, &mut seeds);
+        let (sa, sb, sc) = three_sketches(&proto, LinearSketch::process_batch, &a, &b, &c);
+        // IEEE 754 addition commutes bitwise, so commutativity is exact even
+        // with irrational p-stable coefficients in the counters.
+        let mut ab = sa.clone();
+        ab.merge_from(&sb);
+        let mut ba = sb.clone();
+        ba.merge_from(&sa);
+        prop_assert_eq!(ab.state_digest(), ba.state_digest());
+        // Reassociation changes rounding, so associativity is checked on the
+        // norm estimate instead of the raw bits.
+        let mut ab_c = ab;
+        ab_c.merge_from(&sc);
+        let mut bc = sb.clone();
+        bc.merge_from(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge_from(&bc);
+        let (x, y) = (ab_c.estimate(), a_bc.estimate());
+        prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+            "p-stable merge reassociation drifted: {} vs {}", x, y);
+    }
+
+    #[test]
+    fn merged_sparse_recovery_recovers_the_sum_vector(a in updates_strategy(6), b in updates_strategy(6), seed in any::<u64>()) {
+        // semantic check on top of the bit-level laws: merge really is the
+        // sketch of the concatenated streams.
+        let mut seeds = SeedSequence::new(seed);
+        let proto = SparseRecovery::new(DIM, 16, &mut seeds);
+        let mut sa = proto.clone();
+        sa.process_batch(&to_updates(&a));
+        let mut sb = proto.clone();
+        sb.process_batch(&to_updates(&b));
+        sa.merge_from(&sb);
+        let mut concat = proto.clone();
+        concat.process_batch(&to_updates(&a));
+        concat.process_batch(&to_updates(&b));
+        prop_assert_eq!(sa.state_digest(), concat.state_digest());
+        prop_assert_eq!(sa.recover(), concat.recover());
+    }
+}

@@ -16,6 +16,8 @@
 //!   sampler, repetition wrappers, reservoir sampling, AKO and FIS baselines.
 //! * [`duplicates`] — finding duplicates in streams of length n+1, n−s, n+s.
 //! * [`heavy`] — count-sketch heavy hitters for all `p ∈ (0, 2]`.
+//! * [`engine`] — the parallel sharded ingestion engine built on sketch
+//!   mergeability (shard across threads, tree-merge at the end).
 //! * [`commgames`] — augmented indexing, the universal relation, and the
 //!   executable lower-bound reductions.
 //!
@@ -48,6 +50,7 @@
 pub use lps_commgames as commgames;
 pub use lps_core as sampler;
 pub use lps_duplicates as duplicates;
+pub use lps_engine as engine;
 pub use lps_hash as hash;
 pub use lps_heavy as heavy;
 pub use lps_sketch as sketch;
@@ -67,14 +70,15 @@ pub mod prelude {
         DuplicateFinder, DuplicateResult, LongStreamDuplicateFinder, NaiveDuplicateFinder,
         PriorWorkDuplicateFinder, ShortStreamDuplicateFinder,
     };
+    pub use lps_engine::{parallel_ingest, ShardIngest, ShardedEngine};
     pub use lps_hash::SeedSequence;
     pub use lps_heavy::{
         exact_heavy_hitters, is_valid_heavy_hitter_set, CountMinHeavyHitters,
         CountSketchHeavyHitters,
     };
     pub use lps_sketch::{
-        AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, LinearSketch, PStableSketch,
-        RecoveryOutput, SparseRecovery,
+        AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, LinearSketch, Mergeable,
+        PStableSketch, RecoveryOutput, SparseRecovery, StateDigest,
     };
     pub use lps_stream::{
         EmpiricalDistribution, SpaceUsage, TruthVector, TurnstileModel, Update, UpdateStream,

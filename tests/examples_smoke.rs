@@ -55,3 +55,8 @@ fn heavy_hitters_example_exits_zero() {
 fn replica_divergence_example_exits_zero() {
     run_example("replica_divergence");
 }
+
+#[test]
+fn parallel_ingest_example_exits_zero() {
+    run_example("parallel_ingest");
+}
