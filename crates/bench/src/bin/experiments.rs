@@ -5,6 +5,8 @@
 //!   cargo run --release -p lps-bench --bin experiments -- e1 e5 e9
 //!   cargo run --release -p lps-bench --bin experiments -- bench --json
 //!   cargo run --release -p lps-bench --bin experiments -- bench --json --check baseline.json
+//!   cargo run --release -p lps-bench --bin experiments -- checkpoint --dir D [--shards K]
+//!   cargo run --release -p lps-bench --bin experiments -- checkpoint --merge --dir D
 //!
 //! Without `--full` the harness runs in "quick" mode (fewer trials), which is
 //! what EXPERIMENTS.md reports; `--full` multiplies the trial counts. The
@@ -14,11 +16,70 @@
 //! machine-readable perf datapoint. `--check <path>` re-reads a committed
 //! baseline document, compares the gated headline speedups, and exits
 //! non-zero on a regression beyond the tolerance — this is the CI perf gate.
+//!
+//! The `checkpoint` subcommand exercises the cross-process persistence
+//! pipeline: without `--merge` it ingests a deterministic workload through
+//! the sharded engine and writes one encoded shard file per worker into
+//! `--dir`; with `--merge` (run it in a fresh process) it reads the shard
+//! files back, merges them with seed-compatibility validation, and
+//! digest-compares against sequential ingestion — exiting non-zero on any
+//! mismatch.
 
 use lps_bench::*;
 
+/// Run the `checkpoint` subcommand; returns the process exit code.
+fn run_checkpoint(args: &[String]) -> i32 {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| panic!("{flag} needs a value")))
+    };
+    let dir =
+        std::path::PathBuf::from(value_of("--dir").expect("checkpoint requires --dir <directory>"));
+    let merge = args.iter().any(|a| a == "--merge");
+    if merge {
+        match checkpoint_merge(&dir) {
+            Ok(outcomes) => {
+                print!("{}", render_outcomes("merge", &outcomes));
+                if outcomes.iter().all(|o| o.matched) {
+                    println!("checkpoint merge: all digests match sequential ingestion");
+                    0
+                } else {
+                    println!("checkpoint merge: DIGEST MISMATCH");
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("checkpoint merge failed: {e}");
+                1
+            }
+        }
+    } else {
+        let shards: usize =
+            value_of("--shards").map(|s| s.parse().expect("--shards needs a number")).unwrap_or(4);
+        match checkpoint_write(&dir, shards) {
+            Ok(outcomes) => {
+                print!("{}", render_outcomes("write", &outcomes));
+                println!(
+                    "checkpoint write: {} structures x {shards} shards -> {}",
+                    outcomes.len(),
+                    dir.display()
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("checkpoint write failed: {e}");
+                1
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("checkpoint") {
+        std::process::exit(run_checkpoint(&args[1..]));
+    }
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
     let check_baseline: Option<String> = args
@@ -73,6 +134,15 @@ fn main() {
                          workload sizes differ, so expect extra noise"
                     );
                 }
+            }
+            let baseline_class =
+                parse_runner_class(baseline_doc).unwrap_or_else(|| "unspecified".to_string());
+            if baseline_class != meta.runner_class {
+                println!(
+                    "perf gate note: baseline runner class '{baseline_class}' differs from \
+                     this run's '{}' — per-class baselines live under ci/perf-baselines/",
+                    meta.runner_class
+                );
             }
             let baseline = parse_headline(baseline_doc);
             let fresh = headline_ratios(&records);

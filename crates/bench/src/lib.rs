@@ -9,10 +9,13 @@
 //! ingestion engine scaling E14 — live in [`throughput`]
 //! (`experiments -- bench --json`), together with the headline-ratio
 //! regression gate CI runs via `experiments -- bench --check <baseline>`.
+//! The [`checkpoint`] module backs `experiments -- checkpoint`, the
+//! cross-process checkpoint → shard files → merge → digest-compare pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod e_duplicates;
 pub mod e_heavy;
 pub mod e_lower;
@@ -20,6 +23,9 @@ pub mod e_samplers;
 pub mod report;
 pub mod throughput;
 
+pub use checkpoint::{
+    checkpoint_merge, checkpoint_write, render_outcomes, CheckpointOutcome, CHECKPOINT_STRUCTURES,
+};
 pub use e_duplicates::{e5_duplicates, e6_duplicates_short, e7_duplicates_long};
 pub use e_heavy::e8_heavy_hitters;
 pub use e_lower::{e10_reductions, e11_hh_reduction, e9_ur_protocol};
@@ -27,8 +33,8 @@ pub use e_samplers::{e1_sampler_accuracy, e2_sampler_space, e3_l0_sampler};
 pub use report::Table;
 pub use throughput::{
     check_headline_regression, engine_scaling_suite, engine_scaling_table, headline_ratios,
-    parse_headline, parse_mode, throughput_suite, throughput_table, to_json, BenchMeta,
-    ThroughputRecord, GATE_TOLERANCE,
+    parse_headline, parse_mode, parse_runner_class, throughput_suite, throughput_table, to_json,
+    BenchMeta, ThroughputRecord, GATE_TOLERANCE,
 };
 
 /// Run every experiment and return the rendered tables in order.

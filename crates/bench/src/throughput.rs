@@ -442,6 +442,12 @@ pub struct BenchMeta {
     pub host_cpus: usize,
     /// The shard counts the engine scaling records cover.
     pub shard_counts: Vec<usize>,
+    /// The runner class measuring (from `LPS_RUNNER_CLASS`, e.g.
+    /// `github-ubuntu-latest`; `"unspecified"` when unset). Per-class
+    /// quick-mode baselines live under `ci/perf-baselines/<class>.json`, so
+    /// the gate compares like hardware against like hardware and quick mode
+    /// against quick mode.
+    pub runner_class: String,
 }
 
 impl BenchMeta {
@@ -457,7 +463,14 @@ impl BenchMeta {
             .filter(|s| !s.is_empty())
             .unwrap_or_else(|| "unknown".to_string());
         let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        BenchMeta { git_commit, host_cpus, shard_counts: ENGINE_SHARD_COUNTS.to_vec() }
+        let runner_class =
+            std::env::var("LPS_RUNNER_CLASS").unwrap_or_else(|_| "unspecified".to_string());
+        BenchMeta {
+            git_commit,
+            host_cpus,
+            shard_counts: ENGINE_SHARD_COUNTS.to_vec(),
+            runner_class,
+        }
     }
 }
 
@@ -474,6 +487,7 @@ pub fn to_json(records: &[ThroughputRecord], quick: bool, meta: &BenchMeta) -> S
     );
     out.push_str(&format!("  \"git_commit\": \"{}\",\n", json_escape(&meta.git_commit)));
     out.push_str(&format!("  \"host_cpus\": {},\n", meta.host_cpus));
+    out.push_str(&format!("  \"runner_class\": \"{}\",\n", json_escape(&meta.runner_class)));
     let shard_list = meta.shard_counts.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ");
     out.push_str(&format!("  \"engine_shard_counts\": [{shard_list}],\n"));
     // absent (or non-finite) ratios serialize as null, never as a bare NaN
@@ -540,16 +554,30 @@ pub fn parse_headline(json: &str) -> Vec<(String, f64)> {
     out
 }
 
-/// Extract the top-level `"mode"` stamp (`"quick"` / `"full"`) from a
-/// `BENCH_samplers.json` document, so the gate can tell the operator when a
-/// quick-mode run is being compared against a full-mode baseline.
-pub fn parse_mode(json: &str) -> Option<String> {
-    let start = json.find("\"mode\":")?;
-    let rest = &json[start + "\"mode\":".len()..];
+/// Extract a top-level string field (e.g. `"mode"`, `"runner_class"`) from a
+/// benchmark JSON document.
+fn parse_string_field(json: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\":");
+    let start = json.find(&needle)?;
+    let rest = &json[start + needle.len()..];
     let open = rest.find('"')?;
     let rest = &rest[open + 1..];
     let close = rest.find('"')?;
     Some(rest[..close].to_string())
+}
+
+/// Extract the top-level `"mode"` stamp (`"quick"` / `"full"`) from a
+/// `BENCH_samplers.json` document, so the gate can tell the operator when a
+/// quick-mode run is being compared against a full-mode baseline.
+pub fn parse_mode(json: &str) -> Option<String> {
+    parse_string_field(json, "mode")
+}
+
+/// Extract the top-level `"runner_class"` stamp, so the gate can tell the
+/// operator when the baseline was measured on different hardware than the
+/// current run (older documents lack the stamp; `None` then).
+pub fn parse_runner_class(json: &str) -> Option<String> {
+    parse_string_field(json, "runner_class")
 }
 
 /// The default regression tolerance of the CI perf gate: fail when a gated
@@ -635,6 +663,7 @@ mod tests {
             git_commit: "abc123def456".to_string(),
             host_cpus: 4,
             shard_counts: vec![1, 2, 4, 8],
+            runner_class: "github-ubuntu-latest".to_string(),
         };
         let json = to_json(&records, true, &meta);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -648,6 +677,8 @@ mod tests {
         // provenance stamps
         assert!(json.contains("\"git_commit\": \"abc123def456\""));
         assert!(json.contains("\"host_cpus\": 4"));
+        assert!(json.contains("\"runner_class\": \"github-ubuntu-latest\""));
+        assert_eq!(parse_runner_class(&json).as_deref(), Some("github-ubuntu-latest"));
         assert!(json.contains("\"engine_shard_counts\": [1, 2, 4, 8]"));
         // the writer's own headline block round-trips through the parser
         let parsed = parse_headline(&json);

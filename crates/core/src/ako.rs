@@ -16,8 +16,10 @@
 //! samplers as n grows, which is where the `log³` vs `log²` gap shows.
 
 use lps_hash::{KWiseHash, SeedSequence};
+use lps_sketch::persist::tags;
 use lps_sketch::{
-    rows_for_dimension, CountSketch, LinearSketch, Mergeable, PStableSketch, StateDigest,
+    rows_for_dimension, CountSketch, DecodeError, LinearSketch, Mergeable, PStableSketch, Persist,
+    StateDigest, WireReader, WireWriter,
 };
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
@@ -122,6 +124,11 @@ impl LpSampler for AkoSampler {
 impl Mergeable for AkoSampler {
     /// Merge an identically-seeded baseline by composing its inner sketch
     /// merges (real-valued counters: linear up to floating-point rounding).
+    ///
+    /// Sharded ingestion drifts from sequential by at most `~2mε` relative
+    /// per counter (`m` = terms accumulated, `ε = 2⁻⁵³`, modulo
+    /// cancellation) — see `PrecisionLpSampler::merge_from` for the bound's
+    /// derivation and `tests/float_drift.rs` for the measurement.
     fn merge_from(&mut self, other: &Self) {
         assert_eq!(self.dimension, other.dimension, "dimension mismatch");
         assert_eq!(self.p, other.p, "exponent mismatch");
@@ -134,6 +141,42 @@ impl Mergeable for AkoSampler {
         let mut d = StateDigest::new();
         d.write_u64(self.count_sketch.state_digest()).write_u64(self.norm_sketch.state_digest());
         d.finish()
+    }
+}
+
+impl Persist for AkoSampler {
+    const TAG: u16 = tags::AKO_SAMPLER;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_f64(self.p);
+        w.write_f64(self.epsilon);
+        self.scaling.encode_seeds(w);
+        self.count_sketch.encode_seeds(w);
+        self.norm_sketch.encode_seeds(w);
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        self.count_sketch.encode_counters(w);
+        self.norm_sketch.encode_counters(w);
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        let p = seeds.read_finite_f64("AKO sampler p must be finite")?;
+        let epsilon = seeds.read_finite_f64("AKO sampler epsilon must be finite")?;
+        if dimension == 0 || !(1.0..2.0).contains(&p) || !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(DecodeError::Corrupt {
+                context: "AKO sampler needs p in [1, 2) and epsilon in (0, 1)",
+            });
+        }
+        let scaling = KWiseHash::decode_parts(seeds, counters)?;
+        let count_sketch = CountSketch::decode_parts(seeds, counters)?;
+        let norm_sketch = PStableSketch::decode_parts(seeds, counters)?;
+        Ok(AkoSampler { p, epsilon, dimension, scaling, count_sketch, norm_sketch })
     }
 }
 

@@ -7,7 +7,8 @@
 //! against in EXPERIMENTS.md.
 
 use lps_hash::SeedSequence;
-use lps_sketch::{Mergeable, StateDigest};
+use lps_sketch::persist::tags;
+use lps_sketch::{DecodeError, Mergeable, Persist, StateDigest, WireReader, WireWriter};
 use lps_stream::{SpaceBreakdown, SpaceUsage, TruthVector, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -83,6 +84,47 @@ impl Mergeable for ExactSampler {
             d.write_i64(v);
         }
         d.finish()
+    }
+}
+
+impl Persist for ExactSampler {
+    const TAG: u16 = tags::EXACT_SAMPLER;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.vector.dimension());
+        w.write_f64(self.p);
+        w.write_u64(self.rng_seed);
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for &v in self.vector.values() {
+            w.write_i64(v);
+        }
+        // the draw counter is query state, but it determines the next sample,
+        // so a checkpointed sampler resumes its draw stream where it left off
+        w.write_u64(self.draws.get());
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        let p = seeds.read_finite_f64("exact sampler p must be finite")?;
+        if dimension == 0 || p < 0.0 {
+            return Err(DecodeError::Corrupt { context: "exact sampler needs p >= 0" });
+        }
+        let rng_seed = seeds.read_u64()?;
+        let count = usize::try_from(dimension)
+            .map_err(|_| DecodeError::Corrupt { context: "exact sampler dimension too large" })?;
+        let values = counters.read_i64s(count)?;
+        let draws = counters.read_u64()?;
+        Ok(ExactSampler {
+            p,
+            vector: TruthVector::from_values(values),
+            rng_seed,
+            draws: std::cell::Cell::new(draws),
+        })
     }
 }
 

@@ -15,7 +15,11 @@
 //! to) uniform over the support by symmetry.
 
 use lps_hash::{Fp, PowTable, SeedSequence, TabulationHash};
-use lps_sketch::{fingerprint_term, CellState, Mergeable, OneSparseCell, StateDigest};
+use lps_sketch::persist::tags;
+use lps_sketch::{
+    fingerprint_term, CellState, DecodeError, Mergeable, OneSparseCell, Persist, StateDigest,
+    WireReader, WireWriter,
+};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -168,6 +172,62 @@ impl Mergeable for FisL0Sampler {
             d.write_u64(slot.cell.state_digest());
         }
         d.finish()
+    }
+}
+
+impl Persist for FisL0Sampler {
+    const TAG: u16 = tags::FIS_L0_SAMPLER;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_len(self.levels);
+        w.write_len(self.repetitions);
+        w.write_fp(self.pow.base());
+        for slot in &self.slots {
+            slot.inclusion.encode_seeds(w);
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for slot in &self.slots {
+            slot.cell.encode_counters(w);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        if dimension == 0 {
+            return Err(DecodeError::Corrupt { context: "FIS L0 dimension must be > 0" });
+        }
+        let levels = seeds.read_count(1)?;
+        let repetitions = seeds.read_count(1)?;
+        if levels == 0 || repetitions == 0 {
+            return Err(DecodeError::Corrupt { context: "FIS L0 shape must be non-zero" });
+        }
+        let fingerprint_base = seeds.read_fp()?;
+        let slot_count = levels
+            .checked_mul(repetitions)
+            .ok_or(DecodeError::Corrupt { context: "FIS L0 slot count overflows" })?;
+        // Each slot's tabulation tables are 8 × 256 words in the seed section.
+        seeds.claim(slot_count, 8 * 256 * 8)?;
+        counters.claim(slot_count, 8 + 16 + 8)?;
+        let slots = (0..slot_count)
+            .map(|_| {
+                let inclusion = TabulationHash::decode_parts(seeds, counters)?;
+                let cell = OneSparseCell::decode_parts(seeds, counters)?;
+                Ok(Slot { inclusion, cell })
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?;
+        Ok(FisL0Sampler {
+            dimension,
+            levels,
+            repetitions,
+            slots,
+            pow: PowTable::new(fingerprint_base),
+        })
     }
 }
 

@@ -34,7 +34,11 @@
 //! the stored randomness down to O(log² n) bits (Theorem 2's accounting).
 
 use lps_hash::{KWiseHash, NisanPrg, NisanStream, SeedSequence};
-use lps_sketch::{Mergeable, RecoveryOutput, SparseRecovery, StateDigest};
+use lps_sketch::persist::tags;
+use lps_sketch::{
+    DecodeError, Mergeable, Persist, RecoveryOutput, SparseRecovery, StateDigest, WireReader,
+    WireWriter,
+};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -253,6 +257,75 @@ impl Mergeable for L0Sampler {
             d.write_u64(level.threshold).write_u64(level.recovery.state_digest());
         }
         d.finish()
+    }
+}
+
+impl Persist for L0Sampler {
+    const TAG: u16 = tags::L0_SAMPLER;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_f64(self.delta);
+        w.write_len(self.s);
+        w.write_u8(match self.randomness {
+            L0Randomness::Seeded => 0,
+            L0Randomness::Nisan => 1,
+        });
+        w.write_u64(self.nisan_seed_bits);
+        w.write_u64(self.choice_seed);
+        self.membership.encode_seeds(w);
+        w.write_len(self.levels.len());
+        for level in &self.levels {
+            w.write_u64(level.threshold);
+            level.recovery.encode_seeds(w);
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for level in &self.levels {
+            level.recovery.encode_counters(w);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        let delta = seeds.read_finite_f64("L0 sampler delta must be finite")?;
+        if dimension == 0 || !(delta > 0.0 && delta < 1.0) {
+            return Err(DecodeError::Corrupt { context: "L0 sampler needs delta in (0, 1)" });
+        }
+        let s = seeds.read_count(0)?;
+        let randomness = match seeds.read_u8()? {
+            0 => L0Randomness::Seeded,
+            1 => L0Randomness::Nisan,
+            _ => return Err(DecodeError::Corrupt { context: "unknown L0 randomness mode" }),
+        };
+        let nisan_seed_bits = seeds.read_u64()?;
+        let choice_seed = seeds.read_u64()?;
+        let membership = KWiseHash::decode_parts(seeds, counters)?;
+        let level_count = seeds.read_count(1)?;
+        if level_count == 0 {
+            return Err(DecodeError::Corrupt { context: "L0 sampler needs at least one level" });
+        }
+        let levels = (0..level_count)
+            .map(|_| {
+                let threshold = seeds.read_u64()?;
+                let recovery = SparseRecovery::decode_parts(seeds, counters)?;
+                Ok(Level { threshold, recovery })
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?;
+        Ok(L0Sampler {
+            dimension,
+            delta,
+            s,
+            membership,
+            levels,
+            choice_seed,
+            randomness,
+            nisan_seed_bits,
+        })
     }
 }
 

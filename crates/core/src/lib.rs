@@ -59,7 +59,7 @@ pub use exact::ExactSampler;
 // trait is re-exported for downstream crates like `lps-engine`.
 pub use fis_l0::FisL0Sampler;
 pub use l0::{L0Randomness, L0Sampler};
-pub use lps_sketch::{Mergeable, StateDigest};
+pub use lps_sketch::{DecodeError, Mergeable, Persist, StateDigest};
 pub use precision::{PrecisionLpSampler, PrecisionParams, RecoveryState};
 pub use repeat::{repetitions_for, RepeatedSampler};
 pub use reservoir::{PositionReservoir, ReservoirSampler};

@@ -24,7 +24,11 @@
 //! probability below δ (see [`crate::repeat`]).
 
 use lps_hash::{KWiseHash, SeedSequence};
-use lps_sketch::{AmsSketch, CountSketch, LinearSketch, Mergeable, PStableSketch, StateDigest};
+use lps_sketch::persist::tags;
+use lps_sketch::{
+    AmsSketch, CountSketch, DecodeError, LinearSketch, Mergeable, PStableSketch, Persist,
+    StateDigest, WireReader, WireWriter,
+};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -227,6 +231,16 @@ impl Mergeable for PrecisionLpSampler {
     /// three internal linear sketches. Counter contents are real-valued
     /// (scaled by `t_i^{−1/p}`), so merging is linear up to floating-point
     /// rounding: commutative bitwise, associative approximately.
+    ///
+    /// **Sharded-ingestion error bound.** Relative to sequential ingestion,
+    /// a k-shard merge only *reassociates* each counter's sum, so for a
+    /// counter accumulating `m` update terms the drift obeys the standard
+    /// summation bound `|sharded − sequential| ≤ 2(m−1)·ε·Σ|terms| + O(ε²)`
+    /// with `ε = 2⁻⁵³` — a relative error ≲ `2mε` times the cancellation
+    /// ratio `Σ|terms| / |Σ terms|`. At m = 10⁶ that is ~10⁻¹⁰, many orders
+    /// below the sampler's Θ(ε_sampler) estimator noise, so sharding cannot
+    /// flip non-marginal accept/FAIL decisions (pinned quantitatively by
+    /// `tests/float_drift.rs`).
     fn merge_from(&mut self, other: &Self) {
         assert_eq!(self.dimension, other.dimension, "dimension mismatch");
         assert_eq!(self.params, other.params, "parameter mismatch");
@@ -241,6 +255,48 @@ impl Mergeable for PrecisionLpSampler {
             .write_u64(self.norm_sketch.state_digest())
             .write_u64(self.l2_sketch.state_digest());
         d.finish()
+    }
+}
+
+impl Persist for PrecisionLpSampler {
+    const TAG: u16 = tags::PRECISION_SAMPLER;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        // (p, ε) determine every derived parameter in `params`; the rest of
+        // the seed material is the scaling hash plus the three sub-sketches.
+        w.write_f64(self.params.p);
+        w.write_f64(self.params.epsilon);
+        self.scaling.encode_seeds(w);
+        self.count_sketch.encode_seeds(w);
+        self.norm_sketch.encode_seeds(w);
+        self.l2_sketch.encode_seeds(w);
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        self.count_sketch.encode_counters(w);
+        self.norm_sketch.encode_counters(w);
+        self.l2_sketch.encode_counters(w);
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        let p = seeds.read_finite_f64("precision sampler p must be finite")?;
+        let epsilon = seeds.read_finite_f64("precision sampler epsilon must be finite")?;
+        if dimension == 0 || !(p > 0.0 && p < 2.0) || !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(DecodeError::Corrupt {
+                context: "precision sampler needs p in (0, 2) and epsilon in (0, 1)",
+            });
+        }
+        let params = PrecisionParams::derive(p, epsilon);
+        let scaling = KWiseHash::decode_parts(seeds, counters)?;
+        let count_sketch = CountSketch::decode_parts(seeds, counters)?;
+        let norm_sketch = PStableSketch::decode_parts(seeds, counters)?;
+        let l2_sketch = AmsSketch::decode_parts(seeds, counters)?;
+        Ok(PrecisionLpSampler { params, dimension, scaling, count_sketch, norm_sketch, l2_sketch })
     }
 }
 

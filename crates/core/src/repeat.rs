@@ -9,7 +9,8 @@
 //! generically over any [`LpSampler`].
 
 use lps_hash::SeedSequence;
-use lps_sketch::{Mergeable, StateDigest};
+use lps_sketch::persist::tags;
+use lps_sketch::{DecodeError, Mergeable, Persist, StateDigest, WireReader, WireWriter};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
 use crate::traits::{LpSampler, Sample};
@@ -114,6 +115,49 @@ impl<S: Mergeable> Mergeable for RepeatedSampler<S> {
             d.write_u64(c.state_digest());
         }
         d.finish()
+    }
+}
+
+impl<S: Persist> Persist for RepeatedSampler<S> {
+    /// The wrapper's tag composes the repetition marker with the inner
+    /// sampler's tag, so `RepeatedSampler<PrecisionLpSampler>` and
+    /// `RepeatedSampler<L0Sampler>` encode distinguishably. The const
+    /// assertion rejects inner tags that already carry the repetition bit
+    /// (i.e. nesting `RepeatedSampler<RepeatedSampler<_>>`) at compile
+    /// time: OR-ing the bit twice would collide with the single wrapper's
+    /// tag and break the "tags are never reused" wire-format guarantee.
+    const TAG: u16 = {
+        assert!(
+            S::TAG & tags::REPEATED_BASE == 0,
+            "RepeatedSampler cannot wrap a structure whose tag already carries REPEATED_BASE"
+        );
+        tags::REPEATED_BASE | S::TAG
+    };
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_len(self.copies.len());
+        for c in &self.copies {
+            c.encode_seeds(w);
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for c in &self.copies {
+            c.encode_counters(w);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let count = seeds.read_count(1)?;
+        if count == 0 {
+            return Err(DecodeError::Corrupt { context: "repeated sampler needs >= 1 copy" });
+        }
+        let copies =
+            (0..count).map(|_| S::decode_parts(seeds, counters)).collect::<Result<Vec<_>, _>>()?;
+        Ok(RepeatedSampler { copies })
     }
 }
 

@@ -1,0 +1,195 @@
+//! Round-trip and rejection properties of the wire format for every sampler
+//! in `lps-core`: digests survive encode → decode after partial ingestion and
+//! after merges, and malformed buffers produce typed errors, never panics.
+
+use lps_core::{
+    AkoSampler, ExactSampler, FisL0Sampler, L0Randomness, L0Sampler, LpSampler, Mergeable, Persist,
+    PrecisionLpSampler, RepeatedSampler,
+};
+use lps_hash::SeedSequence;
+use lps_stream::Update;
+use proptest::prelude::*;
+
+const DIM: u64 = 128;
+
+fn updates_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DIM, -20i64..20), 0..max_len)
+}
+
+fn to_updates(updates: &[(u64, i64)]) -> Vec<Update> {
+    updates.iter().map(|&(i, d)| Update::new(i, d)).collect()
+}
+
+fn assert_roundtrips<S: Persist + Mergeable + LpSampler + Clone>(
+    proto: &S,
+    a: &[(u64, i64)],
+    b: &[(u64, i64)],
+) {
+    let mut sa = proto.clone();
+    let mut sb = proto.clone();
+    sa.process_batch(&to_updates(a));
+    sb.process_batch(&to_updates(b));
+    for s in [&sa, &sb] {
+        let decoded = S::decode_state(&s.encode_to_vec()).expect("round-trip decode");
+        assert_eq!(decoded.state_digest(), s.state_digest(), "partial-ingest digest drifted");
+    }
+    let mut merged = sa.clone();
+    merged.merge_from(&sb);
+    let mut via_codec = S::decode_state(&sa.encode_to_vec()).unwrap();
+    via_codec.merge_from(&S::decode_state(&sb.encode_to_vec()).unwrap());
+    assert_eq!(merged.state_digest(), via_codec.state_digest(), "decoded merge diverged");
+    let decoded = S::decode_state(&merged.encode_to_vec()).unwrap();
+    assert_eq!(decoded.state_digest(), merged.state_digest(), "merged digest drifted");
+}
+
+fn assert_rejects_malformed<S: Persist>(state: &S) {
+    let good = state.encode_to_vec();
+    assert!(S::decode_state(&good).is_ok());
+    for cut in 0..good.len().min(64) {
+        assert!(S::decode_state(&good[..cut]).is_err(), "short prefix {cut} accepted");
+    }
+    // a prefix cut inside each section must also fail
+    for frac in [3usize, 2] {
+        let cut = good.len() - good.len() / frac;
+        assert!(S::decode_state(&good[..cut]).is_err(), "truncated buffer accepted");
+    }
+    let step = (good.len() / 48).max(1);
+    for pos in (0..good.len()).step_by(step) {
+        let mut bad = good.clone();
+        bad[pos] ^= 0xFF;
+        let _ = S::decode_state(&bad); // must not panic
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn l0_sampler_roundtrip(a in updates_strategy(30), b in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = L0Sampler::new(DIM, 0.25, &mut seeds);
+        assert_roundtrips(&proto, &a, &b);
+    }
+
+    #[test]
+    fn l0_sampler_nisan_roundtrip(a in updates_strategy(20), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let mut sampler = L0Sampler::with_randomness(DIM, 0.25, L0Randomness::Nisan, &mut seeds);
+        sampler.process_batch(&to_updates(&a));
+        let decoded = L0Sampler::decode_state(&sampler.encode_to_vec()).unwrap();
+        prop_assert_eq!(decoded.state_digest(), sampler.state_digest());
+        prop_assert_eq!(decoded.randomness(), sampler.randomness());
+        prop_assert_eq!(decoded.sample(), sampler.sample());
+    }
+
+    #[test]
+    fn fis_l0_roundtrip(a in updates_strategy(25), b in updates_strategy(25), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = FisL0Sampler::new(64, &mut seeds);
+        let a: Vec<(u64, i64)> = a.iter().map(|&(i, d)| (i % 64, d)).collect();
+        let b: Vec<(u64, i64)> = b.iter().map(|&(i, d)| (i % 64, d)).collect();
+        assert_roundtrips(&proto, &a, &b);
+    }
+
+    #[test]
+    fn precision_sampler_roundtrip(a in updates_strategy(25), b in updates_strategy(25), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = PrecisionLpSampler::new(DIM, 1.0, 0.5, &mut seeds);
+        assert_roundtrips(&proto, &a, &b);
+    }
+
+    #[test]
+    fn ako_sampler_roundtrip(a in updates_strategy(25), b in updates_strategy(25), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = AkoSampler::new(DIM, 1.0, 0.5, &mut seeds);
+        assert_roundtrips(&proto, &a, &b);
+    }
+
+    #[test]
+    fn repeated_sampler_roundtrip(a in updates_strategy(25), b in updates_strategy(25), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = RepeatedSampler::new(3, &mut seeds, |s| PrecisionLpSampler::new(DIM, 1.0, 0.5, s));
+        assert_roundtrips(&proto, &a, &b);
+    }
+
+    #[test]
+    fn exact_sampler_roundtrip(a in updates_strategy(25), b in updates_strategy(25), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = ExactSampler::new(DIM, 1.0, &mut seeds);
+        assert_roundtrips(&proto, &a, &b);
+    }
+}
+
+#[test]
+fn decoded_l0_sampler_behaves_identically() {
+    // behaviour, not just bytes: further ingestion and sampling agree
+    let mut seeds = SeedSequence::new(5);
+    let mut sampler = L0Sampler::new(1 << 10, 0.25, &mut seeds);
+    for i in 0..200u64 {
+        sampler.process_update(Update::new(i * 5 % (1 << 10), 1 + (i % 3) as i64));
+    }
+    let mut decoded = L0Sampler::decode_state(&sampler.encode_to_vec()).unwrap();
+    assert_eq!(decoded.sample(), sampler.sample());
+    for i in 0..50u64 {
+        let u = Update::new(i * 11 % (1 << 10), -1);
+        decoded.process_update(u);
+        sampler.process_update(u);
+    }
+    assert_eq!(decoded.state_digest(), sampler.state_digest());
+    assert_eq!(decoded.sample(), sampler.sample());
+}
+
+#[test]
+fn exact_sampler_resumes_draw_stream() {
+    let mut seeds = SeedSequence::new(6);
+    let mut sampler = ExactSampler::new(32, 0.0, &mut seeds);
+    sampler.process_update(Update::new(3, 2));
+    sampler.process_update(Update::new(20, 1));
+    let before: Vec<_> = (0..3).map(|_| sampler.draw().unwrap().index).collect();
+    // a checkpoint taken now must continue the draw sequence, not restart it
+    let restored = ExactSampler::decode_state(&sampler.encode_to_vec()).unwrap();
+    for _ in 0..5 {
+        assert_eq!(restored.draw().unwrap().index, sampler.draw().unwrap().index);
+    }
+    drop(before);
+}
+
+#[test]
+fn malformed_buffers_rejected_for_every_sampler() {
+    let mut seeds = SeedSequence::new(9);
+    let ups = to_updates(&[(3, 5), (100, -2), (3, 4), (90, 7)]);
+
+    let mut l0 = L0Sampler::new(DIM, 0.25, &mut seeds);
+    l0.process_batch(&ups);
+    assert_rejects_malformed(&l0);
+
+    let mut fis = FisL0Sampler::new(64, &mut seeds);
+    fis.process_batch(&to_updates(&[(3, 5), (60, -2)]));
+    assert_rejects_malformed(&fis);
+
+    let mut precision = PrecisionLpSampler::new(DIM, 1.0, 0.5, &mut seeds);
+    precision.process_batch(&ups);
+    assert_rejects_malformed(&precision);
+
+    let mut ako = AkoSampler::new(DIM, 1.0, 0.5, &mut seeds);
+    ako.process_batch(&ups);
+    assert_rejects_malformed(&ako);
+
+    let mut exact = ExactSampler::new(DIM, 1.0, &mut seeds);
+    exact.process_batch(&ups);
+    assert_rejects_malformed(&exact);
+}
+
+#[test]
+fn repeated_tag_composes_with_inner_tag() {
+    // the wrapper's tag must differ per inner sampler, so buffers cannot be
+    // decoded as the wrong specialisation
+    let mut s1 = SeedSequence::new(10);
+    let rep = RepeatedSampler::new(2, &mut s1, |s| PrecisionLpSampler::new(DIM, 1.0, 0.5, s));
+    let bytes = rep.encode_to_vec();
+    assert!(RepeatedSampler::<PrecisionLpSampler>::decode_state(&bytes).is_ok());
+    match RepeatedSampler::<L0Sampler>::decode_state(&bytes) {
+        Err(lps_core::DecodeError::WrongStructure { .. }) => {}
+        other => panic!("expected WrongStructure, got {other:?}"),
+    }
+}

@@ -16,6 +16,8 @@
 
 use lps_core::{LpSampler, Mergeable, PrecisionLpSampler, StateDigest};
 use lps_hash::SeedSequence;
+use lps_sketch::persist::tags;
+use lps_sketch::{DecodeError, Persist, WireReader, WireWriter};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
 /// Relative error / success scale of each internal L1 sampler copy
@@ -128,6 +130,44 @@ impl Mergeable for PositiveCoordinateFinder {
             d.write_u64(c.state_digest());
         }
         d.finish()
+    }
+}
+
+impl Persist for PositiveCoordinateFinder {
+    const TAG: u16 = tags::POSITIVE_FINDER;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_f64(self.delta);
+        w.write_len(self.copies.len());
+        for c in &self.copies {
+            c.encode_seeds(w);
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for c in &self.copies {
+            c.encode_counters(w);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        let delta = seeds.read_finite_f64("positive finder delta must be finite")?;
+        if dimension == 0 || !(delta > 0.0 && delta < 1.0) {
+            return Err(DecodeError::Corrupt { context: "positive finder needs delta in (0, 1)" });
+        }
+        let count = seeds.read_count(1)?;
+        if count == 0 {
+            return Err(DecodeError::Corrupt { context: "positive finder needs >= 1 copy" });
+        }
+        let copies = (0..count)
+            .map(|_| PrecisionLpSampler::decode_parts(seeds, counters))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PositiveCoordinateFinder { dimension, delta, copies })
     }
 }
 

@@ -13,6 +13,8 @@
 
 use lps_core::{Mergeable, StateDigest};
 use lps_hash::SeedSequence;
+use lps_sketch::persist::tags;
+use lps_sketch::{DecodeError, Persist, WireReader, WireWriter};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
 use crate::positive::PositiveCoordinateFinder;
@@ -129,6 +131,40 @@ impl Mergeable for DuplicateFinder {
         let mut d = StateDigest::new();
         d.write_u64(self.finder.state_digest()).write_u64(self.letters_seen);
         d.finish()
+    }
+}
+
+impl Persist for DuplicateFinder {
+    const TAG: u16 = tags::DUPLICATE_FINDER;
+
+    /// Whether this operand carries the construction-time `(i, −1)`
+    /// initialization mass is **counter** state, not seed state: a primary
+    /// finder and its letter-only shards share seed sections, exactly like
+    /// any other merge-compatible pair.
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        self.finder.encode_seeds(w);
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.letters_seen);
+        self.finder.encode_counters(w);
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        if dimension == 0 {
+            return Err(DecodeError::Corrupt { context: "duplicate finder dimension must be > 0" });
+        }
+        let letters_seen = counters.read_u64()?;
+        let finder = PositiveCoordinateFinder::decode_parts(seeds, counters)?;
+        if finder.dimension() != dimension {
+            return Err(DecodeError::Corrupt { context: "duplicate finder dimension mismatch" });
+        }
+        Ok(DuplicateFinder { dimension, finder, letters_seen })
     }
 }
 

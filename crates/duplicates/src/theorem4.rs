@@ -16,7 +16,11 @@
 //! sample is produced with constant probability per copy.
 
 use lps_hash::SeedSequence;
-use lps_sketch::{Mergeable, RecoveryOutput, SparseRecovery, StateDigest};
+use lps_sketch::persist::tags;
+use lps_sketch::{
+    DecodeError, Mergeable, Persist, RecoveryOutput, SparseRecovery, StateDigest, WireReader,
+    WireWriter,
+};
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update, UpdateStream};
 
 use crate::positive::PositiveCoordinateFinder;
@@ -141,6 +145,38 @@ impl Mergeable for ShortStreamDuplicateFinder {
             .write_u64(self.finder.state_digest())
             .write_u64(self.letters_seen);
         d.finish()
+    }
+}
+
+impl Persist for ShortStreamDuplicateFinder {
+    const TAG: u16 = tags::SHORT_STREAM_FINDER;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_u64(self.s);
+        self.recovery.encode_seeds(w);
+        self.finder.encode_seeds(w);
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.letters_seen);
+        self.recovery.encode_counters(w);
+        self.finder.encode_counters(w);
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        let s = seeds.read_u64()?;
+        if dimension == 0 || s >= dimension {
+            return Err(DecodeError::Corrupt { context: "short-stream finder needs 0 <= s < n" });
+        }
+        let letters_seen = counters.read_u64()?;
+        let recovery = SparseRecovery::decode_parts(seeds, counters)?;
+        let finder = PositiveCoordinateFinder::decode_parts(seeds, counters)?;
+        Ok(ShortStreamDuplicateFinder { dimension, s, recovery, finder, letters_seen })
     }
 }
 

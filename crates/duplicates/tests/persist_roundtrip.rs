@@ -1,0 +1,105 @@
+//! Wire-format round-trip properties for the duplicate finders, including
+//! the shard discipline: a primary finder (carrying the `(i, −1)`
+//! initialization mass) and its letter-only shards serialize to identical
+//! seed sections and merge across the codec exactly as in-process.
+
+use lps_duplicates::{DuplicateFinder, PositiveCoordinateFinder, ShortStreamDuplicateFinder};
+use lps_hash::SeedSequence;
+use lps_sketch::{seed_section, Mergeable, Persist};
+use lps_stream::Update;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn duplicate_finder_roundtrip(letters in prop::collection::vec(0u64..64, 0..40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let mut finder = DuplicateFinder::new(64, 0.5, &mut seeds);
+        finder.process_letters(&letters);
+        let decoded = DuplicateFinder::decode_state(&finder.encode_to_vec()).unwrap();
+        prop_assert_eq!(decoded.state_digest(), finder.state_digest());
+        prop_assert_eq!(decoded.letters_seen(), finder.letters_seen());
+        prop_assert_eq!(decoded.report(), finder.report());
+    }
+
+    #[test]
+    fn short_stream_finder_roundtrip(letters in prop::collection::vec(0u64..64, 0..40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let mut finder = ShortStreamDuplicateFinder::new(64, 4, 0.5, &mut seeds);
+        finder.process_letters(&letters);
+        let decoded = ShortStreamDuplicateFinder::decode_state(&finder.encode_to_vec()).unwrap();
+        prop_assert_eq!(decoded.state_digest(), finder.state_digest());
+        prop_assert_eq!(decoded.report(), finder.report());
+    }
+
+    #[test]
+    fn positive_finder_roundtrip(ups in prop::collection::vec((0u64..64, -5i64..6), 0..30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let mut finder = PositiveCoordinateFinder::new(64, 0.5, &mut seeds);
+        for (i, d) in ups {
+            finder.process_update(Update::new(i, d));
+        }
+        let decoded = PositiveCoordinateFinder::decode_state(&finder.encode_to_vec()).unwrap();
+        prop_assert_eq!(decoded.state_digest(), finder.state_digest());
+        prop_assert_eq!(decoded.find_positive(), finder.find_positive());
+    }
+}
+
+#[test]
+fn primary_and_shard_share_seed_sections_and_merge_through_codec() {
+    let n = 128u64;
+    // primary (with init mass) and shard must consume seeds identically
+    let mut s1 = SeedSequence::new(11);
+    let mut primary = DuplicateFinder::new(n, 0.25, &mut s1);
+    let mut s2 = SeedSequence::new(11);
+    let mut shard = DuplicateFinder::new_shard(n, 0.25, &mut s2);
+
+    let enc_primary = primary.encode_to_vec();
+    let enc_shard = shard.encode_to_vec();
+    assert_eq!(
+        seed_section(&enc_primary).unwrap(),
+        seed_section(&enc_shard).unwrap(),
+        "initialization mass leaked into the seed section"
+    );
+
+    // split a letter stream across the two and merge through the codec; the
+    // result must be bit-identical to merging the same operands in-process.
+    // (The finders are built on the *float-valued* precision sampler, so a
+    // sharded merge matches sequential ingestion only at the estimator
+    // level, not digest-for-digest — the exact-arithmetic guarantee belongs
+    // to the engine structures. Codec faithfulness, however, is exact.)
+    let letters: Vec<u64> = (0..n).chain([7, 90]).collect();
+    let (left, right) = letters.split_at(letters.len() / 2);
+    primary.process_letters(left);
+    shard.process_letters(right);
+    let mut via_codec =
+        DuplicateFinder::decode_state(&primary.encode_to_vec()).expect("decode primary");
+    via_codec.merge_from(&DuplicateFinder::decode_state(&shard.encode_to_vec()).expect("decode"));
+
+    let mut in_process = primary.clone();
+    in_process.merge_from(&shard);
+    assert_eq!(via_codec.state_digest(), in_process.state_digest());
+    assert_eq!(via_codec.report(), in_process.report());
+    assert_eq!(via_codec.letters_seen(), letters.len() as u64);
+}
+
+#[test]
+fn malformed_buffers_rejected() {
+    let mut seeds = SeedSequence::new(4);
+    let finder = DuplicateFinder::new(32, 0.5, &mut seeds);
+    let good = finder.encode_to_vec();
+    for cut in [0usize, 5, 9, 17, good.len() / 3, good.len() - 1] {
+        assert!(DuplicateFinder::decode_state(&good[..cut]).is_err());
+    }
+    match ShortStreamDuplicateFinder::decode_state(&good) {
+        Err(lps_sketch::DecodeError::WrongStructure { .. }) => {}
+        other => panic!("expected WrongStructure, got {other:?}"),
+    }
+    let step = (good.len() / 48).max(1);
+    for pos in (0..good.len()).step_by(step) {
+        let mut bad = good.clone();
+        bad[pos] ^= 0xFF;
+        let _ = DuplicateFinder::decode_state(&bad); // must not panic
+    }
+}

@@ -32,6 +32,20 @@
 //! rounding. They still implement [`Mergeable`], so callers who accept
 //! approximate linearity can shard them manually.
 //!
+//! ## Checkpoint / restore and cross-process merging
+//!
+//! Because every structure also implements `lps_sketch::Persist`, sharding
+//! is not confined to one process: [`ShardedEngine::checkpoint_shards`]
+//! serializes each worker's state into the versioned wire format,
+//! [`ShardedEngine::resume_from`] re-animates an engine from those buffers,
+//! and [`merge_encoded`] combines shard files produced by *different OS
+//! processes* (or machines) into the sketch of the full stream — validating
+//! version and seed compatibility byte-for-byte before touching a counter.
+//! For the exact-arithmetic structures the cross-process merge reproduces
+//! the sequential `state_digest` bit for bit; the
+//! `experiments -- checkpoint` subcommand and the CI cross-process job
+//! exercise exactly that pipeline.
+//!
 //! ## When parallel beats batched
 //!
 //! Sharding pays when the per-update sketch work dominates the per-update
@@ -72,8 +86,8 @@ use std::thread::JoinHandle;
 
 use lps_core::{FisL0Sampler, L0Sampler, LpSampler};
 use lps_sketch::{
-    AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, LinearSketch, Mergeable,
-    SparseRecovery,
+    read_header, seed_section, AmsSketch, CountMedianSketch, CountMinSketch, CountSketch,
+    DecodeError, LinearSketch, Mergeable, Persist, SparseRecovery,
 };
 use lps_stream::{Update, UpdateStream, DEFAULT_BATCH_SIZE};
 
@@ -166,10 +180,20 @@ impl<T: ShardIngest + 'static> ShardedEngine<T> {
     /// Spawn the engine with an explicit dispatch batch size.
     pub fn with_batch_size(prototype: &T, shards: usize, batch_size: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
+        let states = (0..shards).map(|_| prototype.clone()).collect();
+        Self::spawn(states, batch_size)
+    }
+
+    /// Spawn one worker thread per entry of `states`, each resuming from the
+    /// given shard state. This is the common core of fresh construction
+    /// ([`ShardedEngine::with_batch_size`], zero-state clones) and restore
+    /// ([`ShardedEngine::resume_from`], decoded checkpoints).
+    fn spawn(states: Vec<T>, batch_size: usize) -> Self {
+        assert!(!states.is_empty(), "need at least one shard");
         assert!(batch_size >= 1, "batch size must be positive");
-        let workers = (0..shards)
-            .map(|_| {
-                let mut shard = prototype.clone();
+        let workers = states
+            .into_iter()
+            .map(|mut shard| {
                 let (sender, receiver) =
                     std::sync::mpsc::sync_channel::<Vec<Update>>(WORKER_BACKLOG);
                 let handle = std::thread::spawn(move || {
@@ -222,27 +246,105 @@ impl<T: ShardIngest + 'static> ShardedEngine<T> {
     /// reproducible for any future implementor whose merge only commutes
     /// approximately.
     pub fn finish(self) -> T {
-        let mut states: Vec<T> = self
-            .workers
+        tree_merge(self.join_shards())
+    }
+
+    /// Close the channels and join the workers, returning the raw per-shard
+    /// states in shard order **without** merging them.
+    fn join_shards(self) -> Vec<T> {
+        self.workers
             .into_iter()
             .map(|w| {
                 drop(w.sender);
                 w.handle.join().expect("engine worker panicked")
             })
-            .collect();
-        while states.len() > 1 {
-            let mut next_round = Vec::with_capacity(states.len().div_ceil(2));
-            let mut it = states.into_iter();
-            while let Some(mut a) = it.next() {
-                if let Some(b) = it.next() {
-                    a.merge_from(&b);
-                }
-                next_round.push(a);
-            }
-            states = next_round;
-        }
-        states.pop().expect("at least one shard")
+            .collect()
     }
+}
+
+impl<T: ShardIngest + Persist + 'static> ShardedEngine<T> {
+    /// Stop ingestion and serialize every shard's state, in shard order,
+    /// **without** merging: one encoded buffer per worker, ready to be
+    /// written to shard files, shipped to other machines, and recombined
+    /// later by [`merge_encoded`] (or re-animated by
+    /// [`ShardedEngine::resume_from`]).
+    ///
+    /// Checkpointing consumes the engine — linear-sketch state is a plain
+    /// value, so "pause" is just "serialize and drop"; resuming re-creates
+    /// workers from the buffers.
+    pub fn checkpoint_shards(self) -> Vec<Vec<u8>> {
+        self.join_shards().iter().map(Persist::encode_to_vec).collect()
+    }
+
+    /// Re-create a running engine from checkpointed shard states (one worker
+    /// per buffer, in order), validating that every buffer decodes and that
+    /// all shards were built from the same seeds before any thread spawns.
+    pub fn resume_from(encoded: &[Vec<u8>], batch_size: usize) -> Result<Self, DecodeError> {
+        let states = decode_compatible_shards::<T>(encoded)?;
+        Ok(Self::spawn(states, batch_size))
+    }
+}
+
+/// Deterministic binary tree merge over shard order — shared by
+/// [`ShardedEngine::finish`] and [`merge_encoded`] so in-process and
+/// cross-process merges produce identical bytes even for structures whose
+/// merge only commutes approximately.
+fn tree_merge<T: Mergeable>(mut states: Vec<T>) -> T {
+    while states.len() > 1 {
+        let mut next_round = Vec::with_capacity(states.len().div_ceil(2));
+        let mut it = states.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge_from(&b);
+            }
+            next_round.push(a);
+        }
+        states = next_round;
+    }
+    states.pop().expect("at least one shard")
+}
+
+/// Decode a set of shard buffers, first validating that they are
+/// merge-compatible: every buffer must parse under the current wire format,
+/// carry `T`'s structure tag, and hold a seed section byte-identical to the
+/// first buffer's (same shape, same random functions). The seed comparison
+/// happens *before* any counter decoding, so incompatible shards are
+/// rejected cheaply and typed ([`DecodeError::SeedMismatch`]).
+fn decode_compatible_shards<T: Persist>(encoded: &[Vec<u8>]) -> Result<Vec<T>, DecodeError> {
+    if encoded.is_empty() {
+        return Err(DecodeError::Corrupt { context: "need at least one encoded shard" });
+    }
+    // Validate the reference shard's own tag before adopting its seed
+    // section as the compatibility yardstick — otherwise a wrong file at
+    // index 0 would be misreported as a seed mismatch on shard 1.
+    let reference_header = read_header(&encoded[0])?;
+    if reference_header.tag != T::TAG {
+        return Err(DecodeError::WrongStructure { expected: T::TAG, found: reference_header.tag });
+    }
+    let reference_seeds = seed_section(&encoded[0])?;
+    for (shard, bytes) in encoded.iter().enumerate().skip(1) {
+        let header = read_header(bytes)?;
+        if header.tag != T::TAG {
+            return Err(DecodeError::WrongStructure { expected: T::TAG, found: header.tag });
+        }
+        if &bytes[header.seed_range] != reference_seeds {
+            return Err(DecodeError::SeedMismatch { shard });
+        }
+    }
+    encoded.iter().map(|bytes| T::decode_state(bytes)).collect()
+}
+
+/// Merge checkpointed shard states produced in this or **any other OS
+/// process** into the structure sketching the concatenation of every shard's
+/// stream: the cross-process counterpart of [`ShardedEngine::finish`].
+///
+/// Validates version/tag/seed compatibility across all buffers (see
+/// [`DecodeError::SeedMismatch`]) and then applies the same deterministic
+/// binary tree merge as the in-process engine. For the exact-arithmetic
+/// [`ShardIngest`] structures the result is bit-identical — digest for
+/// digest — to sequential single-process ingestion of the whole stream.
+pub fn merge_encoded<T: Persist + Mergeable>(encoded: &[Vec<u8>]) -> Result<T, DecodeError> {
+    Ok(tree_merge(decode_compatible_shards::<T>(encoded)?))
 }
 
 /// One-shot convenience: shard `updates` across `shards` identically-seeded

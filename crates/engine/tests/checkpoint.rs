@@ -1,0 +1,155 @@
+//! Checkpoint / restore / cross-process-merge equivalence for the sharded
+//! engine: every path through the codec must land on the same bits as
+//! single-process sequential ingestion.
+
+use lps_core::L0Sampler;
+use lps_engine::{merge_encoded, parallel_ingest, ShardedEngine};
+use lps_hash::SeedSequence;
+use lps_sketch::{
+    AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, DecodeError, LinearSketch,
+    Mergeable, Persist, SparseRecovery,
+};
+use lps_stream::Update;
+
+fn workload(n: u64, len: usize, seed: u64) -> Vec<Update> {
+    let mut s = SeedSequence::new(seed);
+    (0..len)
+        .map(|_| {
+            let delta = (s.next_below(9) as i64) - 4;
+            Update::new(s.next_below(n), if delta == 0 { 1 } else { delta })
+        })
+        .collect()
+}
+
+#[test]
+fn checkpointed_shards_merge_to_the_sequential_digest() {
+    let mut seeds = SeedSequence::new(1);
+    let proto = SparseRecovery::new(1 << 12, 8, &mut seeds);
+    let updates = workload(1 << 12, 5000, 2);
+    let mut sequential = proto.clone();
+    sequential.process_batch(&updates);
+
+    for shards in [1, 2, 3, 4] {
+        let mut engine = ShardedEngine::new(&proto, shards);
+        engine.ingest(&updates);
+        let encoded = engine.checkpoint_shards();
+        assert_eq!(encoded.len(), shards);
+        let merged: SparseRecovery = merge_encoded(&encoded).expect("cross-process merge");
+        assert_eq!(
+            merged.state_digest(),
+            sequential.state_digest(),
+            "digest mismatch at {shards} shards"
+        );
+        assert_eq!(merged.recover(), sequential.recover());
+    }
+}
+
+#[test]
+fn resume_from_continues_exactly_where_the_checkpoint_stopped() {
+    let mut seeds = SeedSequence::new(3);
+    let proto = CountMinSketch::new(1 << 10, 64, 5, &mut seeds);
+    let updates = workload(1 << 10, 6000, 4);
+    let (first_half, second_half) = updates.split_at(updates.len() / 2);
+
+    // ingest half, checkpoint, resume in a "new" engine, ingest the rest
+    let mut engine = ShardedEngine::with_batch_size(&proto, 3, 128);
+    engine.ingest(first_half);
+    let encoded = engine.checkpoint_shards();
+    let mut resumed: ShardedEngine<CountMinSketch> =
+        ShardedEngine::resume_from(&encoded, 128).expect("resume");
+    assert_eq!(resumed.shards(), 3);
+    resumed.ingest(second_half);
+    let merged = resumed.finish();
+
+    let mut sequential = proto.clone();
+    sequential.process_batch(&updates);
+    assert_eq!(merged.state_digest(), sequential.state_digest());
+}
+
+#[test]
+fn merge_encoded_covers_every_exact_structure() {
+    let n = 1 << 10;
+    let updates = workload(n, 4000, 5);
+    let mut seeds = SeedSequence::new(6);
+
+    macro_rules! check {
+        ($proto:expr, $ty:ty, $ingest:expr) => {{
+            let proto = $proto;
+            let mut sequential = proto.clone();
+            let ingest: fn(&mut $ty, &[Update]) = $ingest;
+            ingest(&mut sequential, &updates);
+            let mut engine = ShardedEngine::new(&proto, 4);
+            engine.ingest(&updates);
+            let merged: $ty = merge_encoded(&engine.checkpoint_shards()).expect("merge");
+            assert_eq!(merged.state_digest(), sequential.state_digest());
+        }};
+    }
+
+    check!(SparseRecovery::new(n, 8, &mut seeds), SparseRecovery, |s, u| s.process_batch(u));
+    check!(L0Sampler::new(n, 0.25, &mut seeds), L0Sampler, |s, u| {
+        lps_core::LpSampler::process_batch(s, u)
+    });
+    check!(CountSketch::with_default_rows(n, 8, &mut seeds), CountSketch, |s, u| {
+        LinearSketch::process_batch(s, u)
+    });
+    check!(CountMinSketch::new(n, 64, 5, &mut seeds), CountMinSketch, |s, u| s.process_batch(u));
+    check!(CountMedianSketch::new(n, 64, 5, &mut seeds), CountMedianSketch, |s, u| {
+        LinearSketch::process_batch(s, u)
+    });
+    check!(AmsSketch::with_default_shape(n, &mut seeds), AmsSketch, |s, u| {
+        LinearSketch::process_batch(s, u)
+    });
+}
+
+#[test]
+fn merge_encoded_rejects_mismatched_seeds() {
+    let updates = workload(512, 1000, 7);
+    let mut s1 = SeedSequence::new(8);
+    let mut s2 = SeedSequence::new(9); // different master seed
+    let a = {
+        let mut sk = SparseRecovery::new(512, 4, &mut s1);
+        sk.process_batch(&updates);
+        sk
+    };
+    let b = {
+        let mut sk = SparseRecovery::new(512, 4, &mut s2);
+        sk.process_batch(&updates);
+        sk
+    };
+    let err = merge_encoded::<SparseRecovery>(&[a.encode_to_vec(), b.encode_to_vec()])
+        .expect_err("differently-seeded shards must be rejected");
+    assert_eq!(err, DecodeError::SeedMismatch { shard: 1 });
+}
+
+#[test]
+fn merge_encoded_rejects_mixed_structures_and_empty_input() {
+    let mut seeds = SeedSequence::new(10);
+    let a = SparseRecovery::new(256, 4, &mut seeds);
+    let b = CountMinSketch::new(256, 16, 3, &mut seeds);
+    let err = merge_encoded::<SparseRecovery>(&[a.encode_to_vec(), b.encode_to_vec()])
+        .expect_err("mixed structure tags must be rejected");
+    assert!(matches!(err, DecodeError::WrongStructure { .. }));
+    // the wrong file in the *reference* slot must also be named as a
+    // structure mismatch, not blamed on shard 1 as a seed mismatch
+    let err = merge_encoded::<SparseRecovery>(&[b.encode_to_vec(), a.encode_to_vec()])
+        .expect_err("wrong structure at shard 0 must be rejected");
+    assert!(matches!(err, DecodeError::WrongStructure { .. }));
+    assert!(matches!(merge_encoded::<SparseRecovery>(&[]), Err(DecodeError::Corrupt { .. })));
+}
+
+#[test]
+fn merge_encoded_agrees_with_in_process_finish() {
+    // the two merge paths (engine finish vs encode→merge_encoded) must be
+    // bit-identical, since they share the same deterministic tree merge
+    let mut seeds = SeedSequence::new(11);
+    let proto = L0Sampler::new(1 << 10, 0.25, &mut seeds);
+    let updates = workload(1 << 10, 3000, 12);
+
+    let in_process = parallel_ingest(&proto, &updates, 4);
+
+    let mut engine = ShardedEngine::new(&proto, 4);
+    engine.ingest(&updates);
+    let cross: L0Sampler = merge_encoded(&engine.checkpoint_shards()).unwrap();
+
+    assert_eq!(in_process.state_digest(), cross.state_digest());
+}

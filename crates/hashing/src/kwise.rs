@@ -43,6 +43,13 @@ impl KWiseHash {
         self.coeffs.len()
     }
 
+    /// The polynomial coefficients (constant term first) — the complete seed
+    /// material of the hash function, exposed so the `lps-sketch` codec layer
+    /// can serialize it ([`KWiseHash::from_coefficients`] is the inverse).
+    pub fn coefficients(&self) -> &[Fp] {
+        &self.coeffs
+    }
+
     /// Evaluate the hash on a key that is already a canonical field residue
     /// (`key < P`), returning a field element.
     ///
@@ -115,6 +122,18 @@ impl PairwiseHash {
         PairwiseHash(KWiseHash::new(2, seeds))
     }
 
+    /// Wrap an existing degree-1 polynomial hash (`independence() == 2`).
+    /// Inverse of [`PairwiseHash::kwise`]; used by the serialization layer.
+    pub fn from_kwise(inner: KWiseHash) -> Self {
+        assert_eq!(inner.independence(), 2, "pairwise hash needs exactly 2 coefficients");
+        PairwiseHash(inner)
+    }
+
+    /// The underlying polynomial hash (the seed material).
+    pub fn kwise(&self) -> &KWiseHash {
+        &self.0
+    }
+
     /// Map a key to a bucket in `[0, m)`.
     #[inline]
     pub fn bucket(&self, key: u64, m: usize) -> usize {
@@ -150,6 +169,18 @@ impl FourWiseHash {
     /// Sample a fresh 4-wise independent hash function.
     pub fn new(seeds: &mut SeedSequence) -> Self {
         FourWiseHash(KWiseHash::new(4, seeds))
+    }
+
+    /// Wrap an existing degree-3 polynomial hash (`independence() == 4`).
+    /// Inverse of [`FourWiseHash::kwise`]; used by the serialization layer.
+    pub fn from_kwise(inner: KWiseHash) -> Self {
+        assert_eq!(inner.independence(), 4, "4-wise hash needs exactly 4 coefficients");
+        FourWiseHash(inner)
+    }
+
+    /// The underlying polynomial hash (the seed material).
+    pub fn kwise(&self) -> &KWiseHash {
+        &self.0
     }
 
     /// Map a key to a sign in `{-1, +1}`.

@@ -30,6 +30,18 @@ impl TabulationHash {
         TabulationHash { tables }
     }
 
+    /// Rebuild a hash function from previously stored tables — the inverse of
+    /// [`TabulationHash::tables`], used by the serialization layer.
+    pub fn from_tables(tables: Box<[[u64; 256]; 8]>) -> Self {
+        TabulationHash { tables }
+    }
+
+    /// The full random tables (the seed material: 8 byte positions × 256
+    /// entries), exposed so the codec layer can serialize them.
+    pub fn tables(&self) -> &[[u64; 256]; 8] {
+        &self.tables
+    }
+
     /// Hash a 64-bit key to a 64-bit value.
     #[inline]
     pub fn hash(&self, key: u64) -> u64 {

@@ -1,0 +1,84 @@
+//! Quantifies floating-point merge drift for the heavy-hitter drivers under
+//! sharded ingestion (ROADMAP float-structures item; see
+//! `crates/core/tests/float_drift.rs` for the error model: per-counter
+//! relative drift ≤ ~2mε with ε = 2⁻⁵³, orders of magnitude below the
+//! drivers' φ-threshold margins).
+
+use lps_hash::SeedSequence;
+use lps_heavy::{CountMinHeavyHitters, CountSketchHeavyHitters};
+use lps_sketch::Mergeable;
+use lps_stream::Update;
+
+fn workload(n: u64, len: usize, seed: u64) -> Vec<Update> {
+    let mut s = SeedSequence::new(seed);
+    let mut out: Vec<Update> = (0..len)
+        .map(|_| {
+            let delta = (s.next_below(9) as i64) - 4;
+            Update::new(s.next_below(n), if delta == 0 { 1 } else { delta })
+        })
+        .collect();
+    // clearly-heavy coordinates, far from the φ boundary relative to drift
+    out.push(Update::new(100, 40_000));
+    out.push(Update::new(2000, -35_000));
+    out
+}
+
+fn shard_and_merge<S: Mergeable + Clone>(
+    proto: &S,
+    updates: &[Update],
+    shards: usize,
+    ingest: impl Fn(&mut S, &[Update]),
+) -> S {
+    let mut states: Vec<S> = (0..shards).map(|_| proto.clone()).collect();
+    for (i, chunk) in updates.chunks(256).enumerate() {
+        ingest(&mut states[i % shards], chunk);
+    }
+    let mut merged = states.remove(0);
+    for s in &states {
+        merged.merge_from(s);
+    }
+    merged
+}
+
+#[test]
+fn count_sketch_hh_sharded_report_matches_sequential() {
+    let n = 4096u64;
+    let updates = workload(n, 8000, 31);
+    let mut seeds = SeedSequence::new(32);
+    let proto = CountSketchHeavyHitters::new(n, 1.0, 0.25, &mut seeds);
+
+    let mut sequential = proto.clone();
+    sequential.process_batch(&updates);
+    let sharded = shard_and_merge(&proto, &updates, 4, |s, u| s.process_batch(u));
+
+    // the count-sketch table sees only integer updates, so it is exact; the
+    // p-stable norm counters drift by ≤ ~2mε, far from flipping a report
+    // decision on non-marginal coordinates
+    let seq_report = sequential.report();
+    let shard_report = sharded.report();
+    assert_eq!(seq_report, shard_report, "sharded heavy-hitter set diverged");
+    assert!(seq_report.contains(&100) && seq_report.contains(&2000));
+}
+
+#[test]
+fn count_min_hh_sharded_report_matches_sequential() {
+    let n = 4096u64;
+    let updates: Vec<Update> = {
+        // strict-turnstile: keep everything non-negative for count-min
+        let mut s = SeedSequence::new(33);
+        let mut out: Vec<Update> =
+            (0..8000).map(|_| Update::new(s.next_below(n), 1 + s.next_below(3) as i64)).collect();
+        out.push(Update::new(55, 60_000));
+        out
+    };
+    let mut seeds = SeedSequence::new(34);
+    let proto = CountMinHeavyHitters::new(n, 0.25, &mut seeds);
+
+    let mut sequential = proto.clone();
+    sequential.process_batch(&updates);
+    let sharded = shard_and_merge(&proto, &updates, 4, |s, u| s.process_batch(u));
+
+    let seq_report = sequential.report();
+    assert_eq!(seq_report, sharded.report(), "sharded count-min report diverged");
+    assert!(seq_report.contains(&55));
+}

@@ -14,6 +14,7 @@ use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 
 use crate::linear::LinearSketch;
 use crate::mergeable::{Mergeable, StateDigest};
+use crate::persist::{tags, DecodeError, Persist, WireReader, WireWriter};
 
 /// An AMS sketch with `groups × group_size` sign counters.
 #[derive(Debug, Clone)]
@@ -142,6 +143,45 @@ impl Mergeable for AmsSketch {
             d.write_f64(v);
         }
         d.finish()
+    }
+}
+
+impl Persist for AmsSketch {
+    const TAG: u16 = tags::AMS;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_len(self.groups);
+        w.write_len(self.group_size);
+        for h in &self.signs {
+            h.encode_seeds(w);
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for &v in &self.counters {
+            w.write_f64(v);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        let groups = seeds.read_count(1)?;
+        let group_size = seeds.read_count(0)?;
+        if dimension == 0 || groups == 0 || group_size == 0 {
+            return Err(DecodeError::Corrupt { context: "AMS shape must be non-zero" });
+        }
+        let total = groups
+            .checked_mul(group_size)
+            .ok_or(DecodeError::Corrupt { context: "AMS counter count overflows" })?;
+        let signs = (0..total)
+            .map(|_| FourWiseHash::decode_parts(seeds, counters))
+            .collect::<Result<Vec<_>, _>>()?;
+        let values = counters.read_f64s(total)?;
+        Ok(AmsSketch { dimension, groups, group_size, counters: values, signs })
     }
 }
 

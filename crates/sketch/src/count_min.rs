@@ -18,6 +18,28 @@ use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage, Update, UpdateStr
 use crate::count_sketch::median;
 use crate::linear::LinearSketch;
 use crate::mergeable::{Mergeable, StateDigest};
+use crate::persist::{tags, DecodeError, Persist, WireReader, WireWriter};
+
+/// Shared decode of the `(dimension, rows, width, hashes)` shape both table
+/// sketches in this module serialize identically.
+#[allow(clippy::type_complexity)]
+fn decode_table_shape(
+    seeds: &mut WireReader<'_>,
+    counters: &mut WireReader<'_>,
+    context: &'static str,
+) -> Result<(u64, usize, usize, Vec<PairwiseHash>, usize), DecodeError> {
+    let dimension = seeds.read_u64()?;
+    let rows = seeds.read_count(1)?;
+    let width = seeds.read_count(0)?;
+    if dimension == 0 || rows == 0 || width == 0 {
+        return Err(DecodeError::Corrupt { context });
+    }
+    let hashes = (0..rows)
+        .map(|_| PairwiseHash::decode_parts(seeds, counters))
+        .collect::<Result<Vec<_>, _>>()?;
+    let cells = rows.checked_mul(width).ok_or(DecodeError::Corrupt { context })?;
+    Ok((dimension, rows, width, hashes, cells))
+}
 
 /// A count-min sketch over integer-valued strict-turnstile streams.
 #[derive(Debug, Clone)]
@@ -128,6 +150,35 @@ impl Mergeable for CountMinSketch {
             d.write_i64(v);
         }
         d.finish()
+    }
+}
+
+impl Persist for CountMinSketch {
+    const TAG: u16 = tags::COUNT_MIN;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_len(self.rows);
+        w.write_len(self.width);
+        for h in &self.hashes {
+            h.encode_seeds(w);
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for &v in &self.table {
+            w.write_i64(v);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let (dimension, rows, width, hashes, cells) =
+            decode_table_shape(seeds, counters, "count-min shape invalid")?;
+        let table = counters.read_i64s(cells)?;
+        Ok(CountMinSketch { dimension, rows, width, table, hashes })
     }
 }
 
@@ -251,6 +302,35 @@ impl Mergeable for CountMedianSketch {
             d.write_f64(v);
         }
         d.finish()
+    }
+}
+
+impl Persist for CountMedianSketch {
+    const TAG: u16 = tags::COUNT_MEDIAN;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_len(self.rows);
+        w.write_len(self.width);
+        for h in &self.hashes {
+            h.encode_seeds(w);
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for &v in &self.table {
+            w.write_f64(v);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let (dimension, rows, width, hashes, cells) =
+            decode_table_shape(seeds, counters, "count-median shape invalid")?;
+        let table = counters.read_f64s(cells)?;
+        Ok(CountMedianSketch { dimension, rows, width, table, hashes })
     }
 }
 

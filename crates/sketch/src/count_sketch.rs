@@ -19,6 +19,7 @@ use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 
 use crate::linear::LinearSketch;
 use crate::mergeable::{Mergeable, StateDigest};
+use crate::persist::{tags, DecodeError, Persist, WireReader, WireWriter};
 
 /// Width multiplier: the paper's count-sketch uses `6m` buckets per row.
 pub const WIDTH_FACTOR: usize = 6;
@@ -247,6 +248,53 @@ impl Mergeable for CountSketch {
             d.write_f64(v);
         }
         d.finish()
+    }
+}
+
+impl Persist for CountSketch {
+    const TAG: u16 = tags::COUNT_SKETCH;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_len(self.m);
+        w.write_len(self.rows);
+        for h in self.bucket_hashes.iter().chain(self.sign_hashes.iter()) {
+            h.encode_seeds(w);
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for &v in &self.table {
+            w.write_f64(v);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        let m = seeds.read_count(0)?;
+        let rows = seeds.read_count(1)?;
+        if dimension == 0 || m == 0 || rows == 0 {
+            return Err(DecodeError::Corrupt { context: "count-sketch shape must be non-zero" });
+        }
+        let mut bucket_hashes = Vec::with_capacity(rows);
+        let mut sign_hashes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            bucket_hashes.push(PairwiseHash::decode_parts(seeds, counters)?);
+        }
+        for _ in 0..rows {
+            sign_hashes.push(PairwiseHash::decode_parts(seeds, counters)?);
+        }
+        let width = m
+            .checked_mul(WIDTH_FACTOR)
+            .ok_or(DecodeError::Corrupt { context: "count-sketch width overflows" })?;
+        let cells = rows
+            .checked_mul(width)
+            .ok_or(DecodeError::Corrupt { context: "count-sketch table overflows" })?;
+        let table = counters.read_f64s(cells)?;
+        Ok(CountSketch { dimension, m, rows, width, table, bucket_hashes, sign_hashes })
     }
 }
 

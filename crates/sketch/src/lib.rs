@@ -18,6 +18,10 @@
 //! * [`mergeable`] — the [`Mergeable`] trait promoting merge to a
 //!   first-class capability with bit-level state digests, the contract the
 //!   parallel sharded ingestion engine (`lps-engine`) builds on.
+//! * [`persist`] — the [`Persist`] trait and versioned little-endian wire
+//!   format (magic + version + structure tag + seed section + counter
+//!   section) that lets every `Mergeable` state be checkpointed, shipped
+//!   between machines, and merged across OS processes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod count_min;
 pub mod count_sketch;
 pub mod linear;
 pub mod mergeable;
+pub mod persist;
 pub mod pstable;
 pub mod sparse_recovery;
 
@@ -35,6 +40,10 @@ pub use count_min::{CountMedianSketch, CountMinSketch};
 pub use count_sketch::{median, rows_for_dimension, CountSketch, SparseApprox, WIDTH_FACTOR};
 pub use linear::LinearSketch;
 pub use mergeable::{Mergeable, StateDigest};
+pub use persist::{
+    read_header, seed_section, DecodeError, Persist, WireHeader, WireReader, WireWriter,
+    WIRE_MAGIC, WIRE_VERSION,
+};
 pub use pstable::{stable_sample, PStableSketch};
 pub use sparse_recovery::{
     fingerprint_term, signed_field, CellState, OneSparseCell, RecoveryOutput, SparseRecovery,

@@ -21,6 +21,7 @@ use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 use crate::count_sketch::median;
 use crate::linear::LinearSketch;
 use crate::mergeable::{Mergeable, StateDigest};
+use crate::persist::{tags, DecodeError, Persist, WireReader, WireWriter};
 
 /// Number of Monte Carlo samples used to calibrate `median |S(p)|`.
 const CALIBRATION_SAMPLES: usize = 50_001;
@@ -157,6 +158,48 @@ impl Mergeable for PStableSketch {
             d.write_f64(v);
         }
         d.finish()
+    }
+}
+
+impl Persist for PStableSketch {
+    const TAG: u16 = tags::PSTABLE;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_f64(self.p);
+        w.write_len(self.rows);
+        for h in &self.row_hashes {
+            h.encode_seeds(w);
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for &v in &self.counters {
+            w.write_f64(v);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        let p = seeds.read_finite_f64("p-stable exponent must be finite")?;
+        if dimension == 0 || !(p > 0.0 && p <= 2.0) {
+            return Err(DecodeError::Corrupt { context: "p-stable sketch needs p in (0, 2]" });
+        }
+        let rows = seeds.read_count(1)?;
+        if rows == 0 {
+            return Err(DecodeError::Corrupt { context: "p-stable sketch needs rows >= 1" });
+        }
+        let row_hashes = (0..rows)
+            .map(|_| KWiseHash::decode_parts(seeds, counters))
+            .collect::<Result<Vec<_>, _>>()?;
+        let values = counters.read_f64s(rows)?;
+        // The normalising constant is derived deterministically from p, not
+        // stored: recompute it exactly as the constructor does.
+        let median_abs = calibrate_median_abs(p);
+        Ok(PStableSketch { dimension, p, rows, counters: values, row_hashes, median_abs })
     }
 }
 

@@ -25,6 +25,7 @@ use lps_stream::{
 };
 
 use crate::mergeable::{Mergeable, StateDigest};
+use crate::persist::{tags, DecodeError, Persist, WireReader, WireWriter};
 
 /// What a single 1-sparse detection cell currently contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +141,31 @@ impl Mergeable for OneSparseCell {
         let mut d = StateDigest::new();
         d.write_i64(self.sum).write_i128(self.index_sum).write_u64(self.fingerprint.value());
         d.finish()
+    }
+}
+
+impl Persist for OneSparseCell {
+    const TAG: u16 = tags::ONE_SPARSE_CELL;
+
+    /// A bare cell carries no seed material of its own: the fingerprint base
+    /// `r` lives in the enclosing structure (which verifies compatibility at
+    /// its own level).
+    fn encode_seeds(&self, _w: &mut WireWriter<'_>) {}
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        w.write_i64(self.sum);
+        w.write_i128(self.index_sum);
+        w.write_fp(self.fingerprint);
+    }
+
+    fn decode_parts(
+        _seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let sum = counters.read_i64()?;
+        let index_sum = counters.read_i128()?;
+        let fingerprint = counters.read_fp()?;
+        Ok(OneSparseCell { sum, index_sum, fingerprint })
     }
 }
 
@@ -382,6 +408,64 @@ impl Mergeable for SparseRecovery {
             d.write_u64(cell.state_digest());
         }
         d.finish()
+    }
+}
+
+impl Persist for SparseRecovery {
+    const TAG: u16 = tags::SPARSE_RECOVERY;
+
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        w.write_u64(self.dimension);
+        w.write_len(self.capacity);
+        w.write_len(self.rows);
+        w.write_len(self.buckets);
+        for h in &self.hashes {
+            h.encode_seeds(w);
+        }
+        w.write_fp(self.fingerprint_base);
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        for cell in &self.cells {
+            cell.encode_counters(w);
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let dimension = seeds.read_u64()?;
+        if dimension == 0 {
+            return Err(DecodeError::Corrupt { context: "sparse recovery dimension must be > 0" });
+        }
+        let capacity = seeds.read_count(0)?;
+        let rows = seeds.read_count(1)?;
+        let buckets = seeds.read_count(1)?;
+        if capacity == 0 || rows == 0 || buckets == 0 {
+            return Err(DecodeError::Corrupt { context: "sparse recovery shape must be non-zero" });
+        }
+        let hashes = (0..rows)
+            .map(|_| PairwiseHash::decode_parts(seeds, counters))
+            .collect::<Result<Vec<_>, _>>()?;
+        let fingerprint_base = seeds.read_fp()?;
+        let cell_count = rows
+            .checked_mul(buckets)
+            .ok_or(DecodeError::Corrupt { context: "sparse recovery shape overflows" })?;
+        counters.claim(cell_count, 8 + 16 + 8)?;
+        let cells = (0..cell_count)
+            .map(|_| OneSparseCell::decode_parts(seeds, counters))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SparseRecovery {
+            dimension,
+            capacity,
+            rows,
+            buckets,
+            cells,
+            hashes,
+            fingerprint_base,
+            pow: PowTable::new(fingerprint_base),
+        })
     }
 }
 

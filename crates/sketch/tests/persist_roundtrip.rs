@@ -1,0 +1,210 @@
+//! Round-trip and rejection properties of the versioned wire format for
+//! every sketch in this crate.
+//!
+//! The round-trip law: for any reachable state — freshly constructed,
+//! partially ingested, or produced by merging — `decode(encode(s))` succeeds
+//! and reproduces the `state_digest` bit for bit. The rejection law: every
+//! malformed buffer (truncated at any prefix, appended-to, wrong magic /
+//! version / structure tag, corrupted bytes) decodes to a typed
+//! [`DecodeError`], never a panic.
+
+use lps_hash::SeedSequence;
+use lps_sketch::{
+    AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, LinearSketch, Mergeable,
+    OneSparseCell, PStableSketch, Persist, SparseRecovery,
+};
+use lps_stream::Update;
+use proptest::prelude::*;
+
+const DIM: u64 = 256;
+
+fn updates_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DIM, -50i64..50), 0..max_len)
+}
+
+fn to_updates(updates: &[(u64, i64)]) -> Vec<Update> {
+    updates.iter().map(|&(i, d)| Update::new(i, d)).collect()
+}
+
+/// The three states the round-trip law must cover: after partial ingestion
+/// on each operand, and after a merge.
+fn assert_roundtrips<S: Persist + Mergeable + Clone>(
+    proto: &S,
+    ingest: impl Fn(&mut S, &[Update]),
+    a: &[(u64, i64)],
+    b: &[(u64, i64)],
+) {
+    let mut sa = proto.clone();
+    let mut sb = proto.clone();
+    ingest(&mut sa, &to_updates(a));
+    ingest(&mut sb, &to_updates(b));
+
+    for s in [&sa, &sb] {
+        let decoded = S::decode_state(&s.encode_to_vec()).expect("round-trip decode");
+        assert_eq!(decoded.state_digest(), s.state_digest(), "partial-ingest digest drifted");
+    }
+
+    // decoded states must also *behave* identically: merging a decoded copy
+    // equals merging the original
+    let mut merged = sa.clone();
+    merged.merge_from(&sb);
+    let mut merged_via_codec = S::decode_state(&sa.encode_to_vec()).expect("decode a");
+    merged_via_codec.merge_from(&S::decode_state(&sb.encode_to_vec()).expect("decode b"));
+    assert_eq!(
+        merged.state_digest(),
+        merged_via_codec.state_digest(),
+        "merge of decoded states diverged"
+    );
+
+    // and the merged state itself round-trips
+    let decoded = S::decode_state(&merged.encode_to_vec()).expect("decode merged");
+    assert_eq!(decoded.state_digest(), merged.state_digest(), "merged digest drifted");
+}
+
+/// Every malformed variant of a valid encoding is rejected with a typed
+/// error and never panics.
+fn assert_rejects_malformed<S: Persist>(state: &S) {
+    let good = state.encode_to_vec();
+    assert!(S::decode_state(&good).is_ok(), "the untouched encoding must decode");
+
+    // truncation at every prefix length
+    for cut in 0..good.len() {
+        assert!(S::decode_state(&good[..cut]).is_err(), "prefix of {cut} bytes accepted");
+    }
+    // appended garbage
+    let mut long = good.clone();
+    long.extend_from_slice(&[0xAB, 0xCD]);
+    assert!(S::decode_state(&long).is_err(), "trailing bytes accepted");
+    // header corruption: magic, version, tag
+    for byte in 0..8 {
+        let mut bad = good.clone();
+        bad[byte] ^= 0x5A;
+        // decoding may only fail (typically BadMagic / UnsupportedVersion /
+        // WrongStructure); calling it must never panic
+        let _ = S::decode_state(&bad);
+    }
+    // single-byte corruption across a sample of the whole buffer: decode is
+    // total — either a typed error or a structurally valid state, no panics
+    let step = (good.len() / 64).max(1);
+    for pos in (0..good.len()).step_by(step) {
+        let mut bad = good.clone();
+        bad[pos] ^= 0xFF;
+        let _ = S::decode_state(&bad);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sparse_recovery_roundtrip(a in updates_strategy(40), b in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = SparseRecovery::new(DIM, 6, &mut seeds);
+        assert_roundtrips(&proto, |s, u| s.process_batch(u), &a, &b);
+    }
+
+    #[test]
+    fn count_sketch_roundtrip(a in updates_strategy(40), b in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountSketch::new(DIM, 4, 5, &mut seeds);
+        assert_roundtrips(&proto, LinearSketch::process_batch, &a, &b);
+    }
+
+    #[test]
+    fn count_min_roundtrip(a in updates_strategy(40), b in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountMinSketch::new(DIM, 32, 5, &mut seeds);
+        assert_roundtrips(&proto, |s, u| s.process_batch(u), &a, &b);
+    }
+
+    #[test]
+    fn count_median_roundtrip(a in updates_strategy(40), b in updates_strategy(40), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountMedianSketch::new(DIM, 32, 5, &mut seeds);
+        assert_roundtrips(&proto, LinearSketch::process_batch, &a, &b);
+    }
+
+    #[test]
+    fn ams_roundtrip(a in updates_strategy(30), b in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = AmsSketch::new(DIM, 5, 4, &mut seeds);
+        assert_roundtrips(&proto, LinearSketch::process_batch, &a, &b);
+    }
+
+    #[test]
+    fn pstable_roundtrip(a in updates_strategy(30), b in updates_strategy(30), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = PStableSketch::new(DIM, 1.0, 9, &mut seeds);
+        assert_roundtrips(&proto, LinearSketch::process_batch, &a, &b);
+    }
+
+    #[test]
+    fn one_sparse_cell_roundtrip(a in updates_strategy(20), seed in any::<u64>()) {
+        let mut seeds = SeedSequence::new(seed);
+        let r = lps_hash::Fp::new(seeds.next_u64() % (lps_hash::MERSENNE_P - 2) + 1);
+        let mut cell = OneSparseCell::new();
+        for (i, d) in a {
+            cell.update(i, d, r);
+        }
+        let decoded = OneSparseCell::decode_state(&cell.encode_to_vec()).unwrap();
+        prop_assert_eq!(decoded.state_digest(), cell.state_digest());
+        prop_assert_eq!(decoded, cell);
+    }
+}
+
+#[test]
+fn malformed_buffers_rejected_for_every_sketch() {
+    let mut seeds = SeedSequence::new(99);
+    let ups = to_updates(&[(3, 5), (100, -2), (3, 4), (250, 7)]);
+
+    let mut sr = SparseRecovery::new(DIM, 6, &mut seeds);
+    sr.process_batch(&ups);
+    assert_rejects_malformed(&sr);
+
+    let mut cs = CountSketch::new(DIM, 4, 5, &mut seeds);
+    LinearSketch::process_batch(&mut cs, &ups);
+    assert_rejects_malformed(&cs);
+
+    let mut cm = CountMinSketch::new(DIM, 32, 5, &mut seeds);
+    cm.process_batch(&ups);
+    assert_rejects_malformed(&cm);
+
+    let mut cmed = CountMedianSketch::new(DIM, 32, 5, &mut seeds);
+    LinearSketch::process_batch(&mut cmed, &ups);
+    assert_rejects_malformed(&cmed);
+
+    let mut ams = AmsSketch::new(DIM, 5, 4, &mut seeds);
+    LinearSketch::process_batch(&mut ams, &ups);
+    assert_rejects_malformed(&ams);
+
+    let mut ps = PStableSketch::new(DIM, 1.5, 9, &mut seeds);
+    LinearSketch::process_batch(&mut ps, &ups);
+    assert_rejects_malformed(&ps);
+}
+
+#[test]
+fn decoded_sparse_recovery_still_recovers() {
+    // behavioural equality beyond the digest: the decoded structure answers
+    // queries and absorbs further updates exactly like the original
+    let mut seeds = SeedSequence::new(7);
+    let mut sr = SparseRecovery::new(1 << 12, 8, &mut seeds);
+    sr.update(17, 4);
+    sr.update(3000, -9);
+    let mut decoded = SparseRecovery::decode_state(&sr.encode_to_vec()).unwrap();
+    assert_eq!(decoded.recover(), sr.recover());
+    decoded.update(17, -4);
+    sr.update(17, -4);
+    assert_eq!(decoded.state_digest(), sr.state_digest());
+    assert_eq!(decoded.recover(), sr.recover());
+}
+
+#[test]
+fn cross_structure_decode_reports_wrong_tag() {
+    let mut seeds = SeedSequence::new(8);
+    let cm = CountMinSketch::new(DIM, 16, 3, &mut seeds);
+    let bytes = cm.encode_to_vec();
+    match CountMedianSketch::decode_state(&bytes) {
+        Err(lps_sketch::DecodeError::WrongStructure { .. }) => {}
+        other => panic!("expected WrongStructure, got {other:?}"),
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`duplicates`] — finding duplicates in streams of length n+1, n−s, n+s.
 //! * [`heavy`] — count-sketch heavy hitters for all `p ∈ (0, 2]`.
 //! * [`engine`] — the parallel sharded ingestion engine built on sketch
-//!   mergeability (shard across threads, tree-merge at the end).
+//!   mergeability (shard across threads, tree-merge at the end), plus
+//!   checkpoint/restore and cross-process merging over the versioned
+//!   `Persist` wire format.
 //! * [`commgames`] — augmented indexing, the universal relation, and the
 //!   executable lower-bound reductions.
 //!
@@ -70,15 +72,15 @@ pub mod prelude {
         DuplicateFinder, DuplicateResult, LongStreamDuplicateFinder, NaiveDuplicateFinder,
         PriorWorkDuplicateFinder, ShortStreamDuplicateFinder,
     };
-    pub use lps_engine::{parallel_ingest, ShardIngest, ShardedEngine};
+    pub use lps_engine::{merge_encoded, parallel_ingest, ShardIngest, ShardedEngine};
     pub use lps_hash::SeedSequence;
     pub use lps_heavy::{
         exact_heavy_hitters, is_valid_heavy_hitter_set, CountMinHeavyHitters,
         CountSketchHeavyHitters,
     };
     pub use lps_sketch::{
-        AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, LinearSketch, Mergeable,
-        PStableSketch, RecoveryOutput, SparseRecovery, StateDigest,
+        AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, DecodeError, LinearSketch,
+        Mergeable, PStableSketch, Persist, RecoveryOutput, SparseRecovery, StateDigest,
     };
     pub use lps_stream::{
         EmpiricalDistribution, SpaceUsage, TruthVector, TurnstileModel, Update, UpdateStream,

@@ -5,7 +5,7 @@
 //! registry, so this crate vendors the slice of proptest's API that the
 //! workspace's property tests use: the [`proptest!`] macro (including
 //! `#![proptest_config(..)]`), [`prop_assert!`] / [`prop_assert_eq!`] /
-//! [`prop_assume!`], [`any`], range and tuple strategies,
+//! [`prop_assume!`], [`arbitrary::any`], range and tuple strategies,
 //! [`collection::vec`], and [`sample::select`].
 //!
 //! Differences from the real crate: generation is driven by a deterministic
