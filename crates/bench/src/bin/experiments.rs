@@ -118,6 +118,9 @@ fn main() {
         let scaling = engine_scaling_suite(quick);
         println!("{}", engine_scaling_table(&scaling, meta.host_cpus).render());
         records.extend(scaling);
+        let strategies = strategy_comparison_suite(quick);
+        println!("{}", strategy_comparison_table(&strategies, meta.host_cpus).render());
+        records.extend(strategies);
         if json {
             let path = "BENCH_samplers.json";
             std::fs::write(path, to_json(&records, quick, &meta))
@@ -137,7 +140,9 @@ fn main() {
             }
             let baseline_class =
                 parse_runner_class(baseline_doc).unwrap_or_else(|| "unspecified".to_string());
-            if baseline_class != meta.runner_class {
+            if let Some(advice) = seed_baseline_advice(&baseline_class) {
+                println!("{advice}");
+            } else if baseline_class != meta.runner_class {
                 println!(
                     "perf gate note: baseline runner class '{baseline_class}' differs from \
                      this run's '{}' — per-class baselines live under ci/perf-baselines/",

@@ -32,9 +32,10 @@ pub use e_lower::{e10_reductions, e11_hh_reduction, e9_ur_protocol};
 pub use e_samplers::{e1_sampler_accuracy, e2_sampler_space, e3_l0_sampler};
 pub use report::Table;
 pub use throughput::{
-    check_headline_regression, engine_scaling_suite, engine_scaling_table, headline_ratios,
-    parse_headline, parse_mode, parse_runner_class, throughput_suite, throughput_table, to_json,
-    BenchMeta, ThroughputRecord, GATE_TOLERANCE,
+    check_headline_regression, chosen_plans, engine_scaling_suite, engine_scaling_table,
+    headline_ratios, parse_headline, parse_mode, parse_runner_class, seed_baseline_advice,
+    strategy_comparison_suite, strategy_comparison_table, throughput_suite, throughput_table,
+    to_json, BenchMeta, ThroughputRecord, GATE_TOLERANCE, SEED_RUNNER_CLASS, STRATEGY_SHARDS,
 };
 
 /// Run every experiment and return the rendered tables in order.

@@ -31,11 +31,12 @@
 use std::time::Instant;
 
 use lps_core::{AkoSampler, FisL0Sampler, L0Sampler, LpSampler, PrecisionLpSampler};
-use lps_engine::parallel_ingest;
+use lps_engine::{parallel_ingest, partitioned_ingest, KeyRange, RoundRobin, ShardIngest};
 use lps_hash::SeedSequence;
 use lps_heavy::CountSketchHeavyHitters;
 use lps_sketch::{
-    AmsSketch, CountMinSketch, CountSketch, LinearSketch, PStableSketch, SparseRecovery,
+    AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, LinearSketch, PStableSketch,
+    SparseRecovery,
 };
 use lps_stream::{Update, DEFAULT_BATCH_SIZE};
 
@@ -329,6 +330,138 @@ pub fn engine_scaling_suite(quick: bool) -> Vec<ThroughputRecord> {
     out
 }
 
+/// The fixed shard count the E14 strategy-comparison sweep measures at
+/// (matches the headline-scaling shard count).
+pub const STRATEGY_SHARDS: usize = 4;
+
+/// Mode name of a strategy-comparison record.
+fn strategy_mode(strategy: &str) -> &'static str {
+    match strategy {
+        "round_robin" => "roundrobin-4",
+        "key_range" => "keyrange-4",
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+fn time_strategy<T: ShardIngest + 'static>(
+    structure: &'static str,
+    n: u64,
+    proto: &T,
+    batch: &[Update],
+    out: &mut Vec<ThroughputRecord>,
+) {
+    out.push(time_updates(structure, strategy_mode("round_robin"), n, batch, |b| {
+        let merged = partitioned_ingest(proto, b, RoundRobin::new(STRATEGY_SHARDS));
+        std::hint::black_box(&merged);
+    }));
+    out.push(time_updates(structure, strategy_mode("key_range"), n, batch, |b| {
+        let merged = partitioned_ingest(proto, b, KeyRange::new(n, STRATEGY_SHARDS));
+        std::hint::black_box(&merged);
+    }));
+}
+
+/// Experiment E14's strategy comparison: every exact-arithmetic engine
+/// structure pushed through the builder/session pipeline at
+/// [`STRATEGY_SHARDS`] shards under **both** shard plans — [`RoundRobin`]
+/// (replicated shards, additive merge) and [`KeyRange`] (partitioned
+/// coordinate space, disjoint-union merge). Both produce bit-identical
+/// states (pinned by the engine's equivalence tests), so the comparison is
+/// purely about throughput: round robin balances load for free, key range
+/// shrinks each shard's working set but inherits the workload's key skew.
+/// The winner per structure is stamped into `BENCH_samplers.json` as
+/// `engine_plans` (see [`chosen_plans`]).
+pub fn strategy_comparison_suite(quick: bool) -> Vec<ThroughputRecord> {
+    let n: u64 = 1 << 20;
+    let heavy_updates: usize = if quick { 100_000 } else { 1_000_000 };
+    let light_updates: usize = if quick { 20_000 } else { 200_000 };
+    let batch = workload(n, heavy_updates, 0xE14B);
+    let light = &batch[..light_updates];
+    let mut out = Vec::new();
+
+    let mut s = SeedSequence::new(20);
+    let proto = SparseRecovery::new(n, 8, &mut s);
+    time_strategy("sparse_recovery", n, &proto, &batch, &mut out);
+
+    let mut s = SeedSequence::new(21);
+    let proto = L0Sampler::new(n, 0.25, &mut s);
+    time_strategy("l0_sampler", n, &proto, &batch, &mut out);
+
+    let mut s = SeedSequence::new(22);
+    let proto = FisL0Sampler::new(n, &mut s);
+    time_strategy("fis_l0", n, &proto, light, &mut out);
+
+    let mut s = SeedSequence::new(23);
+    let proto = CountSketch::with_default_rows(n, 16, &mut s);
+    time_strategy("count_sketch", n, &proto, &batch, &mut out);
+
+    let mut s = SeedSequence::new(24);
+    let proto = CountMinSketch::new(n, 1024, 7, &mut s);
+    time_strategy("count_min", n, &proto, &batch, &mut out);
+
+    let mut s = SeedSequence::new(25);
+    let proto = CountMedianSketch::new(n, 1024, 7, &mut s);
+    time_strategy("count_median", n, &proto, light, &mut out);
+
+    let mut s = SeedSequence::new(26);
+    let proto = AmsSketch::with_default_shape(n, &mut s);
+    time_strategy("ams_sketch", n, &proto, light, &mut out);
+
+    out
+}
+
+/// The per-structure plan choice the strategy comparison measured: for each
+/// structure with both `roundrobin-4` and `keyrange-4` records, the name of
+/// the faster strategy (`"round_robin"` / `"key_range"`). Stamped into
+/// `BENCH_samplers.json` as the `engine_plans` object so deployments can
+/// pick the measured winner per structure.
+pub fn chosen_plans(records: &[ThroughputRecord]) -> Vec<(&'static str, &'static str)> {
+    let mut structures: Vec<&'static str> = Vec::new();
+    for r in records {
+        if (r.mode == "roundrobin-4" || r.mode == "keyrange-4")
+            && !structures.contains(&r.structure)
+        {
+            structures.push(r.structure);
+        }
+    }
+    structures
+        .into_iter()
+        .filter_map(|structure| {
+            let ratio = speedup(records, structure, "keyrange-4", "roundrobin-4")?;
+            Some((structure, if ratio > 1.0 { "key_range" } else { "round_robin" }))
+        })
+        .collect()
+}
+
+/// Render the strategy-comparison records: one row per (structure,
+/// strategy), with key range's speedup over round robin and the chosen plan.
+pub fn strategy_comparison_table(records: &[ThroughputRecord], host_cpus: usize) -> Table {
+    let chosen = chosen_plans(records);
+    let mut table = Table::new(
+        &format!(
+            "E14b: shard strategy comparison at {STRATEGY_SHARDS} shards (updates/sec; \
+             host_cpus = {host_cpus}; both strategies are bit-identical on these structures)"
+        ),
+        &["structure", "strategy", "updates", "updates_per_sec", "kr_vs_rr", "chosen_plan"],
+    );
+    for r in records {
+        let kr_vs_rr = speedup(records, r.structure, "keyrange-4", "roundrobin-4").unwrap_or(1.0);
+        let plan = chosen
+            .iter()
+            .find(|(s, _)| *s == r.structure)
+            .map(|(_, p)| *p)
+            .unwrap_or("round_robin");
+        table.row(&[
+            r.structure.to_string(),
+            r.mode.trim_end_matches("-4").to_string(),
+            int(r.updates),
+            f1(r.updates_per_sec),
+            format!("{kr_vs_rr:.2}"),
+            plan.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Speedup of `mode_a` over `mode_b` for a structure, if both were measured.
 pub fn speedup(
     records: &[ThroughputRecord],
@@ -490,6 +623,15 @@ pub fn to_json(records: &[ThroughputRecord], quick: bool, meta: &BenchMeta) -> S
     out.push_str(&format!("  \"runner_class\": \"{}\",\n", json_escape(&meta.runner_class)));
     let shard_list = meta.shard_counts.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ");
     out.push_str(&format!("  \"engine_shard_counts\": [{shard_list}],\n"));
+    // the measured per-structure strategy winners (E14b); empty when the
+    // strategy comparison was not part of this record set
+    out.push_str("  \"engine_plans\": {\n");
+    let plans = chosen_plans(records);
+    for (i, (structure, plan)) in plans.iter().enumerate() {
+        let comma = if i + 1 == plans.len() { "" } else { "," };
+        out.push_str(&format!("    \"{structure}\": \"{plan}\"{comma}\n"));
+    }
+    out.push_str("  },\n");
     // absent (or non-finite) ratios serialize as null, never as a bare NaN
     // token that would make the whole document unparseable
     out.push_str("  \"headline\": {\n");
@@ -583,6 +725,31 @@ pub fn parse_runner_class(json: &str) -> Option<String> {
 /// The default regression tolerance of the CI perf gate: fail when a gated
 /// headline ratio drops more than 30% below the committed baseline.
 pub const GATE_TOLERANCE: f64 = 0.30;
+
+/// The runner-class stamp of the seed baseline: the quick-mode numbers
+/// necessarily measured inside the 1-CPU dev container before any real CI
+/// runner had produced an artifact. Comparisons against it are valid
+/// (ratios are dimensionless) but noisier than same-hardware comparisons.
+pub const SEED_RUNNER_CLASS: &str = "dev-container-seed";
+
+/// Actionable regeneration instructions when a baseline still carries the
+/// seed provenance ([`SEED_RUNNER_CLASS`]): which CI artifact to download
+/// and where to commit it. `None` for baselines measured on real runners.
+pub fn seed_baseline_advice(baseline_runner_class: &str) -> Option<String> {
+    (baseline_runner_class == SEED_RUNNER_CLASS).then(|| {
+        format!(
+            "perf gate note: this baseline still carries the seed provenance \
+             (runner_class '{SEED_RUNNER_CLASS}', measured in the 1-CPU dev container).\n\
+             To regenerate it from real runner hardware:\n\
+             1. open any CI run of the 'quick bench + perf gate' job (it runs with \
+             LPS_RUNNER_CLASS=github-ubuntu-latest),\n\
+             2. download its 'BENCH_samplers' artifact (BENCH_samplers.json),\n\
+             3. commit that file over ci/perf-baselines/github-ubuntu-latest.json.\n\
+             The gate will then compare like hardware against like hardware and this \
+             note disappears."
+        )
+    })
+}
 
 /// Compare freshly measured headline ratios against a committed baseline
 /// document. Returns `Ok` with one human-readable line per gated key, or
@@ -713,6 +880,50 @@ mod tests {
         // improvements never fail, missing keys are skipped not fatal
         let sparse_baseline = vec![("l0_sampler_batched_vs_reference".to_string(), 1.0)];
         assert!(check_headline_regression(&fresh, &sparse_baseline, GATE_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn chosen_plans_pick_the_faster_strategy_and_stamp_into_json() {
+        let rec = |structure: &'static str, mode: &'static str, rate: f64| ThroughputRecord {
+            structure,
+            mode,
+            dimension: 1 << 10,
+            updates: 100,
+            elapsed_ns: 1,
+            updates_per_sec: rate,
+        };
+        let records = vec![
+            rec("sparse_recovery", "roundrobin-4", 100.0),
+            rec("sparse_recovery", "keyrange-4", 150.0),
+            rec("count_min", "roundrobin-4", 200.0),
+            rec("count_min", "keyrange-4", 180.0),
+            rec("count_min", "sequential", 500.0), // unrelated mode is ignored
+        ];
+        assert_eq!(
+            chosen_plans(&records),
+            vec![("sparse_recovery", "key_range"), ("count_min", "round_robin")]
+        );
+        let meta = BenchMeta {
+            git_commit: "abc".to_string(),
+            host_cpus: 1,
+            shard_counts: vec![1, 2, 4, 8],
+            runner_class: "x".to_string(),
+        };
+        let json = to_json(&records, true, &meta);
+        assert!(json.contains("\"engine_plans\": {"));
+        assert!(json.contains("\"sparse_recovery\": \"key_range\""));
+        assert!(json.contains("\"count_min\": \"round_robin\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn seed_baseline_provenance_triggers_regeneration_advice() {
+        let advice = seed_baseline_advice(SEED_RUNNER_CLASS).expect("seed provenance advises");
+        assert!(advice.contains("BENCH_samplers"), "must name the CI artifact");
+        assert!(advice.contains("LPS_RUNNER_CLASS=github-ubuntu-latest"), "must name the env");
+        assert!(advice.contains("ci/perf-baselines/github-ubuntu-latest.json"));
+        assert!(seed_baseline_advice("github-ubuntu-latest").is_none());
+        assert!(seed_baseline_advice("unspecified").is_none());
     }
 
     #[test]

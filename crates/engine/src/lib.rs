@@ -1,64 +1,31 @@
 //! # lps-engine
 //!
-//! A multi-threaded sharded ingestion engine built on sketch mergeability.
+//! A multi-threaded sharded ingestion engine built on sketch mergeability,
+//! with pluggable shard partitioning and a sans-io ingest surface.
 //!
 //! Every structure in this workspace maintains `L(x)` for a linear map `L`,
 //! so `sketch(A ++ B) == merge(sketch(A), sketch(B))` whenever both sides
 //! use the same seeds. The engine exploits exactly that identity for
-//! multi-core scaling:
+//! multi-core scaling, and decomposes it into two orthogonal choices:
 //!
-//! 1. **Shard** — `N` worker threads each own an identically-seeded clone of
-//!    the target structure (a fresh, zero-state prototype).
-//! 2. **Ingest** — incoming update batches are dealt round-robin to the
-//!    workers over channels; each worker feeds its clone through the batched
-//!    `process_batch` fast path (coalescing, hoisted fingerprint terms,
-//!    row-major table walks).
-//! 3. **Merge** — when the stream ends the shard states are combined by a
-//!    deterministic binary tree merge, producing the sketch of the full
-//!    stream.
-//!
-//! For the structures the engine supports (the [`ShardIngest`] implementors:
-//! sparse recovery, both L0 samplers, count-sketch, count-min, count-median
-//! and AMS) every counter is integer or field arithmetic — exact, commutative
-//! and associative — so the merged state is **bit-identical** to ingesting
-//! the whole stream sequentially on one thread, for *any* partition of the
-//! stream across shards. The equivalence tests pin this with
-//! [`Mergeable::state_digest`] comparisons.
-//!
-//! Floating-point structures whose counters hold non-integer reals (the
-//! p-stable sketch, the precision/AKO samplers and the drivers built on
-//! them) are deliberately *not* given [`ShardIngest`] implementations: their
-//! merges reassociate floating-point sums, which is linear only up to
-//! rounding. They still implement [`Mergeable`], so callers who accept
-//! approximate linearity can shard them manually.
-//!
-//! ## Checkpoint / restore and cross-process merging
-//!
-//! Because every structure also implements `lps_sketch::Persist`, sharding
-//! is not confined to one process: [`ShardedEngine::checkpoint_shards`]
-//! serializes each worker's state into the versioned wire format,
-//! [`ShardedEngine::resume_from`] re-animates an engine from those buffers,
-//! and [`merge_encoded`] combines shard files produced by *different OS
-//! processes* (or machines) into the sketch of the full stream — validating
-//! version and seed compatibility byte-for-byte before touching a counter.
-//! For the exact-arithmetic structures the cross-process merge reproduces
-//! the sequential `state_digest` bit for bit; the
-//! `experiments -- checkpoint` subcommand and the CI cross-process job
-//! exercise exactly that pipeline.
-//!
-//! ## When parallel beats batched
-//!
-//! Sharding pays when the per-update sketch work dominates the per-update
-//! distribution overhead (one `Vec` clone + channel send per batch,
-//! amortised over [`DEFAULT_BATCH_SIZE`]-sized batches). Sparse recovery and
-//! the L0 sampler touch `O(rows)` / `O(rows · levels)` cells per update, so
-//! they scale; a bare count-min row update is so cheap that single-threaded
-//! batching stays competitive until batches get large. Throughput scales
-//! with *physical* cores: on a single-core host the engine degrades to
-//! sequential speed minus a small coordination overhead.
+//! * **How the stream is partitioned** — a [`ShardPlan`] strategy.
+//!   [`RoundRobin`] deals dispatch batches to identically-seeded replicas
+//!   in rotation and recombines by addition; [`KeyRange`] gives each shard
+//!   a contiguous slice of the coordinate space (via
+//!   [`ShardIngest::restrict_domain`]), routes updates by coordinate, and
+//!   recombines by disjoint union ([`ShardIngest::merge_disjoint`]). For
+//!   the exact-arithmetic structures **both** strategies reproduce the
+//!   sequential state bit for bit.
+//! * **How updates reach the workers** — a sans-io [`IngestSession`] built
+//!   by [`EngineBuilder`]: non-blocking [`IngestSession::offer`] /
+//!   [`IngestSession::drain`] polls plus a terminal
+//!   [`IngestSession::seal`], so the dispatcher never blocks on a full
+//!   worker channel and the engine can sit behind a socket loop with no
+//!   runtime dependencies. Blocking convenience wrappers exist for callers
+//!   without an event loop.
 //!
 //! ```
-//! use lps_engine::ShardedEngine;
+//! use lps_engine::{EngineBuilder, KeyRange, RoundRobin};
 //! use lps_hash::SeedSequence;
 //! use lps_sketch::{Mergeable, SparseRecovery};
 //! use lps_stream::Update;
@@ -67,262 +34,189 @@
 //! let proto = SparseRecovery::new(1 << 12, 8, &mut seeds);
 //! let updates: Vec<Update> = (0..1000).map(|i| Update::new(i % 100, 1)).collect();
 //!
-//! // four identically-seeded shards, tree-merged at the end
-//! let mut engine = ShardedEngine::new(&proto, 4);
-//! engine.ingest(&updates);
-//! let merged = engine.finish();
-//!
-//! // bit-identical to sequential ingestion
 //! let mut sequential = proto.clone();
 //! sequential.process_batch(&updates);
-//! assert_eq!(merged.state_digest(), sequential.state_digest());
+//!
+//! // replicated shards, additive merge …
+//! let mut rr = EngineBuilder::new(&proto).shards(4).session();
+//! rr.ingest_blocking(&updates);
+//! assert_eq!(rr.seal().state_digest(), sequential.state_digest());
+//!
+//! // … or partitioned coordinate space, disjoint-union merge: same bits
+//! let mut kr = EngineBuilder::new(&proto).plan(KeyRange::new(1 << 12, 4)).session();
+//! kr.ingest_blocking(&updates);
+//! assert_eq!(kr.seal().state_digest(), sequential.state_digest());
 //! ```
+//!
+//! ## Exact and approximate sharding
+//!
+//! The structures whose counters use integer or field arithmetic (sparse
+//! recovery, both L0 samplers, count-sketch, count-min, count-median, AMS)
+//! merge **exactly**: any partition of the stream recombines to the
+//! sequential state bit for bit, under either plan, pinned by the
+//! equivalence tests via [`Mergeable::state_digest`].
+//!
+//! Floating-point structures (the p-stable sketch, the precision/AKO
+//! samplers and both heavy-hitter drivers) are linear only up to rounding:
+//! their shard merges reassociate `f64` sums, drifting by at most the
+//! `~2mε` per-counter bound documented on their `merge_from` impls. They
+//! are shardable too, but only behind an explicit opt-in: the plan must
+//! carry [`Tolerance::Approximate`] ([`RoundRobin::approximate`] /
+//! [`KeyRange::approximate`]), otherwise the session refuses to build.
+//!
+//! ## Checkpoint / restore and cross-process merging
+//!
+//! [`IngestSession::checkpoint`] serializes each shard behind a plan
+//! envelope (strategy, tolerance, shard index/count, owned key range) ahead
+//! of the versioned `Persist` payload; [`EngineBuilder::resume`] re-animates
+//! a session after validating the envelope against the resuming plan — a
+//! key-range checkpoint offered to a round-robin resume is rejected with
+//! [`DecodeError::PlanMismatch`] before any counter is decoded.
+//! [`merge_checkpointed`] recombines shard buffers produced by *different OS
+//! processes* under the strategy stamped in their envelopes, and
+//! [`merge_encoded`] remains the bare-`Persist` primitive for buffers
+//! serialized outside the engine.
+//!
+//! ## When parallel beats batched
+//!
+//! Sharding pays when the per-update sketch work dominates the per-update
+//! distribution overhead (one staging copy + channel handoff per update,
+//! amortised over `batch_size`-sized batches). Sparse recovery and the L0
+//! sampler touch `O(rows)` / `O(rows · levels)` cells per update, so they
+//! scale; a bare count-min row update is so cheap that single-threaded
+//! batching stays competitive until batches get large. Round robin balances
+//! load for free but replicates every shard's working set; key-range shards
+//! touch only the cells their own range hashes to (smaller effective cache
+//! footprint) but inherit the stream's key skew. Experiment E14 measures
+//! both per structure and stamps the winner into `BENCH_samplers.json`.
+//! Throughput scales with *physical* cores either way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::mpsc::SyncSender;
-use std::thread::JoinHandle;
+mod plan;
+mod session;
 
-use lps_core::{FisL0Sampler, L0Sampler, LpSampler};
+pub use plan::{
+    read_envelope, KeyRange, PlanEnvelope, PlanStrategy, RoundRobin, ShardPlan, Tolerance,
+    ENVELOPE_HEADER_LEN, ENVELOPE_MAGIC, ENVELOPE_VERSION,
+};
+pub use session::{EngineBuilder, IngestSession};
+
+use lps_core::{AkoSampler, FisL0Sampler, L0Sampler, LpSampler, PrecisionLpSampler};
+use lps_heavy::{CountMinHeavyHitters, CountSketchHeavyHitters};
 use lps_sketch::{
     read_header, seed_section, AmsSketch, CountMedianSketch, CountMinSketch, CountSketch,
-    DecodeError, LinearSketch, Mergeable, Persist, SparseRecovery,
+    DecodeError, LinearSketch, Mergeable, PStableSketch, Persist, SparseRecovery,
 };
-use lps_stream::{Update, UpdateStream, DEFAULT_BATCH_SIZE};
+use lps_stream::{Update, UpdateStream};
+
+use plan::tree_merge_with;
 
 /// A structure the sharded engine can drive: cloneable (identically-seeded
-/// clones), mergeable, and ingestible in batches.
+/// clones), mergeable, batch-ingestible, and partitionable by key range.
 ///
-/// Implementors must guarantee that batch ingestion plus
-/// [`Mergeable::merge_from`] is **exact**: for any partition of an integer
-/// update stream across identically-seeded clones, merging the shard states
-/// reproduces, bit for bit, the state of one clone ingesting the whole
-/// stream sequentially. This restricts implementations to structures whose
-/// counters use integer or field arithmetic (or `f64` counters that only
-/// ever hold exactly-representable integers); see the crate docs.
+/// [`ShardIngest::TOLERANCE`] declares the structure's merge-fidelity class.
+/// `Exact` implementors guarantee that batch ingestion plus
+/// [`Mergeable::merge_from`] (equivalently [`ShardIngest::merge_disjoint`]
+/// under disjoint supports) is **bit-exact**: for any partition of an
+/// integer update stream across identically-seeded clones, merging the shard
+/// states reproduces, bit for bit, the state of one clone ingesting the
+/// whole stream sequentially. `Approximate` implementors (dense `f64`
+/// counters) merge up to floating-point reassociation and may only be
+/// driven by a plan carrying [`Tolerance::Approximate`].
 pub trait ShardIngest: Mergeable + Clone + Send {
+    /// The structure's merge-fidelity class ([`Tolerance::Exact`] unless
+    /// declared otherwise).
+    const TOLERANCE: Tolerance = Tolerance::Exact;
+
     /// Ingest a batch of updates through the structure's fast path.
     fn ingest_batch(&mut self, updates: &[Update]);
-}
 
-impl ShardIngest for SparseRecovery {
-    fn ingest_batch(&mut self, updates: &[Update]) {
-        self.process_batch(updates);
+    /// Build the shard structure owning the key range `range` for key-range
+    /// partitioned ingestion. Implementations validate the range against
+    /// their dimension and return an identically-seeded zero-state clone —
+    /// the hash-compressed state shape is domain-independent, and exact
+    /// recombination requires evaluating the same random functions at
+    /// global coordinates; the restriction constrains which updates the
+    /// shard sees (and with it the shard's working set).
+    fn restrict_domain(&self, range: std::ops::Range<u64>) -> Self {
+        let _ = range;
+        self.clone()
+    }
+
+    /// Absorb a sibling shard whose ingested key range was disjoint from
+    /// ours. For linear structures the disjoint union coincides with
+    /// addition, so the default delegates to [`Mergeable::merge_from`];
+    /// implementors override it to skip state the sibling never touched
+    /// (bit-identical either way).
+    fn merge_disjoint(&mut self, other: &Self) {
+        self.merge_from(other);
     }
 }
 
-impl ShardIngest for CountSketch {
-    fn ingest_batch(&mut self, updates: &[Update]) {
-        LinearSketch::process_batch(self, updates);
-    }
-}
+macro_rules! shard_ingest {
+    ($ty:ty, $tolerance:expr, $ingest:expr) => {
+        impl ShardIngest for $ty {
+            const TOLERANCE: Tolerance = $tolerance;
 
-impl ShardIngest for CountMinSketch {
-    fn ingest_batch(&mut self, updates: &[Update]) {
-        self.process_batch(updates);
-    }
-}
-
-impl ShardIngest for CountMedianSketch {
-    fn ingest_batch(&mut self, updates: &[Update]) {
-        LinearSketch::process_batch(self, updates);
-    }
-}
-
-impl ShardIngest for AmsSketch {
-    fn ingest_batch(&mut self, updates: &[Update]) {
-        LinearSketch::process_batch(self, updates);
-    }
-}
-
-impl ShardIngest for L0Sampler {
-    fn ingest_batch(&mut self, updates: &[Update]) {
-        LpSampler::process_batch(self, updates);
-    }
-}
-
-impl ShardIngest for FisL0Sampler {
-    fn ingest_batch(&mut self, updates: &[Update]) {
-        LpSampler::process_batch(self, updates);
-    }
-}
-
-/// How many update batches may sit unprocessed in each worker's channel
-/// before `ingest` applies backpressure by blocking. Bounds peak memory at
-/// roughly `shards × BACKLOG × batch_size` updates.
-const WORKER_BACKLOG: usize = 8;
-
-struct Worker<T> {
-    sender: SyncSender<Vec<Update>>,
-    handle: JoinHandle<T>,
-}
-
-/// A running sharded ingestion pipeline for one target structure.
-///
-/// Construction spawns the worker threads; [`ShardedEngine::ingest`] (or
-/// [`ShardedEngine::ingest_stream`]) distributes update batches round-robin;
-/// [`ShardedEngine::finish`] closes the channels, joins the workers and
-/// tree-merges the shard states into the final structure.
-pub struct ShardedEngine<T: ShardIngest + 'static> {
-    workers: Vec<Worker<T>>,
-    batch_size: usize,
-    next: usize,
-}
-
-impl<T: ShardIngest + 'static> ShardedEngine<T> {
-    /// Spawn `shards` worker threads, each owning a clone of `prototype`,
-    /// dealing work in [`DEFAULT_BATCH_SIZE`]-update batches.
-    pub fn new(prototype: &T, shards: usize) -> Self {
-        Self::with_batch_size(prototype, shards, DEFAULT_BATCH_SIZE)
-    }
-
-    /// Spawn the engine with an explicit dispatch batch size.
-    pub fn with_batch_size(prototype: &T, shards: usize, batch_size: usize) -> Self {
-        assert!(shards >= 1, "need at least one shard");
-        let states = (0..shards).map(|_| prototype.clone()).collect();
-        Self::spawn(states, batch_size)
-    }
-
-    /// Spawn one worker thread per entry of `states`, each resuming from the
-    /// given shard state. This is the common core of fresh construction
-    /// ([`ShardedEngine::with_batch_size`], zero-state clones) and restore
-    /// ([`ShardedEngine::resume_from`], decoded checkpoints).
-    fn spawn(states: Vec<T>, batch_size: usize) -> Self {
-        assert!(!states.is_empty(), "need at least one shard");
-        assert!(batch_size >= 1, "batch size must be positive");
-        let workers = states
-            .into_iter()
-            .map(|mut shard| {
-                let (sender, receiver) =
-                    std::sync::mpsc::sync_channel::<Vec<Update>>(WORKER_BACKLOG);
-                let handle = std::thread::spawn(move || {
-                    while let Ok(batch) = receiver.recv() {
-                        shard.ingest_batch(&batch);
-                    }
-                    shard
-                });
-                Worker { sender, handle }
-            })
-            .collect();
-        ShardedEngine { workers, batch_size, next: 0 }
-    }
-
-    /// Number of shards (worker threads).
-    pub fn shards(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Distribute a slice of updates across the workers in round-robin
-    /// batches. Blocks only when a worker's backlog is full (backpressure).
-    pub fn ingest(&mut self, updates: &[Update]) {
-        for chunk in updates.chunks(self.batch_size) {
-            self.ingest_batch(chunk);
-        }
-    }
-
-    /// Send one batch to the next worker in round-robin order.
-    pub fn ingest_batch(&mut self, batch: &[Update]) {
-        if batch.is_empty() {
-            return;
-        }
-        let worker = &self.workers[self.next];
-        self.next = (self.next + 1) % self.workers.len();
-        worker.sender.send(batch.to_vec()).expect("engine worker exited before the stream ended");
-    }
-
-    /// Distribute a whole update stream across the workers.
-    pub fn ingest_stream(&mut self, stream: &UpdateStream) {
-        self.ingest(stream.updates());
-    }
-
-    /// Close the channels, join the workers and tree-merge the shard states
-    /// into the final structure (the sketch of everything ingested).
-    ///
-    /// The merge is a deterministic binary tree over shard order
-    /// (`(s0+s1) + (s2+s3)`, …): `log₂ shards` rounds instead of a serial
-    /// left fold. For the exact-arithmetic [`ShardIngest`] structures any
-    /// merge order yields the same bits; the fixed tree keeps the result
-    /// reproducible for any future implementor whose merge only commutes
-    /// approximately.
-    pub fn finish(self) -> T {
-        tree_merge(self.join_shards())
-    }
-
-    /// Close the channels and join the workers, returning the raw per-shard
-    /// states in shard order **without** merging them.
-    fn join_shards(self) -> Vec<T> {
-        self.workers
-            .into_iter()
-            .map(|w| {
-                drop(w.sender);
-                w.handle.join().expect("engine worker panicked")
-            })
-            .collect()
-    }
-}
-
-impl<T: ShardIngest + Persist + 'static> ShardedEngine<T> {
-    /// Stop ingestion and serialize every shard's state, in shard order,
-    /// **without** merging: one encoded buffer per worker, ready to be
-    /// written to shard files, shipped to other machines, and recombined
-    /// later by [`merge_encoded`] (or re-animated by
-    /// [`ShardedEngine::resume_from`]).
-    ///
-    /// Checkpointing consumes the engine — linear-sketch state is a plain
-    /// value, so "pause" is just "serialize and drop"; resuming re-creates
-    /// workers from the buffers.
-    pub fn checkpoint_shards(self) -> Vec<Vec<u8>> {
-        self.join_shards().iter().map(Persist::encode_to_vec).collect()
-    }
-
-    /// Re-create a running engine from checkpointed shard states (one worker
-    /// per buffer, in order), validating that every buffer decodes and that
-    /// all shards were built from the same seeds before any thread spawns.
-    pub fn resume_from(encoded: &[Vec<u8>], batch_size: usize) -> Result<Self, DecodeError> {
-        let states = decode_compatible_shards::<T>(encoded)?;
-        Ok(Self::spawn(states, batch_size))
-    }
-}
-
-/// Deterministic binary tree merge over shard order — shared by
-/// [`ShardedEngine::finish`] and [`merge_encoded`] so in-process and
-/// cross-process merges produce identical bytes even for structures whose
-/// merge only commutes approximately.
-fn tree_merge<T: Mergeable>(mut states: Vec<T>) -> T {
-    while states.len() > 1 {
-        let mut next_round = Vec::with_capacity(states.len().div_ceil(2));
-        let mut it = states.into_iter();
-        while let Some(mut a) = it.next() {
-            if let Some(b) = it.next() {
-                a.merge_from(&b);
+            fn ingest_batch(&mut self, updates: &[Update]) {
+                let ingest: fn(&mut $ty, &[Update]) = $ingest;
+                ingest(self, updates);
             }
-            next_round.push(a);
+
+            fn restrict_domain(&self, range: std::ops::Range<u64>) -> Self {
+                <$ty>::restrict_domain(self, range)
+            }
+
+            fn merge_disjoint(&mut self, other: &Self) {
+                <$ty>::merge_disjoint(self, other);
+            }
         }
-        states = next_round;
-    }
-    states.pop().expect("at least one shard")
+    };
 }
 
-/// Decode a set of shard buffers, first validating that they are
-/// merge-compatible: every buffer must parse under the current wire format,
-/// carry `T`'s structure tag, and hold a seed section byte-identical to the
-/// first buffer's (same shape, same random functions). The seed comparison
-/// happens *before* any counter decoding, so incompatible shards are
-/// rejected cheaply and typed ([`DecodeError::SeedMismatch`]).
-fn decode_compatible_shards<T: Persist>(encoded: &[Vec<u8>]) -> Result<Vec<T>, DecodeError> {
+// The exact-arithmetic structures: integer/field counters, bit-exact merges.
+shard_ingest!(SparseRecovery, Tolerance::Exact, |s, u| s.process_batch(u));
+shard_ingest!(CountSketch, Tolerance::Exact, |s, u| LinearSketch::process_batch(s, u));
+shard_ingest!(CountMinSketch, Tolerance::Exact, |s, u| s.process_batch(u));
+shard_ingest!(CountMedianSketch, Tolerance::Exact, |s, u| LinearSketch::process_batch(s, u));
+shard_ingest!(AmsSketch, Tolerance::Exact, |s, u| LinearSketch::process_batch(s, u));
+shard_ingest!(L0Sampler, Tolerance::Exact, |s, u| LpSampler::process_batch(s, u));
+shard_ingest!(FisL0Sampler, Tolerance::Exact, |s, u| LpSampler::process_batch(s, u));
+
+// The float structures: dense f64 counters, estimator-level merge fidelity
+// (see the ~2mε drift bound on their merge_from docs). Shardable only
+// behind an explicitly approximate plan.
+shard_ingest!(PStableSketch, Tolerance::Approximate, |s, u| LinearSketch::process_batch(s, u));
+shard_ingest!(PrecisionLpSampler, Tolerance::Approximate, |s, u| LpSampler::process_batch(s, u));
+shard_ingest!(AkoSampler, Tolerance::Approximate, |s, u| LpSampler::process_batch(s, u));
+shard_ingest!(CountSketchHeavyHitters, Tolerance::Approximate, |s, u| s.process_batch(u));
+shard_ingest!(CountMinHeavyHitters, Tolerance::Approximate, |s, u| s.process_batch(u));
+
+/// Decode a set of bare `Persist` shard buffers, first validating that they
+/// are merge-compatible: every buffer must parse under the current wire
+/// format, carry `T`'s structure tag, and hold a seed section byte-identical
+/// to the first buffer's (same shape, same random functions). The seed
+/// comparison happens *before* any counter decoding, so incompatible shards
+/// are rejected cheaply and typed ([`DecodeError::SeedMismatch`]).
+pub(crate) fn decode_compatible_shards<T: Persist, B: AsRef<[u8]>>(
+    encoded: &[B],
+) -> Result<Vec<T>, DecodeError> {
     if encoded.is_empty() {
         return Err(DecodeError::Corrupt { context: "need at least one encoded shard" });
     }
     // Validate the reference shard's own tag before adopting its seed
     // section as the compatibility yardstick — otherwise a wrong file at
     // index 0 would be misreported as a seed mismatch on shard 1.
-    let reference_header = read_header(&encoded[0])?;
+    let reference = encoded[0].as_ref();
+    let reference_header = read_header(reference)?;
     if reference_header.tag != T::TAG {
         return Err(DecodeError::WrongStructure { expected: T::TAG, found: reference_header.tag });
     }
-    let reference_seeds = seed_section(&encoded[0])?;
+    let reference_seeds = seed_section(reference)?;
     for (shard, bytes) in encoded.iter().enumerate().skip(1) {
+        let bytes = bytes.as_ref();
         let header = read_header(bytes)?;
         if header.tag != T::TAG {
             return Err(DecodeError::WrongStructure { expected: T::TAG, found: header.tag });
@@ -331,35 +225,196 @@ fn decode_compatible_shards<T: Persist>(encoded: &[Vec<u8>]) -> Result<Vec<T>, D
             return Err(DecodeError::SeedMismatch { shard });
         }
     }
-    encoded.iter().map(|bytes| T::decode_state(bytes)).collect()
+    encoded.iter().map(|bytes| T::decode_state(bytes.as_ref())).collect()
 }
 
-/// Merge checkpointed shard states produced in this or **any other OS
-/// process** into the structure sketching the concatenation of every shard's
-/// stream: the cross-process counterpart of [`ShardedEngine::finish`].
+/// Merge bare `Persist` shard buffers (no plan envelope — e.g. states
+/// serialized directly with [`Persist::encode_to_vec`]) into the structure
+/// sketching the concatenation of every shard's stream, using the additive
+/// deterministic tree merge.
 ///
 /// Validates version/tag/seed compatibility across all buffers (see
-/// [`DecodeError::SeedMismatch`]) and then applies the same deterministic
-/// binary tree merge as the in-process engine. For the exact-arithmetic
-/// [`ShardIngest`] structures the result is bit-identical — digest for
-/// digest — to sequential single-process ingestion of the whole stream.
+/// [`DecodeError::SeedMismatch`]). For engine checkpoints — which carry a
+/// plan envelope — use [`merge_checkpointed`] instead.
 pub fn merge_encoded<T: Persist + Mergeable>(encoded: &[Vec<u8>]) -> Result<T, DecodeError> {
-    Ok(tree_merge(decode_compatible_shards::<T>(encoded)?))
+    Ok(tree_merge_with(decode_compatible_shards::<T, _>(encoded)?, Mergeable::merge_from))
+}
+
+/// Merge plan-aware checkpoint buffers produced in this or **any other OS
+/// process** ([`IngestSession::checkpoint`]) into the structure sketching
+/// the concatenation of every shard's stream: the cross-process counterpart
+/// of [`IngestSession::seal`].
+///
+/// The strategy stamped in the envelopes decides the combine operation —
+/// additive tree merge for round-robin checkpoints, disjoint union for
+/// key-range checkpoints — after validating that all buffers agree on
+/// strategy and shard count, arrive in shard order, and (for key ranges)
+/// tile the space with their stamped bounds. Seed compatibility is
+/// byte-compared across payloads before any counter decodes. For the
+/// exact-arithmetic structures the result is bit-identical — digest for
+/// digest — to sequential single-process ingestion of the whole stream.
+pub fn merge_checkpointed<T: ShardIngest + Persist>(encoded: &[Vec<u8>]) -> Result<T, DecodeError> {
+    if encoded.is_empty() {
+        return Err(DecodeError::Corrupt { context: "need at least one encoded shard" });
+    }
+    let (reference, _) = read_envelope(&encoded[0])?;
+    let mut payloads = Vec::with_capacity(encoded.len());
+    let mut previous_end = None;
+    for (i, bytes) in encoded.iter().enumerate() {
+        let (envelope, payload) = read_envelope(bytes)?;
+        plan::check_envelope(&envelope, reference.strategy, reference.tolerance, i, encoded.len())?;
+        if let Some(range) = &envelope.range {
+            // key-range shards must tile the space contiguously
+            if previous_end.is_some_and(|end| end != range.start) {
+                return Err(DecodeError::Corrupt {
+                    context: "key-range shards do not tile the coordinate space",
+                });
+            }
+            previous_end = Some(range.end);
+        }
+        payloads.push(payload);
+    }
+    let states = decode_compatible_shards::<T, _>(&payloads)?;
+    Ok(match reference.strategy {
+        PlanStrategy::RoundRobin => tree_merge_with(states, Mergeable::merge_from),
+        PlanStrategy::KeyRange => tree_merge_with(states, T::merge_disjoint),
+    })
 }
 
 /// One-shot convenience: shard `updates` across `shards` identically-seeded
-/// clones of `prototype` and return the tree-merged result.
+/// clones of `prototype` under a round-robin plan and return the
+/// tree-merged result.
 ///
-/// For [`ShardIngest`] structures the result is bit-identical to
+/// For exact [`ShardIngest`] structures the result is bit-identical to
 /// `prototype.clone()` ingesting `updates` sequentially.
 pub fn parallel_ingest<T: ShardIngest + 'static>(
     prototype: &T,
     updates: &[Update],
     shards: usize,
 ) -> T {
-    let mut engine = ShardedEngine::new(prototype, shards);
-    engine.ingest(updates);
-    engine.finish()
+    let mut session = EngineBuilder::new(prototype).shards(shards).session();
+    session.ingest_blocking(updates);
+    session.seal()
+}
+
+/// One-shot convenience: shard `updates` under an explicit plan and return
+/// the merged result. The plan decides partitioning *and* recombination.
+pub fn partitioned_ingest<T: ShardIngest + 'static, P: ShardPlan>(
+    prototype: &T,
+    updates: &[Update],
+    plan: P,
+) -> T {
+    let mut session = EngineBuilder::new(prototype).plan(plan).session();
+    session.ingest_blocking(updates);
+    session.seal()
+}
+
+/// The legacy construct-then-`finish()` engine: a thin wrapper over
+/// [`EngineBuilder`] + [`IngestSession`] with a round-robin plan and
+/// blocking ingestion.
+///
+/// New code should use the builder/session API directly — it exposes the
+/// same round-robin behavior plus key-range partitioning, non-blocking
+/// `offer`/`drain` polls, and approximate-tolerance sharding of the float
+/// structures. Migration is mechanical:
+///
+/// | legacy | builder/session |
+/// |---|---|
+/// | `ShardedEngine::new(&p, k)` | `EngineBuilder::new(&p).shards(k).session()` |
+/// | `engine.ingest(&ups)` | `session.ingest_blocking(&ups)` (or poll `offer`) |
+/// | `engine.finish()` | `session.seal()` |
+/// | `engine.checkpoint_shards()` | `session.checkpoint()` |
+/// | `ShardedEngine::resume_from(&bufs, b)` | `EngineBuilder::new(&p).shards(k).batch_size(b).resume(&bufs)` |
+pub struct ShardedEngine<T: ShardIngest + 'static> {
+    session: IngestSession<T, RoundRobin>,
+}
+
+impl<T: ShardIngest + 'static> std::fmt::Debug for ShardedEngine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine").field("session", &self.session).finish()
+    }
+}
+
+impl<T: ShardIngest + 'static> ShardedEngine<T> {
+    /// Spawn `shards` worker threads, each owning a clone of `prototype`,
+    /// dealing work in [`lps_stream::DEFAULT_BATCH_SIZE`]-update batches.
+    #[deprecated(since = "0.2.0", note = "use EngineBuilder::new(&proto).shards(n).session()")]
+    pub fn new(prototype: &T, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedEngine { session: EngineBuilder::new(prototype).shards(shards).session() }
+    }
+
+    /// Spawn the engine with an explicit dispatch batch size.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EngineBuilder::new(&proto).shards(n).batch_size(b).session()"
+    )]
+    pub fn with_batch_size(prototype: &T, shards: usize, batch_size: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedEngine {
+            session: EngineBuilder::new(prototype).shards(shards).batch_size(batch_size).session(),
+        }
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shards(&self) -> usize {
+        self.session.shards()
+    }
+
+    /// Distribute a slice of updates across the workers. Blocks only when a
+    /// worker's backlog is full (backpressure).
+    #[deprecated(since = "0.2.0", note = "use IngestSession::ingest_blocking (or poll offer())")]
+    pub fn ingest(&mut self, updates: &[Update]) {
+        self.session.ingest_blocking(updates);
+    }
+
+    /// Ingest one batch of updates.
+    #[deprecated(since = "0.2.0", note = "use IngestSession::ingest_blocking (or poll offer())")]
+    pub fn ingest_batch(&mut self, batch: &[Update]) {
+        self.session.ingest_blocking(batch);
+    }
+
+    /// Distribute a whole update stream across the workers.
+    #[deprecated(since = "0.2.0", note = "use IngestSession::ingest_stream_blocking")]
+    pub fn ingest_stream(&mut self, stream: &UpdateStream) {
+        self.session.ingest_stream_blocking(stream);
+    }
+
+    /// Close the channels, join the workers and tree-merge the shard states
+    /// into the final structure (the sketch of everything ingested).
+    #[deprecated(since = "0.2.0", note = "use IngestSession::seal")]
+    pub fn finish(self) -> T {
+        self.session.seal()
+    }
+}
+
+impl<T: ShardIngest + Persist + 'static> ShardedEngine<T> {
+    /// Stop ingestion and serialize every shard's state, in shard order,
+    /// **without** merging — see [`IngestSession::checkpoint`]. Buffers are
+    /// stamped with this engine's round-robin plan: since 0.2.0 they carry a
+    /// plan envelope ahead of the `Persist` payload, so recombine them with
+    /// [`merge_checkpointed`] (not [`merge_encoded`], which handles only
+    /// bare pre-envelope buffers).
+    #[deprecated(since = "0.2.0", note = "use IngestSession::checkpoint")]
+    pub fn checkpoint_shards(self) -> Vec<Vec<u8>> {
+        self.session.checkpoint()
+    }
+
+    /// Re-create a running engine from checkpointed shard states (one worker
+    /// per buffer, in order), validating the stamped plan (round robin —
+    /// key-range checkpoints are rejected with
+    /// [`DecodeError::PlanMismatch`]), then seed compatibility, before any
+    /// thread spawns.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EngineBuilder::new(&proto).shards(n).batch_size(b).resume(&bufs)"
+    )]
+    pub fn resume_from(encoded: &[Vec<u8>], batch_size: usize) -> Result<Self, DecodeError> {
+        let plan = RoundRobin::new(encoded.len().max(1));
+        let payloads = plan::validate_envelopes(&plan, encoded)?;
+        let states = decode_compatible_shards::<T, _>(&payloads)?;
+        Ok(ShardedEngine { session: IngestSession::from_states(plan, states, batch_size) })
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +447,12 @@ mod tests {
                 "digest mismatch at {shards} shards"
             );
             assert_eq!(merged.recover(), sequential.recover());
+            let partitioned = partitioned_ingest(&proto, &updates, KeyRange::new(1 << 12, shards));
+            assert_eq!(
+                partitioned.state_digest(),
+                sequential.state_digest(),
+                "key-range digest mismatch at {shards} shards"
+            );
         }
     }
 
@@ -412,12 +473,12 @@ mod tests {
         let mut seeds = SeedSequence::new(5);
         let proto = CountMinSketch::new(1 << 10, 64, 5, &mut seeds);
         let updates = workload(1 << 10, 3000, 6);
-        let mut engine = ShardedEngine::with_batch_size(&proto, 3, 128);
+        let mut session = EngineBuilder::new(&proto).shards(3).batch_size(128).session();
         // feed in ragged pieces to exercise batch boundaries
         for piece in updates.chunks(701) {
-            engine.ingest(piece);
+            session.ingest_blocking(piece);
         }
-        let merged = engine.finish();
+        let merged = session.seal();
         let mut sequential = proto.clone();
         sequential.process_batch(&updates);
         assert_eq!(merged.state_digest(), sequential.state_digest());
@@ -429,6 +490,8 @@ mod tests {
         let proto = AmsSketch::with_default_shape(256, &mut seeds);
         let merged = parallel_ingest(&proto, &[], 4);
         assert_eq!(merged.state_digest(), proto.state_digest());
+        let partitioned = partitioned_ingest(&proto, &[], KeyRange::new(256, 4));
+        assert_eq!(partitioned.state_digest(), proto.state_digest());
     }
 
     #[test]
@@ -436,6 +499,22 @@ mod tests {
     fn zero_shards_rejected() {
         let mut seeds = SeedSequence::new(8);
         let proto = CountSketch::with_default_rows(64, 4, &mut seeds);
-        let _ = ShardedEngine::new(&proto, 0);
+        let _ = EngineBuilder::new(&proto).shards(0).session();
+    }
+
+    #[test]
+    fn legacy_wrapper_reproduces_the_session_digests() {
+        let mut seeds = SeedSequence::new(9);
+        let proto = SparseRecovery::new(1 << 10, 6, &mut seeds);
+        let updates = workload(1 << 10, 4000, 10);
+        let mut sequential = proto.clone();
+        sequential.process_batch(&updates);
+        #[allow(deprecated)]
+        let merged = {
+            let mut engine = ShardedEngine::new(&proto, 3);
+            engine.ingest(&updates);
+            engine.finish()
+        };
+        assert_eq!(merged.state_digest(), sequential.state_digest());
     }
 }

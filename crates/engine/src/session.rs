@@ -1,0 +1,441 @@
+//! The sans-io ingestion front-end: [`EngineBuilder`] → [`IngestSession`].
+//!
+//! A session owns the worker threads but exposes a **non-blocking,
+//! poll-driven** surface: [`IngestSession::offer`] accepts as many updates
+//! as current capacity allows and returns [`Poll::Pending`] instead of ever
+//! blocking the caller on a full worker channel. That makes the engine
+//! embeddable behind a socket loop, an async executor, or any other
+//! event-driven driver without new runtime dependencies — the caller decides
+//! what "wait" means.
+//!
+//! ## Lifecycle
+//!
+//! ```text
+//! EngineBuilder::new(&proto).plan(...).batch_size(...)
+//!     └─ session() ──► offer(&updates) ─┬─► Poll::Ready(accepted)
+//!                      ▲                └─► Poll::Pending (backpressure)
+//!                      └──── caller retries / drains ◄┘
+//!                      drain() ──► Poll::Ready when all buffers handed off
+//!                      seal()  ──► final merged structure (blocking, terminal)
+//! ```
+//!
+//! Internally the session stages routed updates per shard (one copy, into
+//! the staging buffer), seals a staging buffer into a dispatch batch when it
+//! reaches the batch size, and hands sealed batches to worker channels with
+//! `try_send` — the batch `Vec` is **moved** on handoff, never cloned, and a
+//! batch that finds its channel full simply waits in the bounded outbox
+//! until a later poll. Peak buffered memory is bounded by
+//! `shards × batch_size` staged updates plus `2 × shards` outbox batches on
+//! top of the worker channels' own backlog.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::task::Poll;
+use std::thread::JoinHandle;
+
+use lps_sketch::{DecodeError, Persist};
+use lps_stream::{Update, UpdateStream, DEFAULT_BATCH_SIZE};
+
+use crate::plan::{encode_envelope_header, validate_envelopes, RoundRobin, ShardPlan, Tolerance};
+use crate::{decode_compatible_shards, ShardIngest};
+
+/// How many dispatch batches may sit unprocessed in each worker's channel.
+/// Together with the outbox cap this bounds peak buffered memory at roughly
+/// `shards × (WORKER_BACKLOG + 2) × batch_size` updates.
+const WORKER_BACKLOG: usize = 8;
+
+/// Sealed batches the outbox may hold before [`IngestSession::offer`]
+/// reports backpressure, per shard.
+const OUTBOX_BATCHES_PER_SHARD: usize = 2;
+
+struct Worker<T> {
+    sender: SyncSender<Vec<Update>>,
+    handle: JoinHandle<T>,
+}
+
+/// Configures and spawns an [`IngestSession`] (or resumes one from a
+/// checkpoint). This is the front door of the engine:
+///
+/// ```
+/// use lps_engine::{EngineBuilder, KeyRange};
+/// use lps_hash::SeedSequence;
+/// use lps_sketch::{Mergeable, SparseRecovery};
+/// use lps_stream::Update;
+///
+/// let mut seeds = SeedSequence::new(7);
+/// let proto = SparseRecovery::new(1 << 12, 8, &mut seeds);
+/// let updates: Vec<Update> = (0..1000).map(|i| Update::new(i % 100, 1)).collect();
+///
+/// // four shards, each owning a quarter of the coordinate space
+/// let mut session =
+///     EngineBuilder::new(&proto).plan(KeyRange::new(1 << 12, 4)).session();
+/// session.ingest_blocking(&updates);
+/// let merged = session.seal();
+///
+/// // bit-identical to sequential ingestion
+/// let mut sequential = proto.clone();
+/// sequential.process_batch(&updates);
+/// assert_eq!(merged.state_digest(), sequential.state_digest());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder<T: ShardIngest + 'static, P: ShardPlan = RoundRobin> {
+    prototype: T,
+    plan: P,
+    batch_size: usize,
+}
+
+impl<T: ShardIngest + 'static> EngineBuilder<T, RoundRobin> {
+    /// Start configuring an engine around a zero-state prototype. Defaults:
+    /// a single-shard [`RoundRobin`] plan and [`DEFAULT_BATCH_SIZE`]
+    /// dispatch batches.
+    pub fn new(prototype: &T) -> Self {
+        EngineBuilder {
+            prototype: prototype.clone(),
+            plan: RoundRobin::new(1),
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Convenience for the default plan: round-robin over `shards` workers
+    /// (preserving a previously set tolerance).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.plan = RoundRobin::new(shards).with_tolerance(self.plan.tolerance());
+        self
+    }
+}
+
+impl<T: ShardIngest + 'static, P: ShardPlan> EngineBuilder<T, P> {
+    /// Use a different partitioning strategy (e.g. [`crate::KeyRange`]).
+    pub fn plan<Q: ShardPlan>(self, plan: Q) -> EngineBuilder<T, Q> {
+        EngineBuilder { prototype: self.prototype, plan, batch_size: self.batch_size }
+    }
+
+    /// Dispatch batch size: updates staged per shard before a batch is
+    /// sealed and handed to the worker.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Spawn the worker threads and return the live session.
+    ///
+    /// # Panics
+    ///
+    /// If `T` merges only approximately (the float structures) and the plan
+    /// does not carry [`Tolerance::Approximate`] — sharding them must be an
+    /// explicit opt-in.
+    pub fn session(self) -> IngestSession<T, P> {
+        let states = self.plan.build_states(&self.prototype);
+        IngestSession::from_states(self.plan, states, self.batch_size)
+    }
+
+    /// Re-animate a session from a plan-aware checkpoint
+    /// ([`IngestSession::checkpoint`]): validates the envelope of every
+    /// shard buffer against this builder's plan (strategy, shard count, key
+    /// ranges), then seed-compatibility across the payloads, before any
+    /// thread spawns. The builder's prototype is not consulted — state comes
+    /// entirely from the checkpoint.
+    pub fn resume(self, encoded: &[Vec<u8>]) -> Result<IngestSession<T, P>, DecodeError>
+    where
+        T: Persist,
+    {
+        let payloads = validate_envelopes(&self.plan, encoded)?;
+        let states = decode_compatible_shards::<T, _>(&payloads)?;
+        Ok(IngestSession::from_states(self.plan, states, self.batch_size))
+    }
+}
+
+/// A live sharded ingestion pipeline with a sans-io surface: non-blocking
+/// [`IngestSession::offer`] / [`IngestSession::drain`], terminal
+/// [`IngestSession::seal`]. Built by [`EngineBuilder`].
+pub struct IngestSession<T: ShardIngest + 'static, P: ShardPlan> {
+    plan: P,
+    workers: Vec<Worker<T>>,
+    /// Per-shard staging buffer (< `batch_size` routed updates each).
+    staging: Vec<Vec<Update>>,
+    /// Sealed batches awaiting channel capacity, global FIFO (per-shard
+    /// order is preserved; batches for different shards may overtake).
+    outbox: VecDeque<(usize, Vec<Update>)>,
+    batch_size: usize,
+    accepted: u64,
+}
+
+impl<T: ShardIngest + 'static, P: ShardPlan> IngestSession<T, P> {
+    /// Spawn one worker per state. The common core of fresh construction
+    /// (plan-built states) and resume (decoded checkpoint states).
+    pub(crate) fn from_states(plan: P, states: Vec<T>, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be positive");
+        assert_eq!(states.len(), plan.shards(), "plan shard count must match states");
+        assert!(
+            T::TOLERANCE == Tolerance::Exact || plan.tolerance() == Tolerance::Approximate,
+            "this structure's shard merges reassociate floating-point sums; sharding it \
+             requires explicitly opting in with an approximate-tolerance plan \
+             (RoundRobin::approximate / KeyRange::approximate)"
+        );
+        let shards = states.len();
+        let workers = states
+            .into_iter()
+            .map(|mut shard| {
+                let (sender, receiver) =
+                    std::sync::mpsc::sync_channel::<Vec<Update>>(WORKER_BACKLOG);
+                let handle = std::thread::spawn(move || {
+                    while let Ok(batch) = receiver.recv() {
+                        shard.ingest_batch(&batch);
+                    }
+                    shard
+                });
+                Worker { sender, handle }
+            })
+            .collect();
+        IngestSession {
+            plan,
+            workers,
+            staging: (0..shards).map(|_| Vec::with_capacity(batch_size)).collect(),
+            outbox: VecDeque::new(),
+            batch_size,
+            accepted: 0,
+        }
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The plan driving routing and merging.
+    pub fn plan(&self) -> &P {
+        &self.plan
+    }
+
+    /// Updates accepted so far (staged, in flight, or already ingested).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Updates currently buffered inside the session (staged or in the
+    /// outbox) — i.e. accepted but not yet handed to a worker channel.
+    pub fn buffered(&self) -> usize {
+        self.staging.iter().map(Vec::len).sum::<usize>()
+            + self.outbox.iter().map(|(_, b)| b.len()).sum::<usize>()
+    }
+
+    fn outbox_cap(&self) -> usize {
+        self.workers.len() * OUTBOX_BATCHES_PER_SHARD
+    }
+
+    /// Try to move queued batches from the outbox into worker channels.
+    /// Never blocks; preserves per-shard FIFO order.
+    fn pump(&mut self) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut stuck = vec![false; self.workers.len()];
+        let mut remaining = VecDeque::with_capacity(self.outbox.len());
+        while let Some((shard, batch)) = self.outbox.pop_front() {
+            if stuck[shard] {
+                remaining.push_back((shard, batch));
+                continue;
+            }
+            match self.workers[shard].sender.try_send(batch) {
+                Ok(()) => {}
+                Err(TrySendError::Full(batch)) => {
+                    stuck[shard] = true;
+                    remaining.push_back((shard, batch));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("engine worker exited before the stream ended")
+                }
+            }
+        }
+        self.outbox = remaining;
+    }
+
+    /// Hand a sealed batch to its worker, or queue it. The batch `Vec` is
+    /// moved, never cloned — a full channel costs nothing but queue position.
+    fn dispatch(&mut self, shard: usize, batch: Vec<Update>) {
+        debug_assert!(!batch.is_empty());
+        // per-shard FIFO: an earlier batch for this shard queued in the
+        // outbox must reach the worker first
+        if self.outbox.iter().any(|(s, _)| *s == shard) {
+            self.outbox.push_back((shard, batch));
+            return;
+        }
+        match self.workers[shard].sender.try_send(batch) {
+            Ok(()) => {}
+            Err(TrySendError::Full(batch)) => self.outbox.push_back((shard, batch)),
+            Err(TrySendError::Disconnected(_)) => {
+                panic!("engine worker exited before the stream ended")
+            }
+        }
+    }
+
+    /// Seal shard `shard`'s staging buffer into a dispatch batch.
+    fn seal_shard(&mut self, shard: usize) {
+        if self.staging[shard].is_empty() {
+            return;
+        }
+        self.plan.batch_sealed(shard);
+        let batch =
+            std::mem::replace(&mut self.staging[shard], Vec::with_capacity(self.batch_size));
+        self.dispatch(shard, batch);
+    }
+
+    /// Offer updates to the engine **without blocking**.
+    ///
+    /// Returns `Poll::Ready(accepted)` with how many updates from the front
+    /// of `updates` were accepted (the caller re-offers the rest later), or
+    /// `Poll::Pending` when backpressure from the workers prevents accepting
+    /// any right now — retry after the workers make progress (or call
+    /// [`IngestSession::drain`] from your event loop). `offer(&[])` is a
+    /// pure progress poll: it flushes queued batches opportunistically and
+    /// returns `Poll::Ready(0)`.
+    ///
+    /// Accepted updates are copied exactly once (into the staging buffer);
+    /// sealed batches are moved to the workers, never cloned.
+    pub fn offer(&mut self, updates: &[Update]) -> Poll<usize> {
+        self.pump();
+        let mut taken = 0;
+        for u in updates {
+            if self.outbox.len() >= self.outbox_cap() {
+                self.pump();
+                if self.outbox.len() >= self.outbox_cap() {
+                    break;
+                }
+            }
+            let shard = self.plan.route(u);
+            debug_assert!(shard < self.staging.len(), "plan routed to nonexistent shard");
+            self.staging[shard].push(*u);
+            taken += 1;
+            if self.staging[shard].len() >= self.batch_size {
+                self.seal_shard(shard);
+            }
+        }
+        self.accepted += taken as u64;
+        if taken == 0 && !updates.is_empty() {
+            Poll::Pending
+        } else {
+            Poll::Ready(taken)
+        }
+    }
+
+    /// Flush everything buffered in the session toward the workers without
+    /// blocking: seals all partial staging buffers and pumps the outbox.
+    /// `Poll::Ready(())` once every accepted update has been handed to a
+    /// worker channel (workers may still be ingesting); `Poll::Pending` if
+    /// batches remain queued behind full channels — poll again later.
+    pub fn drain(&mut self) -> Poll<()> {
+        for shard in 0..self.staging.len() {
+            self.seal_shard(shard);
+        }
+        self.pump();
+        if self.outbox.is_empty() {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+
+    /// Blocking convenience over [`IngestSession::offer`] for callers
+    /// without an event loop: ingest the whole slice, applying backpressure
+    /// by parking on the oldest queued batch's worker channel (no spin).
+    pub fn ingest_blocking(&mut self, updates: &[Update]) {
+        let mut rest = updates;
+        while !rest.is_empty() {
+            match self.offer(rest) {
+                Poll::Ready(n) => rest = &rest[n..],
+                Poll::Pending => self.block_on_capacity(),
+            }
+        }
+    }
+
+    /// Blocking convenience: ingest a whole stream.
+    pub fn ingest_stream_blocking(&mut self, stream: &UpdateStream) {
+        self.ingest_blocking(stream.updates());
+    }
+
+    /// Send the oldest queued batch with a blocking `send`, waiting for its
+    /// worker to free channel capacity.
+    fn block_on_capacity(&mut self) {
+        if let Some((shard, batch)) = self.outbox.pop_front() {
+            self.workers[shard]
+                .sender
+                .send(batch)
+                .expect("engine worker exited before the stream ended");
+        }
+    }
+
+    /// Seal every staging buffer and push the whole outbox down to the
+    /// workers, blocking on channel capacity as needed.
+    fn flush_blocking(&mut self) {
+        for shard in 0..self.staging.len() {
+            self.seal_shard(shard);
+        }
+        while !self.outbox.is_empty() {
+            self.block_on_capacity();
+        }
+    }
+
+    /// Close the channels and join the workers, returning the raw per-shard
+    /// states in shard order.
+    fn join_shards(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.workers)
+            .into_iter()
+            .map(|w| {
+                drop(w.sender);
+                w.handle.join().expect("engine worker panicked")
+            })
+            .collect()
+    }
+
+    /// End the session: flush every buffered update (blocking as needed —
+    /// this call is terminal), join the workers, and recombine the shard
+    /// states under the plan's merge (additive tree for round robin,
+    /// disjoint union for key ranges) into the sketch of everything
+    /// accepted.
+    pub fn seal(mut self) -> T {
+        self.flush_blocking();
+        let states = self.join_shards();
+        self.plan.merge_states(states)
+    }
+
+    /// Stop ingestion and serialize every shard's state **without** merging,
+    /// each buffer prefixed with the plan envelope (strategy, tolerance,
+    /// shard index/count, owned key range) ahead of the `Persist` payload.
+    ///
+    /// The stamped plan makes checkpoints self-describing:
+    /// [`EngineBuilder::resume`] (and [`crate::merge_checkpointed`]) refuse
+    /// buffers taken under a different strategy, so a key-range checkpoint
+    /// cannot be silently recombined as round-robin.
+    pub fn checkpoint(mut self) -> Vec<Vec<u8>>
+    where
+        T: Persist,
+    {
+        self.flush_blocking();
+        let plan = self.plan.clone();
+        let states = self.join_shards();
+        states
+            .iter()
+            .enumerate()
+            .map(|(i, state)| {
+                let mut out = encode_envelope_header(&plan, i);
+                state.encode_state(&mut out);
+                out
+            })
+            .collect()
+    }
+}
+
+impl<T: ShardIngest + 'static, P: ShardPlan + std::fmt::Debug> std::fmt::Debug
+    for IngestSession<T, P>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestSession")
+            .field("plan", &self.plan)
+            .field("shards", &self.workers.len())
+            .field("batch_size", &self.batch_size)
+            .field("accepted", &self.accepted)
+            .field("buffered", &self.buffered())
+            .finish()
+    }
+}

@@ -1,13 +1,17 @@
-//! Checkpoint / restore / cross-process-merge equivalence for the sharded
-//! engine: every path through the codec must land on the same bits as
-//! single-process sequential ingestion.
+//! Checkpoint / restore / cross-process-merge equivalence for the engine:
+//! every path through the plan-aware envelope codec must land on the same
+//! bits as single-process sequential ingestion, and a checkpoint taken
+//! under one shard plan must never be silently recombined under another.
 
 use lps_core::L0Sampler;
-use lps_engine::{merge_encoded, parallel_ingest, ShardedEngine};
+use lps_engine::{
+    merge_checkpointed, parallel_ingest, read_envelope, EngineBuilder, KeyRange, PlanStrategy,
+    RoundRobin, ShardedEngine, Tolerance,
+};
 use lps_hash::SeedSequence;
 use lps_sketch::{
     AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, DecodeError, LinearSketch,
-    Mergeable, Persist, SparseRecovery,
+    Mergeable, PStableSketch, Persist, SparseRecovery,
 };
 use lps_stream::Update;
 
@@ -22,7 +26,7 @@ fn workload(n: u64, len: usize, seed: u64) -> Vec<Update> {
 }
 
 #[test]
-fn checkpointed_shards_merge_to_the_sequential_digest() {
+fn checkpointed_shards_merge_to_the_sequential_digest_under_both_plans() {
     let mut seeds = SeedSequence::new(1);
     let proto = SparseRecovery::new(1 << 12, 8, &mut seeds);
     let updates = workload(1 << 12, 5000, 2);
@@ -30,44 +34,66 @@ fn checkpointed_shards_merge_to_the_sequential_digest() {
     sequential.process_batch(&updates);
 
     for shards in [1, 2, 3, 4] {
-        let mut engine = ShardedEngine::new(&proto, shards);
-        engine.ingest(&updates);
-        let encoded = engine.checkpoint_shards();
+        let mut session = EngineBuilder::new(&proto).shards(shards).session();
+        session.ingest_blocking(&updates);
+        let encoded = session.checkpoint();
         assert_eq!(encoded.len(), shards);
-        let merged: SparseRecovery = merge_encoded(&encoded).expect("cross-process merge");
+        let merged: SparseRecovery = merge_checkpointed(&encoded).expect("round-robin merge");
         assert_eq!(
             merged.state_digest(),
             sequential.state_digest(),
-            "digest mismatch at {shards} shards"
+            "round-robin digest mismatch at {shards} shards"
+        );
+
+        let mut session = EngineBuilder::new(&proto).plan(KeyRange::new(1 << 12, shards)).session();
+        session.ingest_blocking(&updates);
+        let encoded = session.checkpoint();
+        let merged: SparseRecovery = merge_checkpointed(&encoded).expect("key-range merge");
+        assert_eq!(
+            merged.state_digest(),
+            sequential.state_digest(),
+            "key-range digest mismatch at {shards} shards"
         );
         assert_eq!(merged.recover(), sequential.recover());
     }
 }
 
 #[test]
-fn resume_from_continues_exactly_where_the_checkpoint_stopped() {
+fn resume_continues_exactly_where_the_checkpoint_stopped() {
     let mut seeds = SeedSequence::new(3);
     let proto = CountMinSketch::new(1 << 10, 64, 5, &mut seeds);
     let updates = workload(1 << 10, 6000, 4);
     let (first_half, second_half) = updates.split_at(updates.len() / 2);
-
-    // ingest half, checkpoint, resume in a "new" engine, ingest the rest
-    let mut engine = ShardedEngine::with_batch_size(&proto, 3, 128);
-    engine.ingest(first_half);
-    let encoded = engine.checkpoint_shards();
-    let mut resumed: ShardedEngine<CountMinSketch> =
-        ShardedEngine::resume_from(&encoded, 128).expect("resume");
-    assert_eq!(resumed.shards(), 3);
-    resumed.ingest(second_half);
-    let merged = resumed.finish();
-
     let mut sequential = proto.clone();
     sequential.process_batch(&updates);
+
+    // round robin, through the legacy wrapper's checkpoint surface
+    #[allow(deprecated)]
+    let merged = {
+        let mut engine = ShardedEngine::with_batch_size(&proto, 3, 128);
+        engine.ingest(first_half);
+        let encoded = engine.checkpoint_shards();
+        let mut resumed: ShardedEngine<CountMinSketch> =
+            ShardedEngine::resume_from(&encoded, 128).expect("resume");
+        assert_eq!(resumed.shards(), 3);
+        resumed.ingest(second_half);
+        resumed.finish()
+    };
     assert_eq!(merged.state_digest(), sequential.state_digest());
+
+    // key range, through the builder/session surface
+    let plan = KeyRange::new(1 << 10, 3);
+    let mut session = EngineBuilder::new(&proto).plan(plan.clone()).batch_size(128).session();
+    session.ingest_blocking(first_half);
+    let encoded = session.checkpoint();
+    let mut resumed =
+        EngineBuilder::new(&proto).plan(plan).batch_size(128).resume(&encoded).expect("resume");
+    resumed.ingest_blocking(second_half);
+    assert_eq!(resumed.seal().state_digest(), sequential.state_digest());
 }
 
 #[test]
-fn merge_encoded_covers_every_exact_structure() {
+fn merge_checkpointed_covers_every_exact_structure() {
     let n = 1 << 10;
     let updates = workload(n, 4000, 5);
     let mut seeds = SeedSequence::new(6);
@@ -78,10 +104,21 @@ fn merge_encoded_covers_every_exact_structure() {
             let mut sequential = proto.clone();
             let ingest: fn(&mut $ty, &[Update]) = $ingest;
             ingest(&mut sequential, &updates);
-            let mut engine = ShardedEngine::new(&proto, 4);
-            engine.ingest(&updates);
-            let merged: $ty = merge_encoded(&engine.checkpoint_shards()).expect("merge");
-            assert_eq!(merged.state_digest(), sequential.state_digest());
+            for encoded in [
+                {
+                    let mut s = EngineBuilder::new(&proto).shards(4).session();
+                    s.ingest_blocking(&updates);
+                    s.checkpoint()
+                },
+                {
+                    let mut s = EngineBuilder::new(&proto).plan(KeyRange::new(n, 4)).session();
+                    s.ingest_blocking(&updates);
+                    s.checkpoint()
+                },
+            ] {
+                let merged: $ty = merge_checkpointed(&encoded).expect("merge");
+                assert_eq!(merged.state_digest(), sequential.state_digest());
+            }
         }};
     }
 
@@ -102,54 +139,167 @@ fn merge_encoded_covers_every_exact_structure() {
 }
 
 #[test]
-fn merge_encoded_rejects_mismatched_seeds() {
+fn key_range_checkpoint_cannot_be_resumed_round_robin() {
+    let mut seeds = SeedSequence::new(7);
+    let proto = SparseRecovery::new(1 << 10, 6, &mut seeds);
+    let updates = workload(1 << 10, 2000, 8);
+
+    let mut session = EngineBuilder::new(&proto).plan(KeyRange::new(1 << 10, 3)).session();
+    session.ingest_blocking(&updates);
+    let encoded = session.checkpoint();
+
+    // the envelope stamps the producing strategy…
+    let (envelope, _) = read_envelope(&encoded[0]).expect("read envelope");
+    assert_eq!(envelope.strategy, PlanStrategy::KeyRange);
+    assert_eq!(envelope.tolerance, Tolerance::Exact);
+    assert_eq!(envelope.shard_count, 3);
+    assert!(envelope.range.is_some());
+
+    // …so a round-robin resume is rejected as typed, not absorbed
+    #[allow(deprecated)]
+    let err = ShardedEngine::<SparseRecovery>::resume_from(&encoded, 128)
+        .expect_err("key-range checkpoint must not resume round-robin");
+    assert_eq!(err, DecodeError::PlanMismatch { expected: "round_robin", found: "key_range" });
+
+    let err = EngineBuilder::<SparseRecovery, _>::new(&proto)
+        .shards(3)
+        .resume(&encoded)
+        .expect_err("builder resume must reject too");
+    assert!(matches!(err, DecodeError::PlanMismatch { .. }));
+
+    // and the right plan accepts it
+    let resumed = EngineBuilder::new(&proto)
+        .plan(KeyRange::new(1 << 10, 3))
+        .resume(&encoded)
+        .expect("matching plan resumes");
+    let _ = resumed.seal();
+}
+
+#[test]
+fn approximate_checkpoint_cannot_be_resumed_under_an_exact_plan() {
+    let mut seeds = SeedSequence::new(11);
+    let proto = PStableSketch::with_default_rows(1 << 10, 1.0, &mut seeds);
+    let updates = workload(1 << 10, 2000, 12);
+
+    let mut session = EngineBuilder::new(&proto).plan(RoundRobin::approximate(2)).session();
+    session.ingest_blocking(&updates);
+    let encoded = session.checkpoint();
+    let (envelope, _) = read_envelope(&encoded[0]).expect("read envelope");
+    assert_eq!(envelope.tolerance, Tolerance::Approximate);
+
+    // a default (exact) resume would panic at session spawn for a float
+    // structure — the envelope's tolerance marker rejects it as typed first
+    let err = EngineBuilder::<PStableSketch, _>::new(&proto)
+        .shards(2)
+        .resume(&encoded)
+        .expect_err("approximate checkpoint must not resume under an exact plan");
+    assert_eq!(
+        err,
+        DecodeError::PlanMismatch { expected: "exact tolerance", found: "approximate tolerance" }
+    );
+
+    // the explicit opt-in plan resumes fine
+    let resumed = EngineBuilder::new(&proto)
+        .plan(RoundRobin::approximate(2))
+        .resume(&encoded)
+        .expect("matching tolerance resumes");
+    let _ = resumed.seal();
+}
+
+#[test]
+fn resume_rejects_disagreeing_key_ranges_and_mixed_strategies() {
+    let mut seeds = SeedSequence::new(9);
+    let proto = SparseRecovery::new(1 << 10, 6, &mut seeds);
+    let updates = workload(1 << 10, 2000, 10);
+
+    let mut session = EngineBuilder::new(&proto).plan(KeyRange::new(1 << 10, 2)).session();
+    session.ingest_blocking(&updates);
+    let encoded = session.checkpoint();
+
+    // same strategy, different boundaries: rejected before decoding counters
+    let err = EngineBuilder::<SparseRecovery, _>::new(&proto)
+        .plan(KeyRange::with_bounds(vec![0, 17, 1 << 10]))
+        .resume(&encoded)
+        .expect_err("boundary disagreement must be rejected");
+    assert!(matches!(err, DecodeError::Corrupt { .. }));
+
+    // mixing strategies inside one checkpoint set: rejected by the merge
+    let mut rr = EngineBuilder::new(&proto).shards(2).session();
+    rr.ingest_blocking(&updates);
+    let rr_encoded = rr.checkpoint();
+    let mixed = vec![encoded[0].clone(), rr_encoded[1].clone()];
+    let err = merge_checkpointed::<SparseRecovery>(&mixed)
+        .expect_err("mixed strategies must be rejected");
+    assert!(matches!(err, DecodeError::PlanMismatch { .. }));
+}
+
+#[test]
+fn merge_checkpointed_rejects_mismatched_seeds_and_bare_buffers() {
     let updates = workload(512, 1000, 7);
     let mut s1 = SeedSequence::new(8);
     let mut s2 = SeedSequence::new(9); // different master seed
-    let a = {
-        let mut sk = SparseRecovery::new(512, 4, &mut s1);
-        sk.process_batch(&updates);
-        sk
+    let mk = |seeds: &mut SeedSequence| {
+        let proto = SparseRecovery::new(512, 4, seeds);
+        let mut session = EngineBuilder::new(&proto).shards(1).session();
+        session.ingest_blocking(&updates);
+        session.checkpoint().remove(0)
     };
-    let b = {
-        let mut sk = SparseRecovery::new(512, 4, &mut s2);
-        sk.process_batch(&updates);
-        sk
+    let a = mk(&mut s1);
+    let b = mk(&mut s2);
+    // hand-build a two-shard set out of two singleton checkpoints: fix the
+    // stamped shard counts so the seed comparison is what gets exercised
+    let restamp = |mut buf: Vec<u8>, shard: u16, count: u16| {
+        buf[8..10].copy_from_slice(&shard.to_le_bytes());
+        buf[10..12].copy_from_slice(&count.to_le_bytes());
+        buf
     };
-    let err = merge_encoded::<SparseRecovery>(&[a.encode_to_vec(), b.encode_to_vec()])
+    let err = merge_checkpointed::<SparseRecovery>(&[restamp(a.clone(), 0, 2), restamp(b, 1, 2)])
         .expect_err("differently-seeded shards must be rejected");
     assert_eq!(err, DecodeError::SeedMismatch { shard: 1 });
-}
 
-#[test]
-fn merge_encoded_rejects_mixed_structures_and_empty_input() {
+    // bare Persist buffers (no envelope) are refused by the checkpoint path
     let mut seeds = SeedSequence::new(10);
-    let a = SparseRecovery::new(256, 4, &mut seeds);
-    let b = CountMinSketch::new(256, 16, 3, &mut seeds);
-    let err = merge_encoded::<SparseRecovery>(&[a.encode_to_vec(), b.encode_to_vec()])
-        .expect_err("mixed structure tags must be rejected");
-    assert!(matches!(err, DecodeError::WrongStructure { .. }));
-    // the wrong file in the *reference* slot must also be named as a
-    // structure mismatch, not blamed on shard 1 as a seed mismatch
-    let err = merge_encoded::<SparseRecovery>(&[b.encode_to_vec(), a.encode_to_vec()])
-        .expect_err("wrong structure at shard 0 must be rejected");
-    assert!(matches!(err, DecodeError::WrongStructure { .. }));
-    assert!(matches!(merge_encoded::<SparseRecovery>(&[]), Err(DecodeError::Corrupt { .. })));
+    let bare = SparseRecovery::new(512, 4, &mut seeds).encode_to_vec();
+    assert!(matches!(
+        merge_checkpointed::<SparseRecovery>(&[bare]),
+        Err(DecodeError::BadMagic { .. })
+    ));
+    assert!(matches!(merge_checkpointed::<SparseRecovery>(&[]), Err(DecodeError::Corrupt { .. })));
 }
 
 #[test]
-fn merge_encoded_agrees_with_in_process_finish() {
-    // the two merge paths (engine finish vs encode→merge_encoded) must be
-    // bit-identical, since they share the same deterministic tree merge
+fn merge_encoded_still_covers_bare_persist_buffers() {
+    // the bare-Persist primitive keeps working for states serialized
+    // outside the engine
     let mut seeds = SeedSequence::new(11);
     let proto = L0Sampler::new(1 << 10, 0.25, &mut seeds);
     let updates = workload(1 << 10, 3000, 12);
+    let mut sequential = proto.clone();
+    lps_core::LpSampler::process_batch(&mut sequential, &updates);
+
+    let (left, right) = updates.split_at(updates.len() / 2);
+    let mut a = proto.clone();
+    lps_core::LpSampler::process_batch(&mut a, left);
+    let mut b = proto.clone();
+    lps_core::LpSampler::process_batch(&mut b, right);
+    let merged: L0Sampler =
+        lps_engine::merge_encoded(&[a.encode_to_vec(), b.encode_to_vec()]).expect("bare merge");
+    assert_eq!(merged.state_digest(), sequential.state_digest());
+}
+
+#[test]
+fn merge_checkpointed_agrees_with_in_process_seal() {
+    // the two merge paths (session seal vs checkpoint→merge_checkpointed)
+    // must be bit-identical, since they share the same deterministic tree
+    let mut seeds = SeedSequence::new(13);
+    let proto = L0Sampler::new(1 << 10, 0.25, &mut seeds);
+    let updates = workload(1 << 10, 3000, 14);
 
     let in_process = parallel_ingest(&proto, &updates, 4);
 
-    let mut engine = ShardedEngine::new(&proto, 4);
-    engine.ingest(&updates);
-    let cross: L0Sampler = merge_encoded(&engine.checkpoint_shards()).unwrap();
+    let mut session = EngineBuilder::new(&proto).shards(4).session();
+    session.ingest_blocking(&updates);
+    let cross: L0Sampler = merge_checkpointed(&session.checkpoint()).unwrap();
 
     assert_eq!(in_process.state_digest(), cross.state_digest());
 }

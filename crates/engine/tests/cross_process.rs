@@ -1,7 +1,9 @@
 //! A genuine cross-OS-process test of the persistence layer: the parent
 //! test re-executes its own test binary as a **child process** that ingests
 //! shards and writes their encoded states to disk; the parent then reads the
-//! files, merges them with [`merge_encoded`], and digest-compares against
+//! files, merges them with [`merge_checkpointed`] (under the shard plan
+//! stamped in each envelope — one structure travels as a key-range
+//! checkpoint, the other as round robin), and digest-compares against
 //! sequential ingestion computed independently on its side.
 //!
 //! Both processes derive the workload and seeds from fixed constants, so the
@@ -11,7 +13,7 @@
 //! public CLI.)
 
 use lps_core::{L0Sampler, LpSampler};
-use lps_engine::{merge_encoded, ShardedEngine};
+use lps_engine::{merge_checkpointed, EngineBuilder, KeyRange};
 use lps_hash::SeedSequence;
 use lps_sketch::{Mergeable, SparseRecovery};
 use lps_stream::Update;
@@ -52,14 +54,16 @@ fn child_writes_shard_files() {
     let updates = workload();
     let (sparse, l0) = prototypes();
 
-    let mut engine = ShardedEngine::new(&sparse, SHARDS);
-    engine.ingest(&updates);
-    for (i, buf) in engine.checkpoint_shards().iter().enumerate() {
+    // the sparse-recovery shards travel as a key-range checkpoint, the L0
+    // shards as round robin: both plan envelopes cross the process boundary
+    let mut session = EngineBuilder::new(&sparse).plan(KeyRange::new(DIMENSION, SHARDS)).session();
+    session.ingest_blocking(&updates);
+    for (i, buf) in session.checkpoint().iter().enumerate() {
         std::fs::write(dir.join(format!("sparse.shard-{i}.lps")), buf).expect("write shard");
     }
-    let mut engine = ShardedEngine::new(&l0, SHARDS);
-    engine.ingest(&updates);
-    for (i, buf) in engine.checkpoint_shards().iter().enumerate() {
+    let mut session = EngineBuilder::new(&l0).shards(SHARDS).session();
+    session.ingest_blocking(&updates);
+    for (i, buf) in session.checkpoint().iter().enumerate() {
         std::fs::write(dir.join(format!("l0.shard-{i}.lps")), buf).expect("write shard");
     }
 }
@@ -94,13 +98,13 @@ fn merging_shards_from_another_process_reproduces_sequential_digests() {
     let updates = workload();
     let (sparse_proto, l0_proto) = prototypes();
 
-    let merged: SparseRecovery = merge_encoded(&read_shards("sparse")).expect("merge sparse");
+    let merged: SparseRecovery = merge_checkpointed(&read_shards("sparse")).expect("merge sparse");
     let mut sequential = sparse_proto.clone();
     sequential.process_batch(&updates);
     assert_eq!(merged.state_digest(), sequential.state_digest(), "sparse recovery digest");
     assert_eq!(merged.recover(), sequential.recover());
 
-    let merged: L0Sampler = merge_encoded(&read_shards("l0")).expect("merge l0");
+    let merged: L0Sampler = merge_checkpointed(&read_shards("l0")).expect("merge l0");
     let mut sequential = l0_proto.clone();
     sequential.process_batch(&updates);
     assert_eq!(merged.state_digest(), sequential.state_digest(), "l0 sampler digest");

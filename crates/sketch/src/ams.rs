@@ -93,6 +93,23 @@ impl AmsSketch {
         }
         fresh
     }
+
+    /// Build the shard structure that owns the key range `range` under
+    /// key-range partitioned ingestion: an identically-seeded zero-state
+    /// clone (counter shape is `(groups, group_size)`, independent of `n`;
+    /// exact recombination needs the same sign hashes over global
+    /// coordinates).
+    pub fn restrict_domain(&self, range: std::ops::Range<u64>) -> Self {
+        crate::check_shard_range(&range, self.dimension);
+        self.clone()
+    }
+
+    /// Disjoint-union merge of a sibling shard with a disjoint key range;
+    /// every counter sums contributions from all coordinates, so the union
+    /// coincides with [`Mergeable::merge_from`].
+    pub fn merge_disjoint(&mut self, other: &Self) {
+        Mergeable::merge_from(self, other);
+    }
 }
 
 impl LinearSketch for AmsSketch {

@@ -39,7 +39,7 @@ pub use ams::AmsSketch;
 pub use count_min::{CountMedianSketch, CountMinSketch};
 pub use count_sketch::{median, rows_for_dimension, CountSketch, SparseApprox, WIDTH_FACTOR};
 pub use linear::LinearSketch;
-pub use mergeable::{Mergeable, StateDigest};
+pub use mergeable::{check_shard_range, Mergeable, StateDigest};
 pub use persist::{
     read_header, seed_section, DecodeError, Persist, WireHeader, WireReader, WireWriter,
     WIRE_MAGIC, WIRE_VERSION,

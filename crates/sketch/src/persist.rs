@@ -6,8 +6,8 @@
 //! to another machine. [`Persist`] closes that gap with a versioned,
 //! length-prefixed, little-endian wire format so shards can be checkpointed
 //! to disk, transported, and merged in a different OS process (`lps-engine`'s
-//! `checkpoint_shards` / `resume_from` / `merge_encoded` build directly on
-//! this trait).
+//! session `checkpoint` / builder `resume` / `merge_checkpointed` build
+//! directly on this trait, wrapping each payload in a plan envelope).
 //!
 //! ## Wire format (version 1)
 //!
@@ -156,6 +156,17 @@ pub enum DecodeError {
         /// Index of the offending buffer in the caller's slice.
         shard: usize,
     },
+    /// An engine checkpoint was produced under a different shard plan than
+    /// the one the caller is resuming with — a different partitioning
+    /// strategy (e.g. a key-range checkpoint offered to a round-robin
+    /// resume) or a different tolerance marker: the per-shard states are
+    /// only meaningful under the plan that produced them.
+    PlanMismatch {
+        /// Strategy or tolerance name the resuming plan expects.
+        expected: &'static str,
+        /// Strategy or tolerance name stamped in the checkpoint envelope.
+        found: &'static str,
+    },
     /// A field holds a value the structure's invariants forbid.
     Corrupt {
         /// Which invariant was violated.
@@ -183,6 +194,9 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::SeedMismatch { shard } => {
                 write!(f, "shard {shard} was built with different seeds or shape")
+            }
+            DecodeError::PlanMismatch { expected, found } => {
+                write!(f, "checkpoint was taken under shard plan {found} (expected {expected})")
             }
             DecodeError::Corrupt { context } => write!(f, "corrupt field: {context}"),
         }

@@ -1,6 +1,8 @@
 //! Parallel sharded ingestion: split one turnstile stream across worker
 //! threads, each owning an identically-seeded clone of the sketch, and
 //! tree-merge the shards into a state bit-identical to sequential ingestion.
+//! (Round-robin partitioning; see `partitioned_ingest.rs` for the key-range
+//! strategy and the non-blocking session surface.)
 //!
 //! Run with `cargo run --release --example parallel_ingest`.
 
@@ -35,9 +37,9 @@ fn main() {
 
     for shards in [1usize, 2, 4] {
         let t = Instant::now();
-        let mut engine = ShardedEngine::new(&proto, shards);
-        engine.ingest(&updates);
-        let merged = engine.finish();
+        let mut session = EngineBuilder::new(&proto).shards(shards).session();
+        session.ingest_blocking(&updates);
+        let merged = session.seal();
         let elapsed = t.elapsed();
         assert_eq!(
             merged.state_digest(),

@@ -72,7 +72,10 @@ pub mod prelude {
         DuplicateFinder, DuplicateResult, LongStreamDuplicateFinder, NaiveDuplicateFinder,
         PriorWorkDuplicateFinder, ShortStreamDuplicateFinder,
     };
-    pub use lps_engine::{merge_encoded, parallel_ingest, ShardIngest, ShardedEngine};
+    pub use lps_engine::{
+        merge_checkpointed, merge_encoded, parallel_ingest, partitioned_ingest, EngineBuilder,
+        IngestSession, KeyRange, RoundRobin, ShardIngest, ShardPlan, ShardedEngine, Tolerance,
+    };
     pub use lps_hash::SeedSequence;
     pub use lps_heavy::{
         exact_heavy_hitters, is_valid_heavy_hitter_set, CountMinHeavyHitters,

@@ -60,3 +60,8 @@ fn replica_divergence_example_exits_zero() {
 fn parallel_ingest_example_exits_zero() {
     run_example("parallel_ingest");
 }
+
+#[test]
+fn partitioned_ingest_example_exits_zero() {
+    run_example("partitioned_ingest");
+}
