@@ -10,10 +10,11 @@
 //!
 //! Without `--full` the harness runs in "quick" mode (fewer trials), which is
 //! what EXPERIMENTS.md reports; `--full` multiplies the trial counts. The
-//! `bench` experiment runs the update-path throughput suite (E13) and the
-//! sharded-ingestion engine scaling suite (E14); with `--json` it also
-//! writes the results to `BENCH_samplers.json` so every PR leaves a
-//! machine-readable perf datapoint. `--check <path>` re-reads a committed
+//! `bench` experiment runs the update-path throughput suite (E13), the
+//! sharded-ingestion engine scaling suite (E14), and the multi-tenant
+//! registry suite (E15); with `--json` it also writes the results to
+//! `BENCH_samplers.json` so every PR leaves a machine-readable perf
+//! datapoint. `--check <path>` re-reads a committed
 //! baseline document, compares the gated headline speedups, and exits
 //! non-zero on a regression beyond the tolerance — this is the CI perf gate.
 //!
@@ -121,9 +122,11 @@ fn main() {
         let strategies = strategy_comparison_suite(quick);
         println!("{}", strategy_comparison_table(&strategies, meta.host_cpus).render());
         records.extend(strategies);
+        let registry = registry_suite(quick);
+        println!("{}", registry_table(&registry).render());
         if json {
             let path = "BENCH_samplers.json";
-            std::fs::write(path, to_json(&records, quick, &meta))
+            std::fs::write(path, to_json(&records, &registry, quick, &meta))
                 .expect("write BENCH_samplers.json");
             println!("wrote {path}");
         }
@@ -206,5 +209,10 @@ fn main() {
     }
     if wants("e11") {
         println!("{}", e11_hh_reduction(quick).render());
+    }
+    // E15 is a perf measurement like E13/E14: it runs inside the bench block
+    // above when measuring, and here only when asked for by name.
+    if selected.iter().any(|s| s == "e15") {
+        println!("{}", registry_table(&registry_suite(quick)).render());
     }
 }

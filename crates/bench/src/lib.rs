@@ -5,8 +5,9 @@
 //! and the `experiments` binary runs them (`cargo run --release -p lps-bench
 //! --bin experiments -- all`). Criterion micro-benchmarks for update
 //! throughput (E12) live under `benches/`, and the wall-clock throughput
-//! suites behind `BENCH_samplers.json` — single-thread E13 and the sharded
-//! ingestion engine scaling E14 — live in [`throughput`]
+//! suites behind `BENCH_samplers.json` — single-thread E13, the sharded
+//! ingestion engine scaling E14, and the multi-tenant registry suite E15
+//! ([`e_registry`]) — live in [`throughput`] and [`e_registry`]
 //! (`experiments -- bench --json`), together with the headline-ratio
 //! regression gate CI runs via `experiments -- bench --check <baseline>`.
 //! The [`checkpoint`] module backs `experiments -- checkpoint`, the
@@ -19,6 +20,7 @@ pub mod checkpoint;
 pub mod e_duplicates;
 pub mod e_heavy;
 pub mod e_lower;
+pub mod e_registry;
 pub mod e_samplers;
 pub mod report;
 pub mod throughput;
@@ -29,6 +31,9 @@ pub use checkpoint::{
 pub use e_duplicates::{e5_duplicates, e6_duplicates_short, e7_duplicates_long};
 pub use e_heavy::e8_heavy_hitters;
 pub use e_lower::{e10_reductions, e11_hh_reduction, e9_ur_protocol};
+pub use e_registry::{
+    registry_suite, registry_table, RegistryRecord, E15_MAX_RESIDENT, E15_ZIPF_ALPHA,
+};
 pub use e_samplers::{e1_sampler_accuracy, e2_sampler_space, e3_l0_sampler};
 pub use report::Table;
 pub use throughput::{

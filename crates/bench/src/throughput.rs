@@ -609,8 +609,15 @@ impl BenchMeta {
 
 /// Serialize the suite to the `BENCH_samplers.json` document (no external
 /// JSON dependency is available in the build environment, so the writer is
-/// hand-rolled; the format is plain flat JSON).
-pub fn to_json(records: &[ThroughputRecord], quick: bool, meta: &BenchMeta) -> String {
+/// hand-rolled; the format is plain flat JSON). `registry` holds the E15
+/// multi-tenant records ([`crate::e_registry`]); pass an empty slice when
+/// the registry suite was not part of the run.
+pub fn to_json(
+    records: &[ThroughputRecord],
+    registry: &[crate::e_registry::RegistryRecord],
+    quick: bool,
+    meta: &BenchMeta,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"update_throughput\",\n");
@@ -645,6 +652,29 @@ pub fn to_json(records: &[ThroughputRecord], quick: bool, meta: &BenchMeta) -> S
         out.push_str(&format!("    \"{key}\": {rendered}{comma}\n"));
     }
     out.push_str("  },\n");
+    // the E15 multi-tenant registry scenarios: tenants/sec, eviction rate,
+    // and the resident-memory stamp alongside the raw throughput records
+    out.push_str("  \"registry\": [\n");
+    for (i, r) in registry.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"tenants\": {}, \"tenants_touched\": {}, \"updates\": {}, \"elapsed_ns\": {}, \"updates_per_sec\": {:.1}, \"tenants_per_sec\": {:.1}, \"evictions\": {}, \"restores\": {}, \"materializations\": {}, \"eviction_rate\": {:.6}, \"max_resident\": {}, \"resident_bytes\": {}}}{}\n",
+            json_escape(r.scenario),
+            r.tenants,
+            r.tenants_touched,
+            r.updates,
+            r.elapsed_ns,
+            r.updates_per_sec,
+            r.tenants_per_sec,
+            r.evictions,
+            r.restores,
+            r.materializations,
+            r.eviction_rate,
+            r.max_resident,
+            r.resident_bytes,
+            if i + 1 == registry.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
@@ -832,10 +862,31 @@ mod tests {
             shard_counts: vec![1, 2, 4, 8],
             runner_class: "github-ubuntu-latest".to_string(),
         };
-        let json = to_json(&records, true, &meta);
+        let registry = vec![crate::e_registry::RegistryRecord {
+            scenario: "registry-memspill",
+            tenants: 100_000,
+            tenants_touched: 20_000,
+            updates: 60_000,
+            elapsed_ns: 1_000_000_000,
+            updates_per_sec: 60_000.0,
+            tenants_per_sec: 20_000.0,
+            evictions: 15_000,
+            restores: 9_000,
+            materializations: 120,
+            eviction_rate: 0.25,
+            max_resident: 4096,
+            resident_bytes: 1 << 20,
+        }];
+        let json = to_json(&records, &registry, true, &meta);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"sparse_recovery_batched_vs_reference\": 5.000"));
+        // the E15 registry block carries the tenant-fleet stamps
+        assert!(json.contains("\"registry\": ["));
+        assert!(json.contains("\"scenario\": \"registry-memspill\""));
+        assert!(json.contains("\"tenants_per_sec\": 20000.0"));
+        assert!(json.contains("\"eviction_rate\": 0.250000"));
+        assert!(json.contains("\"max_resident\": 4096"));
         // pairs missing from the records serialize as null, not NaN
         assert!(json.contains("\"sparse_recovery_sequential_vs_reference\": null"));
         assert!(json.contains("\"l0_sampler_batched_vs_reference\": null"));
@@ -909,7 +960,7 @@ mod tests {
             shard_counts: vec![1, 2, 4, 8],
             runner_class: "x".to_string(),
         };
-        let json = to_json(&records, true, &meta);
+        let json = to_json(&records, &[], true, &meta);
         assert!(json.contains("\"engine_plans\": {"));
         assert!(json.contains("\"sparse_recovery\": \"key_range\""));
         assert!(json.contains("\"count_min\": \"round_robin\""));

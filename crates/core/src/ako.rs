@@ -141,9 +141,10 @@ impl Mergeable for AkoSampler {
     /// Merge an identically-seeded baseline by composing its inner sketch
     /// merges (real-valued counters: linear up to floating-point rounding).
     ///
-    /// Sharded ingestion drifts from sequential by at most `~2mε` relative
-    /// per counter (`m` = terms accumulated, `ε = 2⁻⁵³`, modulo
-    /// cancellation) — see `PrecisionLpSampler::merge_from` for the bound's
+    /// Sharded ingestion drifts from sequential by at most `~2kε` relative
+    /// per counter (`k` = shard count, `ε = 2⁻⁵³`, modulo cancellation;
+    /// Kahan compensation keeps each shard's sums exact to `O(ε)`) — see
+    /// `PrecisionLpSampler::merge_from` for the bound's
     /// derivation and `tests/float_drift.rs` for the measurement.
     fn merge_from(&mut self, other: &Self) {
         assert_eq!(self.dimension, other.dimension, "dimension mismatch");

@@ -255,10 +255,13 @@ impl Mergeable for PrecisionLpSampler {
     /// counter accumulating `m` update terms the drift obeys the standard
     /// summation bound `|sharded − sequential| ≤ 2(m−1)·ε·Σ|terms| + O(ε²)`
     /// with `ε = 2⁻⁵³` — a relative error ≲ `2mε` times the cancellation
-    /// ratio `Σ|terms| / |Σ terms|`. At m = 10⁶ that is ~10⁻¹⁰, many orders
-    /// below the sampler's Θ(ε_sampler) estimator noise, so sharding cannot
-    /// flip non-marginal accept/FAIL decisions (pinned quantitatively by
-    /// `tests/float_drift.rs`).
+    /// ratio `Σ|terms| / |Σ terms|`. Kahan compensation in the underlying
+    /// sketches (`lps_sketch::compensated`) keeps each shard's per-counter
+    /// sum exact to `O(ε)` independent of `m`, so only the k-way merge
+    /// reassociates and the effective bound tightens to `~2kε` — ~10⁻¹² at
+    /// the shard counts here, many orders below the sampler's Θ(ε_sampler)
+    /// estimator noise, so sharding cannot flip non-marginal accept/FAIL
+    /// decisions (pinned quantitatively by `tests/float_drift.rs`).
     fn merge_from(&mut self, other: &Self) {
         assert_eq!(self.dimension, other.dimension, "dimension mismatch");
         assert_eq!(self.params, other.params, "parameter mismatch");

@@ -11,17 +11,21 @@
 //! ```
 //!
 //! so the *relative* drift of a counter is at most `~2mε / cancellation`,
-//! where `cancellation = Σ|t_j| / |Σ t_j|`. For the workloads here
-//! (m ≈ 6·10³ terms, mild cancellation) that is ≲ 10⁻⁹, and the tests below
-//! pin that bound on every observable estimator quantity. The same bound is
-//! documented on the `merge_from` impls of the float structures.
+//! where `cancellation = Σ|t_j| / |Σ t_j|`. Since the float accumulators
+//! switched to Kahan compensated summation (`lps_sketch::compensated`), each
+//! shard's per-counter sum is exact to `O(ε)` independent of `m`, leaving
+//! only the k-way merge reassociation — so the observable drift shrinks from
+//! the `~2mε ≲ 10⁻⁹` of naive summation to `~2kε ≲ 10⁻¹²` for the shard
+//! counts here. The tests below pin the tightened bound on every observable
+//! estimator quantity.
 
 use lps_core::{AkoSampler, LpSampler, Mergeable, PrecisionLpSampler};
 use lps_hash::SeedSequence;
 use lps_stream::Update;
 
-/// Measured drift stays well inside the a-priori `2mε` bound.
-const DRIFT_TOLERANCE: f64 = 1e-9;
+/// Measured drift stays well inside the a-priori `~2kε` bound that Kahan
+/// compensation leaves (merge reassociation only; see module docs).
+const DRIFT_TOLERANCE: f64 = 1e-12;
 
 fn workload(n: u64, len: usize, seed: u64) -> Vec<Update> {
     let mut s = SeedSequence::new(seed);

@@ -59,7 +59,9 @@
 //! Floating-point structures (the p-stable sketch, the precision/AKO
 //! samplers and both heavy-hitter drivers) are linear only up to rounding:
 //! their shard merges reassociate `f64` sums, drifting by at most the
-//! `~2mε` per-counter bound documented on their `merge_from` impls. They
+//! `~2kε` per-counter bound (`k` = shard count; Kahan compensation inside
+//! each shard leaves only the k-way merge reassociation) documented on
+//! their `merge_from` impls. They
 //! are shardable too, but only behind an explicit opt-in: the plan must
 //! carry [`Tolerance::Approximate`] ([`RoundRobin::approximate`] /
 //! [`KeyRange::approximate`]), otherwise the session refuses to build.
@@ -186,7 +188,7 @@ shard_ingest!(L0Sampler, Tolerance::Exact, |s, u| LpSampler::process_batch(s, u)
 shard_ingest!(FisL0Sampler, Tolerance::Exact, |s, u| LpSampler::process_batch(s, u));
 
 // The float structures: dense f64 counters, estimator-level merge fidelity
-// (see the ~2mε drift bound on their merge_from docs). Shardable only
+// (see the ~2kε drift bound on their merge_from docs). Shardable only
 // behind an explicitly approximate plan.
 shard_ingest!(PStableSketch, Tolerance::Approximate, |s, u| LinearSketch::process_batch(s, u));
 shard_ingest!(PrecisionLpSampler, Tolerance::Approximate, |s, u| LpSampler::process_batch(s, u));

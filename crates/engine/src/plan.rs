@@ -25,7 +25,9 @@
 //! bit-exact; `Tolerance::Approximate` is the explicit opt-in required to
 //! drive the floating-point structures (p-stable, precision/AKO samplers,
 //! both heavy-hitter drivers), whose merges reassociate `f64` sums and are
-//! therefore linear only up to the documented `~2mε` drift bound.
+//! therefore linear only up to the documented `~2kε` drift bound (Kahan
+//! compensation keeps each shard's sums exact to `O(ε)`; only the k-way
+//! merge reassociates).
 //!
 //! Checkpoints are stamped with the plan that produced them: every shard
 //! buffer starts with a fixed-size envelope (magic, version, strategy tag,
@@ -48,7 +50,7 @@ pub enum Tolerance {
     /// to drive floating-point structures under an exact plan.
     Exact,
     /// Shard merges may reassociate floating-point sums: results are correct
-    /// at the estimator level (within the documented `~2mε` per-counter
+    /// at the estimator level (within the documented `~2kε` per-counter
     /// drift) but not bit-identical. Required to shard the float structures.
     Approximate,
 }

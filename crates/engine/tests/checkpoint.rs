@@ -6,7 +6,7 @@
 use lps_core::L0Sampler;
 use lps_engine::{
     merge_checkpointed, parallel_ingest, read_envelope, EngineBuilder, KeyRange, PlanStrategy,
-    RoundRobin, ShardedEngine, Tolerance,
+    RoundRobin, Tolerance,
 };
 use lps_hash::SeedSequence;
 use lps_sketch::{
@@ -67,17 +67,15 @@ fn resume_continues_exactly_where_the_checkpoint_stopped() {
     let mut sequential = proto.clone();
     sequential.process_batch(&updates);
 
-    // round robin, through the legacy wrapper's checkpoint surface
-    #[allow(deprecated)]
+    // round robin, through the builder/session checkpoint surface
     let merged = {
-        let mut engine = ShardedEngine::with_batch_size(&proto, 3, 128);
-        engine.ingest(first_half);
-        let encoded = engine.checkpoint_shards();
-        let mut resumed: ShardedEngine<CountMinSketch> =
-            ShardedEngine::resume_from(&encoded, 128).expect("resume");
-        assert_eq!(resumed.shards(), 3);
-        resumed.ingest(second_half);
-        resumed.finish()
+        let mut session = EngineBuilder::new(&proto).shards(3).batch_size(128).session();
+        session.ingest_blocking(first_half);
+        let encoded = session.checkpoint();
+        let mut resumed: lps_engine::IngestSession<CountMinSketch, RoundRobin> =
+            EngineBuilder::new(&proto).shards(3).batch_size(128).resume(&encoded).expect("resume");
+        resumed.ingest_blocking(second_half);
+        resumed.seal()
     };
     assert_eq!(merged.state_digest(), sequential.state_digest());
 
@@ -156,16 +154,11 @@ fn key_range_checkpoint_cannot_be_resumed_round_robin() {
     assert!(envelope.range.is_some());
 
     // …so a round-robin resume is rejected as typed, not absorbed
-    #[allow(deprecated)]
-    let err = ShardedEngine::<SparseRecovery>::resume_from(&encoded, 128)
-        .expect_err("key-range checkpoint must not resume round-robin");
-    assert_eq!(err, DecodeError::PlanMismatch { expected: "round_robin", found: "key_range" });
-
     let err = EngineBuilder::<SparseRecovery, _>::new(&proto)
         .shards(3)
         .resume(&encoded)
-        .expect_err("builder resume must reject too");
-    assert!(matches!(err, DecodeError::PlanMismatch { .. }));
+        .expect_err("key-range checkpoint must not resume round-robin");
+    assert_eq!(err, DecodeError::PlanMismatch { expected: "round_robin", found: "key_range" });
 
     // and the right plan accepts it
     let resumed = EngineBuilder::new(&proto)

@@ -6,8 +6,9 @@
 //! sequential ingestion (which is why they sit behind
 //! `Tolerance::Approximate`). What linearity still guarantees — and what
 //! these tests pin — is estimator-level agreement: each merged counter
-//! differs from its sequential value by at most `~2mε` relative (`m` =
-//! accumulated terms, `ε = 2⁻⁵³`), so estimates land within a tiny relative
+//! differs from its sequential value by at most `~2kε` relative (`k` =
+//! shard count, `ε = 2⁻⁵³`; Kahan compensation keeps the within-shard sums
+//! exact to `O(ε)`), so estimates land within a tiny relative
 //! tolerance of the sequential ones and threshold decisions with any margin
 //! (heavy-hitter reports) are unchanged. The bounds asserted here (1e-9)
 //! are ~6 orders of magnitude above the drift observed in

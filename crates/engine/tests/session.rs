@@ -2,8 +2,8 @@
 //! `offer`/`drain` contract (backpressure surfaces as `Poll::Pending`, never
 //! as a blocked dispatcher), exactness across partial acceptance, per-shard
 //! stream-order preservation, the approximate-tolerance gate for float
-//! structures, and digest-compatibility with the legacy
-//! `ShardedEngine::{new, ingest, finish}` path.
+//! structures, and digest-compatibility between the poll-driven and
+//! blocking driving styles.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -172,11 +172,12 @@ fn drain_flushes_partial_batches() {
     assert_eq!(merged.seen.len(), 17);
 }
 
-/// The sans-io poll loop must land on the same bits as the legacy blocking
-/// `ingest`/`finish` wrapper (and sequential ingestion) — the session is a
-/// new surface, not new semantics.
+/// The sans-io poll loop must land on the same bits as the blocking
+/// `ingest_blocking`/`seal` surface (and sequential ingestion) — polling is a
+/// different driving style, not different semantics. (The deprecated
+/// `ShardedEngine` wrapper keeps its own equivalence test in-crate.)
 #[test]
-fn poll_driven_session_reproduces_legacy_engine_digests() {
+fn poll_driven_session_reproduces_blocking_session_digests() {
     let mut seeds = SeedSequence::new(42);
     let proto = SparseRecovery::new(1 << 10, 8, &mut seeds);
     let mut s = SeedSequence::new(43);
@@ -190,12 +191,10 @@ fn poll_driven_session_reproduces_legacy_engine_digests() {
     let mut sequential = proto.clone();
     sequential.process_batch(&ups);
 
-    #[allow(deprecated)]
-    let legacy = {
-        use lps_engine::ShardedEngine;
-        let mut engine = ShardedEngine::with_batch_size(&proto, 4, 128);
-        engine.ingest(&ups);
-        engine.finish()
+    let blocking = {
+        let mut session = EngineBuilder::new(&proto).shards(4).batch_size(128).session();
+        session.ingest_blocking(&ups);
+        session.seal()
     };
 
     let mut session = EngineBuilder::new(&proto).shards(4).batch_size(128).session();
@@ -211,7 +210,7 @@ fn poll_driven_session_reproduces_legacy_engine_digests() {
     }
     let polled = session.seal();
 
-    assert_eq!(legacy.state_digest(), sequential.state_digest());
+    assert_eq!(blocking.state_digest(), sequential.state_digest());
     assert_eq!(polled.state_digest(), sequential.state_digest());
 }
 

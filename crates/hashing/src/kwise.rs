@@ -14,28 +14,56 @@
 //! fixed-point uniform value in `(0, 1]`, which is exactly what the precision
 //! sampler needs for its scaling exponents.
 
+use std::sync::Arc;
+
 use crate::field::{horner, Fp, MERSENNE_P};
-use crate::seeds::SeedSequence;
+use crate::seeds::{SeedPool, SeedSequence};
 
 /// A k-wise independent hash function `[u64] -> [0, P)` realised as a random
 /// degree-(k-1) polynomial over GF(2^61 - 1).
+///
+/// The coefficient vector — the complete seed material — is held behind an
+/// [`Arc`], so cloning a hash function (and therefore cloning any sketch
+/// built on it) shares the seed storage instead of copying it. A clone's
+/// state is counters-only: this is what makes per-tenant sketch fleets cheap
+/// (`lps-registry` stamps out millions of tenants from one prototype).
 #[derive(Debug, Clone)]
 pub struct KWiseHash {
-    coeffs: Vec<Fp>,
+    coeffs: Arc<[Fp]>,
 }
 
 impl KWiseHash {
     /// Sample a fresh k-wise independent hash function. `k >= 1`.
     pub fn new(k: usize, seeds: &mut SeedSequence) -> Self {
         assert!(k >= 1, "independence parameter k must be at least 1");
-        let coeffs = (0..k).map(|_| Fp::new(seeds.next_u64() & MERSENNE_P)).collect();
-        KWiseHash { coeffs }
+        let coeffs: Vec<Fp> = (0..k).map(|_| Fp::new(seeds.next_u64() & MERSENNE_P)).collect();
+        KWiseHash { coeffs: coeffs.into() }
     }
 
     /// Construct from explicit coefficients (constant term first). Mostly for tests.
     pub fn from_coefficients(coeffs: Vec<Fp>) -> Self {
         assert!(!coeffs.is_empty());
+        KWiseHash { coeffs: coeffs.into() }
+    }
+
+    /// Construct from already-shared seed material: the hash function reuses
+    /// the `Arc` instead of copying the coefficients, so every instance built
+    /// from the same allocation evaluates identically and shares storage.
+    pub fn with_seeds(coeffs: Arc<[Fp]>) -> Self {
+        assert!(!coeffs.is_empty());
         KWiseHash { coeffs }
+    }
+
+    /// Sample the pool's k-wise hash function: every call with the same pool
+    /// and `k` returns an identically-seeded (merge-compatible) function.
+    pub fn from_pool(k: usize, pool: &SeedPool) -> Self {
+        KWiseHash::new(k, &mut pool.sequence_for(0x4B57_4853 ^ k as u64))
+    }
+
+    /// The shared coefficient allocation, for threading one seed allocation
+    /// through many instances via [`KWiseHash::with_seeds`].
+    pub fn shared_seeds(&self) -> Arc<[Fp]> {
+        Arc::clone(&self.coeffs)
     }
 
     /// The independence parameter k (number of coefficients).
@@ -318,6 +346,29 @@ mod tests {
             (rate - expect).abs() < 3.0 * (expect / trials as f64).sqrt() + 0.01,
             "collision rate {rate} too far from {expect}"
         );
+    }
+
+    #[test]
+    fn clones_and_with_seeds_share_the_coefficient_allocation() {
+        let mut s = seq(7);
+        let h = KWiseHash::new(5, &mut s);
+        let clone = h.clone();
+        assert!(Arc::ptr_eq(&h.shared_seeds(), &clone.shared_seeds()));
+        let rebuilt = KWiseHash::with_seeds(h.shared_seeds());
+        assert!(Arc::ptr_eq(&h.shared_seeds(), &rebuilt.shared_seeds()));
+        for key in 0..100u64 {
+            assert_eq!(h.hash(key), rebuilt.hash(key));
+        }
+    }
+
+    #[test]
+    fn pool_draws_are_identical_across_calls_and_distinct_across_k() {
+        let pool = SeedPool::new(99);
+        let a = KWiseHash::from_pool(4, &pool);
+        let b = KWiseHash::from_pool(4, &pool);
+        assert_eq!(a.coefficients(), b.coefficients());
+        let c = KWiseHash::from_pool(5, &pool);
+        assert_ne!(a.coefficients(), &c.coefficients()[..4]);
     }
 
     #[test]

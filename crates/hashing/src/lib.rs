@@ -34,5 +34,5 @@ pub mod tabulation;
 pub use field::{mul_mod, Fp, PowTable, MERSENNE_P};
 pub use kwise::{FourWiseHash, KWiseHash, PairwiseHash};
 pub use nisan::{NisanPrg, NisanStream};
-pub use seeds::{derive_seeds, splitmix64, SeedSequence};
+pub use seeds::{derive_seeds, splitmix64, SeedPool, SeedSequence};
 pub use tabulation::TabulationHash;

@@ -76,6 +76,51 @@ pub fn derive_seeds(master: u64, count: usize) -> Vec<u64> {
     (0..count).map(|_| seq.next_u64()).collect()
 }
 
+/// One set of hash seeds shared by every tenant of a prototype.
+///
+/// A [`SeedSequence`] is a *stream*: drawing from it advances its state, so
+/// two structures built from the same `&mut` sequence get different seeds.
+/// A `SeedPool` is the opposite: a fixed point in seed space. Every call to
+/// [`SeedPool::sequence`] returns a sequence in the *same* initial state, so
+/// every prototype built from it is identically seeded — and identically
+/// seeded linear sketches are merge-compatible (their `Persist` seed sections
+/// are byte-identical merge witnesses).
+///
+/// This is the sharing rule the multi-tenant registry (`lps-registry`) is
+/// built on: one pool per registry, one seed allocation per prototype, and a
+/// tenant's own state is counters-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedPool {
+    master: u64,
+}
+
+impl SeedPool {
+    /// Create a pool from a master seed.
+    pub fn new(master: u64) -> Self {
+        SeedPool { master }
+    }
+
+    /// The master seed the pool was created from.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// The pool's canonical seed sequence. Every call returns the same
+    /// initial state, so structures constructed from successive calls are
+    /// identically seeded (and therefore merge-compatible).
+    pub fn sequence(&self) -> SeedSequence {
+        SeedSequence::new(self.master)
+    }
+
+    /// A labeled, decorrelated seed sequence: the same `(pool, domain)` pair
+    /// always yields the same stream, while distinct domains yield
+    /// independent-looking streams. Use this when one pool must seed several
+    /// unrelated components (e.g. a hash family per independence parameter).
+    pub fn sequence_for(&self, domain: u64) -> SeedSequence {
+        SeedSequence::new(splitmix64(self.master ^ domain.rotate_left(17)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +179,25 @@ mod tests {
             seen[s.next_below(8) as usize] = true;
         }
         assert!(seen.iter().all(|&b| b), "all residues of a small bound should appear");
+    }
+
+    #[test]
+    fn pool_sequences_are_replayable_and_domain_separated() {
+        let pool = SeedPool::new(77);
+        let mut a = pool.sequence();
+        let mut b = pool.sequence();
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64(), "pool sequences must replay identically");
+        }
+        let mut d1 = pool.sequence_for(1);
+        let mut d2 = pool.sequence_for(2);
+        let matches = (0..64).filter(|_| d1.next_u64() == d2.next_u64()).count();
+        assert_eq!(matches, 0, "distinct domains must be decorrelated");
+        let mut r1 = pool.sequence_for(1);
+        let mut r2 = pool.sequence_for(1);
+        for _ in 0..32 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
     }
 
     #[test]

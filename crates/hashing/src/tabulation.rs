@@ -7,15 +7,21 @@
 //! generators, the Gopalan–Radhakrishnan baseline, and the level hashes of
 //! the Frahling–Indyk–Sohler-style L0 baseline.
 
-use crate::seeds::SeedSequence;
+use std::sync::Arc;
+
+use crate::seeds::{SeedPool, SeedSequence};
 
 const BYTES: usize = 8;
 const TABLE: usize = 256;
 
 /// A simple tabulation hash function on 64-bit keys.
+///
+/// The 16 KiB of random tables — the complete seed material — live behind an
+/// [`Arc`], so clones share the allocation; a clone's own state is zero bytes
+/// (see [`crate::KWiseHash`] for the rationale: per-tenant sketch fleets).
 #[derive(Debug, Clone)]
 pub struct TabulationHash {
-    tables: Box<[[u64; TABLE]; BYTES]>,
+    tables: Arc<[[u64; TABLE]; BYTES]>,
 }
 
 impl TabulationHash {
@@ -27,13 +33,31 @@ impl TabulationHash {
                 *entry = seeds.next_u64();
             }
         }
-        TabulationHash { tables }
+        TabulationHash { tables: tables.into() }
     }
 
     /// Rebuild a hash function from previously stored tables — the inverse of
     /// [`TabulationHash::tables`], used by the serialization layer.
     pub fn from_tables(tables: Box<[[u64; 256]; 8]>) -> Self {
+        TabulationHash { tables: tables.into() }
+    }
+
+    /// Construct from already-shared tables: the hash function reuses the
+    /// `Arc` instead of copying 16 KiB of seed material.
+    pub fn with_seeds(tables: Arc<[[u64; 256]; 8]>) -> Self {
         TabulationHash { tables }
+    }
+
+    /// Sample the pool's tabulation hash function: every call with the same
+    /// pool returns an identically-seeded function.
+    pub fn from_pool(pool: &SeedPool) -> Self {
+        TabulationHash::new(&mut pool.sequence_for(0x7AB7_AB7A))
+    }
+
+    /// The shared table allocation, for threading one seed allocation through
+    /// many instances via [`TabulationHash::with_seeds`].
+    pub fn shared_seeds(&self) -> Arc<[[u64; 256]; 8]> {
+        Arc::clone(&self.tables)
     }
 
     /// The full random tables (the seed material: 8 byte positions × 256
@@ -134,6 +158,21 @@ mod tests {
         }
         let avg = total_flips as f64 / samples as f64;
         assert!(avg > 20.0 && avg < 44.0, "poor avalanche: {avg}");
+    }
+
+    #[test]
+    fn clones_and_pool_draws_share_or_agree() {
+        let mut s = SeedSequence::new(6);
+        let h = TabulationHash::new(&mut s);
+        assert!(Arc::ptr_eq(&h.shared_seeds(), &h.clone().shared_seeds()));
+        let rebuilt = TabulationHash::with_seeds(h.shared_seeds());
+        assert_eq!(h.hash(123456789), rebuilt.hash(123456789));
+
+        let pool = SeedPool::new(7);
+        let a = TabulationHash::from_pool(&pool);
+        let b = TabulationHash::from_pool(&pool);
+        assert_eq!(a.hash(42), b.hash(42));
+        assert_eq!(a.tables(), b.tables());
     }
 
     #[test]

@@ -105,8 +105,9 @@ impl Mergeable for CountMinHeavyHitters {
     /// (exact integer count-min table, float p-stable norm counters).
     ///
     /// Under sharded ingestion the count-min table is bit-exact and only the
-    /// p-stable norm counters drift, by at most `~2mε` relative per counter
-    /// (`m` = accumulated terms, `ε = 2⁻⁵³`, modulo cancellation) — far
+    /// p-stable norm counters drift, by at most `~2kε` relative per counter
+    /// (`k` = shard count, `ε = 2⁻⁵³`, modulo cancellation; Kahan
+    /// compensation keeps each shard's sums exact to `O(ε)`) — far
     /// below the φ-threshold margins, so non-marginal reports are unchanged
     /// (measured in `tests/float_drift.rs`).
     fn merge_from(&mut self, other: &Self) {

@@ -133,8 +133,9 @@ impl Mergeable for CountSketchHeavyHitters {
     /// norm merge is linear up to floating-point rounding.
     ///
     /// Under sharded ingestion only the p-stable norm counters drift, and by
-    /// at most `~2mε` relative per counter (`m` = accumulated terms,
-    /// `ε = 2⁻⁵³`, modulo cancellation) — orders of magnitude below the
+    /// at most `~2kε` relative per counter (`k` = shard count, `ε = 2⁻⁵³`,
+    /// modulo cancellation; Kahan compensation keeps each shard's sums
+    /// exact to `O(ε)`) — orders of magnitude below the
     /// driver's φ-threshold margins, so the reported heavy-hitter set of a
     /// sharded run matches the sequential one except for coordinates sitting
     /// exactly on the threshold (measured in `tests/float_drift.rs`).

@@ -1,8 +1,8 @@
 //! Quantifies floating-point merge drift for the heavy-hitter drivers under
 //! sharded ingestion (ROADMAP float-structures item; see
-//! `crates/core/tests/float_drift.rs` for the error model: per-counter
-//! relative drift ≤ ~2mε with ε = 2⁻⁵³, orders of magnitude below the
-//! drivers' φ-threshold margins).
+//! `crates/core/tests/float_drift.rs` for the error model: with Kahan
+//! compensation, per-counter relative drift ≤ ~2kε with ε = 2⁻⁵³ for k
+//! shards, orders of magnitude below the drivers' φ-threshold margins).
 
 use lps_hash::SeedSequence;
 use lps_heavy::{CountMinHeavyHitters, CountSketchHeavyHitters};
@@ -52,7 +52,7 @@ fn count_sketch_hh_sharded_report_matches_sequential() {
     let sharded = shard_and_merge(&proto, &updates, 4, |s, u| s.process_batch(u));
 
     // the count-sketch table sees only integer updates, so it is exact; the
-    // p-stable norm counters drift by ≤ ~2mε, far from flipping a report
+    // p-stable norm counters drift by ≤ ~2kε, far from flipping a report
     // decision on non-marginal coordinates
     let seq_report = sequential.report();
     let shard_report = sharded.report();

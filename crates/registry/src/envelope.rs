@@ -1,0 +1,118 @@
+//! Tenant-tagged envelopes for evicted sketch segments.
+//!
+//! When the registry evicts a tenant it serializes the tenant's
+//! [`crate::LazySketch`] through [`lps_sketch::Persist`] and wraps the bytes
+//! in a small self-describing envelope stamping the tenant id, so a spill
+//! file is a walkable sequence of `(tenant, payload)` segments that can be
+//! re-indexed by a fresh process (cross-process restore, mirroring the
+//! engine's plan envelopes in `lps_engine`).
+//!
+//! Layout (little-endian, mirroring the sketch wire format's conventions):
+//!
+//! ```text
+//! magic "LPST" (4) | version u16 (2) | tenant u64 (8) | payload_len u64 (8)
+//! payload (payload_len bytes, a complete `Persist` encoding)
+//! ```
+
+use lps_sketch::{DecodeError, WireReader, WireWriter};
+
+/// Magic prefix of a tenant segment ("LPS Tenant").
+pub const TENANT_MAGIC: [u8; 4] = *b"LPST";
+
+/// Version of the tenant-envelope layout.
+pub const TENANT_VERSION: u16 = 1;
+
+/// Fixed-size prefix before the payload bytes.
+pub const TENANT_HEADER_LEN: usize = 4 + 2 + 8 + 8;
+
+/// Wrap an encoded sketch `payload` in a tenant-tagged segment.
+pub fn encode_tenant_segment(tenant: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(TENANT_HEADER_LEN + payload.len());
+    let mut w = WireWriter::new(&mut out);
+    w.write_raw(&TENANT_MAGIC);
+    w.write_u16(TENANT_VERSION);
+    w.write_u64(tenant);
+    w.write_len(payload.len());
+    w.write_raw(payload);
+    out
+}
+
+/// Read one tenant segment from the front of `bytes`.
+///
+/// Returns `(tenant, payload, consumed)` where `consumed` is the total
+/// segment length, letting callers walk a concatenated spill file. Every
+/// malformed prefix maps to a typed [`DecodeError`]; the payload length is
+/// validated against the bytes actually present before any slice is taken,
+/// so corrupt lengths can never over-allocate.
+pub fn read_tenant_segment(bytes: &[u8]) -> Result<(u64, &[u8], usize), DecodeError> {
+    let mut r = WireReader::new(bytes);
+    let mut magic = [0u8; 4];
+    for slot in &mut magic {
+        *slot = r.read_u8()?;
+    }
+    if magic != TENANT_MAGIC {
+        return Err(DecodeError::BadMagic { found: magic });
+    }
+    let version = r.read_u16()?;
+    if version != TENANT_VERSION {
+        return Err(DecodeError::UnsupportedVersion { found: version });
+    }
+    let tenant = r.read_u64()?;
+    // read_count validates `len` against the unconsumed bytes, so the slice
+    // below cannot go out of bounds and the length cannot over-allocate
+    let len = r.read_count(1)?;
+    let payload = &bytes[TENANT_HEADER_LEN..TENANT_HEADER_LEN + len];
+    Ok((tenant, payload, TENANT_HEADER_LEN + len))
+}
+
+/// Decode a byte slice holding exactly one tenant segment.
+///
+/// Like [`read_tenant_segment`] but rejects trailing bytes, the right
+/// contract for per-tenant blobs handed back by a spill backend.
+pub fn decode_tenant_segment(bytes: &[u8]) -> Result<(u64, &[u8]), DecodeError> {
+    let (tenant, payload, consumed) = read_tenant_segment(bytes)?;
+    if consumed != bytes.len() {
+        return Err(DecodeError::TrailingBytes { extra: bytes.len() - consumed });
+    }
+    Ok((tenant, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_walk() {
+        let a = encode_tenant_segment(7, b"alpha");
+        let b = encode_tenant_segment(u64::MAX, b"");
+        let mut file = a.clone();
+        file.extend_from_slice(&b);
+
+        let (tenant, payload, consumed) = read_tenant_segment(&file).unwrap();
+        assert_eq!((tenant, payload), (7, &b"alpha"[..]));
+        let (tenant, payload, rest) = read_tenant_segment(&file[consumed..]).unwrap();
+        assert_eq!((tenant, payload), (u64::MAX, &b""[..]));
+        assert_eq!(consumed + rest, file.len());
+
+        assert_eq!(decode_tenant_segment(&a).unwrap(), (7, &b"alpha"[..]));
+        assert!(matches!(decode_tenant_segment(&file), Err(DecodeError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn malformed_prefixes_are_typed_errors() {
+        let seg = encode_tenant_segment(3, b"payload");
+        for cut in 0..seg.len() {
+            assert!(read_tenant_segment(&seg[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+        let mut bad = seg.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_tenant_segment(&bad), Err(DecodeError::BadMagic { .. })));
+        let mut bad = seg.clone();
+        bad[4] = 0xFF;
+        assert!(matches!(read_tenant_segment(&bad), Err(DecodeError::UnsupportedVersion { .. })));
+        // an absurd payload length must be rejected before allocation
+        let mut bad = seg;
+        bad[14..22].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_tenant_segment(&bad).is_err());
+    }
+}

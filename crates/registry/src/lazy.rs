@@ -1,0 +1,391 @@
+//! Lazy per-tenant sketch state: a sorted sparse update log until the tenant
+//! earns a real structure.
+//!
+//! Under Zipf-distributed tenant traffic most tenants see a handful of
+//! updates; allocating every tenant a full sketch table (kilobytes of
+//! counters plus hash state) up front would waste almost all of it. A
+//! [`LazySketch<T>`] starts as a coalesced, index-sorted `(index, delta)`
+//! log — tens of bytes for a tiny stream — and **materializes** the real
+//! structure `T` by replaying the log as a single batch once the log
+//! outgrows a density threshold.
+//!
+//! Replay runs through [`ShardIngest::ingest_batch`], the same path the
+//! engine's shards use, so for `Tolerance::Exact` structures the
+//! materialized state is bit-identical to one that ingested the stream
+//! directly (their batch paths coalesce to the same sorted integer sums).
+//!
+//! The state digest and the persisted form are **representation-dependent**:
+//! a sparse log and its materialized structure digest differently even
+//! though they describe the same vector. That is deliberate — eviction and
+//! restore preserve the representation, so the registry's digest-identity
+//! guarantee ("an evicted-then-restored tenant digests bit-identically to
+//! one that never left memory") is checked at the representation level, the
+//! only level at which bit identity is meaningful.
+
+use std::sync::Arc;
+
+use lps_engine::ShardIngest;
+use lps_sketch::persist::tags;
+use lps_sketch::{DecodeError, Mergeable, Persist, StateDigest, WireReader, WireWriter};
+use lps_stream::{coalesce_updates, Update};
+
+/// Per-tenant sketch state: sparse update log or materialized structure.
+#[derive(Debug, Clone)]
+pub enum LazySketch<T> {
+    /// The tenant's stream so far, as a coalesced index-sorted log of
+    /// non-zero deltas, plus the prototype's seed section (shared by every
+    /// sparse tenant of the registry) so the encoded form carries the same
+    /// merge witness a dense encoding would.
+    Sparse {
+        /// The prototype's `Persist` seed section, byte-identical to what
+        /// [`Persist::encode_seeds`] of the materialized `T` would write.
+        seeds: Arc<Vec<u8>>,
+        /// Strictly index-sorted `(index, delta)` pairs, zero deltas elided.
+        log: Vec<(u64, i64)>,
+    },
+    /// The materialized structure.
+    Dense(T),
+}
+
+impl<T> LazySketch<T> {
+    /// A fresh sparse tenant carrying the registry's shared seed section.
+    pub fn sparse(seeds: Arc<Vec<u8>>) -> Self {
+        LazySketch::Sparse { seeds, log: Vec::new() }
+    }
+
+    /// Wrap an already-materialized structure.
+    pub fn dense(inner: T) -> Self {
+        LazySketch::Dense(inner)
+    }
+
+    /// Whether the tenant has materialized its structure.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, LazySketch::Dense(_))
+    }
+
+    /// Number of log entries (0 once dense).
+    pub fn log_len(&self) -> usize {
+        match self {
+            LazySketch::Sparse { log, .. } => log.len(),
+            LazySketch::Dense(_) => 0,
+        }
+    }
+
+    /// The materialized structure, if any.
+    pub fn as_dense(&self) -> Option<&T> {
+        match self {
+            LazySketch::Sparse { .. } => None,
+            LazySketch::Dense(inner) => Some(inner),
+        }
+    }
+}
+
+/// Merge two strictly-sorted delta logs, dropping entries that cancel.
+fn merge_logs(a: &[(u64, i64)], b: &[(u64, i64)]) -> Vec<(u64, i64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&(ia, va)), Some(&(ib, vb))) => {
+                if ia < ib {
+                    i += 1;
+                    (ia, va)
+                } else if ib < ia {
+                    j += 1;
+                    (ib, vb)
+                } else {
+                    i += 1;
+                    j += 1;
+                    (ia, va.wrapping_add(vb))
+                }
+            }
+            (Some(&(ia, va)), None) => {
+                i += 1;
+                (ia, va)
+            }
+            (None, Some(&(ib, vb))) => {
+                j += 1;
+                (ib, vb)
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        if next.1 != 0 {
+            out.push(next);
+        }
+    }
+    out
+}
+
+fn log_as_updates(log: &[(u64, i64)]) -> Vec<Update> {
+    log.iter().map(|&(index, delta)| Update::new(index, delta)).collect()
+}
+
+impl<T: ShardIngest> LazySketch<T> {
+    /// Absorb a batch of updates. Sparse tenants fold the batch into the
+    /// sorted log; once the log holds more than `threshold` entries the
+    /// structure materializes from `proto` by replay. Dense tenants ingest
+    /// directly. Returns `true` if this call materialized the structure.
+    pub fn apply(&mut self, proto: &T, updates: &[Update], threshold: usize) -> bool {
+        match self {
+            LazySketch::Sparse { log, .. } => {
+                let incoming = coalesce_updates(updates);
+                *log = merge_logs(log, &incoming);
+                if log.len() > threshold {
+                    self.materialize(proto);
+                    true
+                } else {
+                    false
+                }
+            }
+            LazySketch::Dense(inner) => {
+                inner.ingest_batch(updates);
+                false
+            }
+        }
+    }
+
+    /// Force materialization: clone `proto` and replay the log as one batch.
+    /// No-op for dense tenants.
+    pub fn materialize(&mut self, proto: &T) {
+        if let LazySketch::Sparse { log, .. } = self {
+            let mut inner = proto.clone();
+            inner.ingest_batch(&log_as_updates(log));
+            *self = LazySketch::Dense(inner);
+        }
+    }
+
+    /// Evaluate `f` against the tenant's materialized view. Dense tenants
+    /// hand over their structure directly; sparse tenants replay their log
+    /// into a scratch clone of `proto` (the tenant itself stays sparse).
+    pub fn with_state<R>(&self, proto: &T, f: impl FnOnce(&T) -> R) -> R {
+        match self {
+            LazySketch::Sparse { log, .. } => {
+                let mut scratch = proto.clone();
+                scratch.ingest_batch(&log_as_updates(log));
+                f(&scratch)
+            }
+            LazySketch::Dense(inner) => f(inner),
+        }
+    }
+}
+
+impl<T: ShardIngest> Mergeable for LazySketch<T> {
+    /// Merge another tenant state into this one. Sparse ∪ sparse merges the
+    /// logs; any dense operand forces the result dense (the sparse side's
+    /// log is replayed into the dense structure).
+    fn merge_from(&mut self, other: &Self) {
+        match (&mut *self, other) {
+            (LazySketch::Sparse { log: a, seeds }, LazySketch::Sparse { log: b, .. }) => {
+                let merged = merge_logs(a, b);
+                *self = LazySketch::Sparse { seeds: Arc::clone(seeds), log: merged };
+            }
+            (LazySketch::Dense(inner), LazySketch::Sparse { log, .. }) => {
+                inner.ingest_batch(&log_as_updates(log));
+            }
+            (LazySketch::Sparse { log, .. }, LazySketch::Dense(inner)) => {
+                let mut dense = inner.clone();
+                dense.ingest_batch(&log_as_updates(log));
+                *self = LazySketch::Dense(dense);
+            }
+            (LazySketch::Dense(a), LazySketch::Dense(b)) => a.merge_from(b),
+        }
+    }
+
+    /// Representation-dependent digest: a kind marker followed by the log
+    /// pairs (sparse) or the inner structure's digest (dense). See the
+    /// module docs for why representation-dependence is the right contract.
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        match self {
+            LazySketch::Sparse { log, .. } => {
+                d.write_u64(0);
+                for &(index, delta) in log {
+                    d.write_u64(index).write_i64(delta);
+                }
+            }
+            LazySketch::Dense(inner) => {
+                d.write_u64(1);
+                d.write_u64(inner.state_digest());
+            }
+        }
+        d.finish()
+    }
+}
+
+/// Counter-section kind markers for the two representations.
+const KIND_SPARSE: u8 = 0;
+const KIND_DENSE: u8 = 1;
+
+impl<T: Persist> Persist for LazySketch<T> {
+    /// Composed tag: the lazy marker OR-ed onto the inner structure's tag.
+    /// The `assert!` is evaluated at compile time when the impl is
+    /// instantiated, so a future inner tag colliding with the marker is a
+    /// build error, not a silent aliasing.
+    const TAG: u16 = {
+        assert!(
+            T::TAG & tags::LAZY_BASE == 0,
+            "inner structure tag collides with the LAZY_BASE marker bit"
+        );
+        tags::LAZY_BASE | T::TAG
+    };
+
+    /// Both representations write the *same* seed section — the prototype's
+    /// seed material — so sparse and dense encodings of tenants of one
+    /// registry stay mutually merge-compatible (byte-identical witnesses).
+    fn encode_seeds(&self, w: &mut WireWriter<'_>) {
+        match self {
+            LazySketch::Sparse { seeds, .. } => w.write_raw(seeds),
+            LazySketch::Dense(inner) => inner.encode_seeds(w),
+        }
+    }
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        match self {
+            LazySketch::Sparse { log, .. } => {
+                w.write_u8(KIND_SPARSE);
+                w.write_len(log.len());
+                for &(index, delta) in log {
+                    w.write_u64(index);
+                    w.write_i64(delta);
+                }
+            }
+            LazySketch::Dense(inner) => {
+                w.write_u8(KIND_DENSE);
+                inner.encode_counters(w);
+            }
+        }
+    }
+
+    fn decode_parts(
+        seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        match counters.read_u8()? {
+            KIND_SPARSE => {
+                let len = counters.read_count(16)?;
+                let mut log = Vec::with_capacity(len);
+                let mut previous: Option<u64> = None;
+                for _ in 0..len {
+                    let index = counters.read_u64()?;
+                    let delta = counters.read_i64()?;
+                    if previous.is_some_and(|p| p >= index) {
+                        return Err(DecodeError::Corrupt {
+                            context: "lazy-sketch log indices must strictly increase",
+                        });
+                    }
+                    if delta == 0 {
+                        return Err(DecodeError::Corrupt {
+                            context: "lazy-sketch log holds a cancelled delta",
+                        });
+                    }
+                    previous = Some(index);
+                    log.push((index, delta));
+                }
+                let seed_bytes = seeds.take_rest().to_vec();
+                Ok(LazySketch::Sparse { seeds: Arc::new(seed_bytes), log })
+            }
+            KIND_DENSE => Ok(LazySketch::Dense(T::decode_parts(seeds, counters)?)),
+            _ => Err(DecodeError::Corrupt { context: "unknown lazy-sketch representation kind" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_hash::SeedSequence;
+    use lps_sketch::SparseRecovery;
+
+    fn proto() -> SparseRecovery {
+        let mut seeds = SeedSequence::new(41);
+        SparseRecovery::new(1 << 10, 6, &mut seeds)
+    }
+
+    fn seed_bytes_of(proto: &SparseRecovery) -> Arc<Vec<u8>> {
+        let mut v = Vec::new();
+        proto.encode_seeds(&mut WireWriter::new(&mut v));
+        Arc::new(v)
+    }
+
+    #[test]
+    fn sparse_log_coalesces_and_materializes_bit_identically() {
+        let proto = proto();
+        let mut lazy = LazySketch::sparse(seed_bytes_of(&proto));
+        let updates: Vec<Update> =
+            [(5u64, 3i64), (2, 1), (5, -3), (9, 4), (2, 2)].map(|(i, d)| Update::new(i, d)).into();
+        assert!(!lazy.apply(&proto, &updates, 100));
+        assert_eq!(lazy.log_len(), 2, "index 5 cancelled, index 2 coalesced");
+
+        // materialization replays through the same batch path as direct ingestion
+        let mut direct = proto.clone();
+        direct.ingest_batch(&updates);
+        lazy.materialize(&proto);
+        assert_eq!(lazy.as_dense().unwrap().state_digest(), direct.state_digest());
+    }
+
+    #[test]
+    fn threshold_crossing_materializes_during_apply() {
+        let proto = proto();
+        let mut lazy = LazySketch::sparse(seed_bytes_of(&proto));
+        let updates: Vec<Update> = (0..10).map(|i| Update::new(i, 1)).collect();
+        assert!(lazy.apply(&proto, &updates, 4), "log of 10 exceeds threshold 4");
+        assert!(lazy.is_dense());
+    }
+
+    #[test]
+    fn sparse_and_dense_encodings_share_the_seed_section() {
+        let proto = proto();
+        let mut sparse = LazySketch::sparse(seed_bytes_of(&proto));
+        sparse.apply(&proto, &[Update::new(3, 2)], 100);
+        let mut dense = sparse.clone();
+        dense.materialize(&proto);
+        let a = sparse.encode_to_vec();
+        let b = dense.encode_to_vec();
+        assert_eq!(
+            lps_sketch::seed_section(&a).unwrap(),
+            lps_sketch::seed_section(&b).unwrap(),
+            "sparse and dense tenants must stay merge-compatible"
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_digest_for_both_representations() {
+        let proto = proto();
+        let mut lazy = LazySketch::sparse(seed_bytes_of(&proto));
+        lazy.apply(&proto, &[Update::new(7, 5), Update::new(1, -2)], 100);
+        let decoded = LazySketch::<SparseRecovery>::decode_state(&lazy.encode_to_vec()).unwrap();
+        assert_eq!(decoded.state_digest(), lazy.state_digest());
+
+        lazy.materialize(&proto);
+        let decoded = LazySketch::<SparseRecovery>::decode_state(&lazy.encode_to_vec()).unwrap();
+        assert_eq!(decoded.state_digest(), lazy.state_digest());
+    }
+
+    #[test]
+    fn merge_covers_all_representation_pairs() {
+        let proto = proto();
+        let seeds = seed_bytes_of(&proto);
+        let ups_a = [Update::new(1, 2), Update::new(8, 1)];
+        let ups_b = [Update::new(8, 3), Update::new(2, -1)];
+        let mut direct = proto.clone();
+        direct.ingest_batch(&ups_a);
+        direct.ingest_batch(&ups_b);
+        let direct_digest = direct.state_digest();
+
+        for (a_dense, b_dense) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut a = LazySketch::sparse(Arc::clone(&seeds));
+            a.apply(&proto, &ups_a, 100);
+            let mut b = LazySketch::sparse(Arc::clone(&seeds));
+            b.apply(&proto, &ups_b, 100);
+            if a_dense {
+                a.materialize(&proto);
+            }
+            if b_dense {
+                b.materialize(&proto);
+            }
+            a.merge_from(&b);
+            let merged = a.with_state(&proto, |s| s.state_digest());
+            assert_eq!(merged, direct_digest, "case dense=({a_dense}, {b_dense})");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Tenant-space sharding: several registries behind one routing surface.
+//!
+//! A [`ShardedRegistry`] hashes tenant ids into a fixed 63-bit key space and
+//! partitions that space with the engine's [`KeyRange`] plan, so each
+//! sub-registry owns a contiguous hash range — the same partitioning the
+//! engine uses for index-space sharding, reused one level up for tenant
+//! space. Hashing first (splitmix64) spreads adversarial or sequential
+//! tenant ids uniformly across shards.
+
+use std::task::Poll;
+
+use lps_engine::{KeyRange, ShardIngest};
+use lps_hash::splitmix64;
+use lps_sketch::Persist;
+use lps_stream::Update;
+
+use crate::registry::{RegistryConfig, RegistryError, RegistryStats, SketchRegistry};
+use crate::spill::SpillBackend;
+
+/// The hashed tenant key space: 63 bits, so every hashed key falls strictly
+/// inside the plan's dimension and [`KeyRange::owner`] never sees an
+/// out-of-range index.
+const TENANT_KEY_SPACE: u64 = 1 << 63;
+
+/// A fleet of [`SketchRegistry`] shards partitioning hashed tenant space.
+pub struct ShardedRegistry<T, B> {
+    shards: Vec<SketchRegistry<T, B>>,
+    plan: KeyRange,
+}
+
+impl<T: ShardIngest + Persist, B: SpillBackend> ShardedRegistry<T, B> {
+    /// Build `shards` registries, each a clone of `proto` with its own
+    /// spill backend from `make_spill(shard_index)`.
+    pub fn new(
+        proto: &T,
+        shards: usize,
+        config: RegistryConfig,
+        mut make_spill: impl FnMut(usize) -> B,
+    ) -> Self {
+        assert!(shards >= 1, "sharded registry needs at least one shard");
+        let plan = KeyRange::new(TENANT_KEY_SPACE, shards);
+        let shards = (0..shards)
+            .map(|i| SketchRegistry::new(proto.clone(), config.clone(), make_spill(i)))
+            .collect();
+        Self { shards, plan }
+    }
+
+    /// The shard that owns `tenant`.
+    pub fn shard_of(&self, tenant: u64) -> usize {
+        // keep the hashed key inside the 63-bit plan dimension
+        self.plan.owner(splitmix64(tenant) >> 1)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Route updates for `tenant` to its owning shard.
+    pub fn route(&mut self, tenant: u64, updates: &[Update]) -> Result<Poll<usize>, RegistryError> {
+        let shard = self.shard_of(tenant);
+        self.shards[shard].route(tenant, updates)
+    }
+
+    /// [`route`](Self::route) that drains the owning shard on `Pending`.
+    pub fn route_blocking(
+        &mut self,
+        tenant: u64,
+        updates: &[Update],
+    ) -> Result<usize, RegistryError> {
+        let shard = self.shard_of(tenant);
+        self.shards[shard].route_blocking(tenant, updates)
+    }
+
+    /// Drain every shard's outbox; returns total segments flushed.
+    pub fn drain(&mut self) -> Result<usize, RegistryError> {
+        let mut flushed = 0;
+        for shard in &mut self.shards {
+            flushed += shard.drain()?;
+        }
+        Ok(flushed)
+    }
+
+    /// Query `tenant` on its owning shard (see [`SketchRegistry::query`]).
+    pub fn query<R>(
+        &mut self,
+        tenant: u64,
+        f: impl FnOnce(&T) -> R,
+    ) -> Result<Option<R>, RegistryError> {
+        let shard = self.shard_of(tenant);
+        self.shards[shard].query(tenant, f)
+    }
+
+    /// Representation-level digest of `tenant` (see
+    /// [`SketchRegistry::digest`]).
+    pub fn digest(&mut self, tenant: u64) -> Result<Option<u64>, RegistryError> {
+        let shard = self.shard_of(tenant);
+        self.shards[shard].digest(tenant)
+    }
+
+    /// Total resident tenants across shards.
+    pub fn resident_count(&self) -> usize {
+        self.shards.iter().map(SketchRegistry::resident_count).sum()
+    }
+
+    /// Total spilled tenants across shards.
+    pub fn spilled_count(&self) -> usize {
+        self.shards.iter().map(SketchRegistry::spilled_count).sum()
+    }
+
+    /// Summed resident-memory estimate across shards.
+    pub fn resident_bytes_estimate(&self) -> usize {
+        self.shards.iter().map(SketchRegistry::resident_bytes_estimate).sum()
+    }
+
+    /// Aggregated lifetime stats across shards.
+    pub fn stats(&self) -> RegistryStats {
+        let mut total = RegistryStats::default();
+        for shard in &self.shards {
+            total.absorb(shard.stats());
+        }
+        total
+    }
+
+    /// Direct access to a shard (benchmarks and tests).
+    pub fn shard(&self, index: usize) -> &SketchRegistry<T, B> {
+        &self.shards[index]
+    }
+}

@@ -1,0 +1,213 @@
+//! Spill backends: where evicted tenant segments go.
+//!
+//! The registry is sans-io about eviction the same way the engine's ingest
+//! sessions are sans-io about ingestion: eviction produces tenant-tagged
+//! segments ([`crate::envelope`]) into an outbox, and a [`SpillBackend`]
+//! decides what "cold storage" means. [`MemorySpill`] keeps segments in a
+//! map (tests, or a tiered in-process cache); [`FileSpill`] appends them to
+//! a log file whose index a fresh process can rebuild by walking the
+//! segments, giving cross-process registry restore for free.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::envelope::{decode_tenant_segment, read_tenant_segment};
+
+/// Cold storage for evicted tenant segments.
+///
+/// A segment handed to [`put`](SpillBackend::put) is a complete tenant
+/// envelope (self-describing: magic, version, tenant id, payload), so a
+/// backend may treat it as an opaque blob.
+pub trait SpillBackend {
+    /// Store `segment` as the latest state of `tenant`, replacing any prior.
+    fn put(&mut self, tenant: u64, segment: &[u8]) -> io::Result<()>;
+    /// Fetch the latest segment for `tenant`, or `None` if never spilled.
+    fn get(&mut self, tenant: u64) -> io::Result<Option<Vec<u8>>>;
+    /// Forget `tenant` (its state moved back into memory).
+    fn remove(&mut self, tenant: u64);
+    /// Number of tenants currently held.
+    fn spilled(&self) -> usize;
+}
+
+/// In-memory spill backend: a plain map from tenant to segment bytes.
+#[derive(Debug, Default)]
+pub struct MemorySpill {
+    segments: HashMap<u64, Vec<u8>>,
+}
+
+impl MemorySpill {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SpillBackend for MemorySpill {
+    fn put(&mut self, tenant: u64, segment: &[u8]) -> io::Result<()> {
+        self.segments.insert(tenant, segment.to_vec());
+        Ok(())
+    }
+
+    fn get(&mut self, tenant: u64) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.segments.get(&tenant).cloned())
+    }
+
+    fn remove(&mut self, tenant: u64) {
+        self.segments.remove(&tenant);
+    }
+
+    fn spilled(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// Append-only file spill backend with an in-memory latest-wins index.
+///
+/// Segments are appended verbatim; re-spilling a tenant appends a newer
+/// segment and moves the index entry (the old bytes become garbage until the
+/// file is rewritten). [`FileSpill::open`] rebuilds the index by walking the
+/// segments, so a registry can restore tenants spilled by a previous
+/// process.
+#[derive(Debug)]
+pub struct FileSpill {
+    file: File,
+    /// tenant → (offset, total segment length) of the newest segment.
+    index: HashMap<u64, (u64, usize)>,
+    /// Next append offset (the file length).
+    tail: u64,
+}
+
+impl FileSpill {
+    /// Create (truncating) a spill file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(Self { file, index: HashMap::new(), tail: 0 })
+    }
+
+    /// Open an existing spill file, rebuilding the tenant index by walking
+    /// its segments. A torn tail (e.g. a crash mid-append) is an error: the
+    /// walk maps it to `InvalidData` rather than silently dropping tenants.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut index = HashMap::new();
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let (tenant, _, consumed) = read_tenant_segment(&bytes[offset..])
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            index.insert(tenant, (offset as u64, consumed));
+            offset += consumed;
+        }
+        let tail = bytes.len() as u64;
+        Ok(Self { file, index, tail })
+    }
+
+    /// Bytes currently occupied by the spill file (including superseded
+    /// segments awaiting compaction).
+    pub fn file_len(&self) -> u64 {
+        self.tail
+    }
+}
+
+impl SpillBackend for FileSpill {
+    fn put(&mut self, tenant: u64, segment: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(self.tail))?;
+        self.file.write_all(segment)?;
+        self.index.insert(tenant, (self.tail, segment.len()));
+        self.tail += segment.len() as u64;
+        Ok(())
+    }
+
+    fn get(&mut self, tenant: u64) -> io::Result<Option<Vec<u8>>> {
+        let Some(&(offset, len)) = self.index.get(&tenant) else {
+            return Ok(None);
+        };
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut segment = vec![0u8; len];
+        self.file.read_exact(&mut segment)?;
+        // paranoia against index/file skew: the stamped id must match
+        let (stamped, _) = decode_tenant_segment(&segment)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if stamped != tenant {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("spill index pointed tenant {tenant} at a segment stamped {stamped}"),
+            ));
+        }
+        Ok(Some(segment))
+    }
+
+    fn remove(&mut self, tenant: u64) {
+        self.index.remove(&tenant);
+    }
+
+    fn spilled(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::encode_tenant_segment;
+    use std::path::PathBuf;
+
+    fn scratch_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lps-registry-{}-{name}.spill", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn memory_spill_latest_wins() {
+        let mut spill = MemorySpill::new();
+        spill.put(9, &encode_tenant_segment(9, b"old")).unwrap();
+        spill.put(9, &encode_tenant_segment(9, b"new")).unwrap();
+        assert_eq!(spill.spilled(), 1);
+        let seg = spill.get(9).unwrap().unwrap();
+        assert_eq!(decode_tenant_segment(&seg).unwrap().1, b"new");
+        spill.remove(9);
+        assert!(spill.get(9).unwrap().is_none());
+    }
+
+    #[test]
+    fn file_spill_roundtrips_and_reopens() {
+        let path = scratch_path("reopen");
+        {
+            let mut spill = FileSpill::create(&path).unwrap();
+            spill.put(1, &encode_tenant_segment(1, b"one")).unwrap();
+            spill.put(2, &encode_tenant_segment(2, b"two")).unwrap();
+            spill.put(1, &encode_tenant_segment(1, b"one-v2")).unwrap();
+            assert_eq!(spill.spilled(), 2);
+            let seg = spill.get(1).unwrap().unwrap();
+            assert_eq!(decode_tenant_segment(&seg).unwrap().1, b"one-v2");
+        }
+        // a fresh process (simulated by reopening) rebuilds the index and
+        // sees the latest segment per tenant
+        let mut reopened = FileSpill::open(&path).unwrap();
+        assert_eq!(reopened.spilled(), 2);
+        let seg = reopened.get(1).unwrap().unwrap();
+        assert_eq!(decode_tenant_segment(&seg).unwrap().1, b"one-v2");
+        let seg = reopened.get(2).unwrap().unwrap();
+        assert_eq!(decode_tenant_segment(&seg).unwrap().1, b"two");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_an_error_not_data_loss() {
+        let path = scratch_path("torn");
+        {
+            let mut spill = FileSpill::create(&path).unwrap();
+            spill.put(5, &encode_tenant_segment(5, b"whole")).unwrap();
+        }
+        // chop the last byte to simulate a crash mid-append
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(FileSpill::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

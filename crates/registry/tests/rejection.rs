@@ -1,0 +1,186 @@
+//! Malformed-input rejection for the registry's persisted forms (the
+//! registry extension of `crates/sketch/tests/persist_roundtrip.rs`):
+//! lazy-sketch segments and tenant envelopes must reject truncation at every
+//! prefix, appended garbage, and corrupt tenant ids / counts — always with a
+//! typed error, never a panic or a length-driven over-allocation.
+
+use lps_engine::ShardIngest;
+use lps_hash::SeedSequence;
+use lps_registry::{
+    decode_tenant_segment, encode_tenant_segment, read_tenant_segment, LazySketch,
+    TENANT_HEADER_LEN,
+};
+use lps_sketch::{CountSketch, Persist, SparseRecovery, WireWriter};
+use lps_stream::Update;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const DIM: u64 = 256;
+
+fn updates_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DIM, -50i64..50), 0..max_len)
+}
+
+fn to_updates(pairs: &[(u64, i64)]) -> Vec<Update> {
+    pairs.iter().map(|&(i, d)| Update::new(i, d)).collect()
+}
+
+fn lazy_tenant<T: ShardIngest + Persist>(
+    proto: &T,
+    pairs: &[(u64, i64)],
+    dense: bool,
+) -> LazySketch<T> {
+    let mut seed_bytes = Vec::new();
+    proto.encode_seeds(&mut WireWriter::new(&mut seed_bytes));
+    let mut lazy = LazySketch::sparse(Arc::new(seed_bytes));
+    lazy.apply(proto, &to_updates(pairs), usize::MAX);
+    if dense {
+        lazy.materialize(proto);
+    }
+    lazy
+}
+
+/// Mirror of the sketch crate's malformed-variant sweep.
+fn assert_rejects_malformed<S: Persist>(state: &S) {
+    let good = state.encode_to_vec();
+    assert!(S::decode_state(&good).is_ok(), "the untouched encoding must decode");
+
+    for cut in 0..good.len() {
+        assert!(S::decode_state(&good[..cut]).is_err(), "prefix of {cut} bytes accepted");
+    }
+    let mut long = good.clone();
+    long.extend_from_slice(&[0xAB, 0xCD]);
+    assert!(S::decode_state(&long).is_err(), "trailing bytes accepted");
+    // single-byte corruption over the whole buffer: decode is total — either
+    // a typed error or a structurally valid state, never a panic
+    let step = (good.len() / 64).max(1);
+    for pos in (0..good.len()).step_by(step) {
+        let mut bad = good.clone();
+        bad[pos] ^= 0xFF;
+        let _ = S::decode_state(&bad);
+    }
+}
+
+/// The same sweep for a tenant envelope wrapping `payload`.
+fn assert_envelope_rejects_malformed(tenant: u64, payload: &[u8]) {
+    let good = encode_tenant_segment(tenant, payload);
+    assert_eq!(decode_tenant_segment(&good).unwrap(), (tenant, payload));
+
+    for cut in 0..good.len() {
+        assert!(
+            read_tenant_segment(&good[..cut]).is_err(),
+            "envelope prefix of {cut} bytes accepted"
+        );
+    }
+    let mut long = good.clone();
+    long.extend_from_slice(&[0x01]);
+    assert!(decode_tenant_segment(&long).is_err(), "trailing envelope bytes accepted");
+
+    // corrupt every header byte: magic, version, tenant id, payload length
+    for pos in 0..TENANT_HEADER_LEN.min(good.len()) {
+        let mut bad = good.clone();
+        bad[pos] ^= 0xFF;
+        // a flipped tenant-id byte still parses (the id is opaque here; the
+        // registry checks it against its index) — everything else must not
+        // panic, and length corruption must fail rather than over-allocate
+        let _ = read_tenant_segment(&bad);
+    }
+    // maximal length field: must be Truncated, not an allocation attempt
+    let mut bad = good.clone();
+    bad[14..22].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(read_tenant_segment(&bad).is_err(), "absurd payload length accepted");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn sparse_lazy_segments_reject_malformed(
+        pairs in updates_strategy(24),
+        seed in any::<u64>(),
+    ) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = SparseRecovery::new(DIM, 5, &mut seeds);
+        assert_rejects_malformed(&lazy_tenant(&proto, &pairs, false));
+    }
+
+    #[test]
+    fn dense_lazy_segments_reject_malformed(
+        pairs in updates_strategy(24),
+        seed in any::<u64>(),
+    ) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = CountSketch::new(DIM, 8, 4, &mut seeds);
+        assert_rejects_malformed(&lazy_tenant(&proto, &pairs, true));
+    }
+
+    #[test]
+    fn tenant_envelopes_reject_malformed(
+        pairs in updates_strategy(24),
+        tenant in any::<u64>(),
+        dense in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut seeds = SeedSequence::new(seed);
+        let proto = SparseRecovery::new(DIM, 5, &mut seeds);
+        let payload = lazy_tenant(&proto, &pairs, dense).encode_to_vec();
+        assert_envelope_rejects_malformed(tenant, &payload);
+    }
+}
+
+#[test]
+fn sparse_log_decode_rejects_unsorted_and_cancelled_entries() {
+    let mut seeds = SeedSequence::new(99);
+    let proto = SparseRecovery::new(DIM, 5, &mut seeds);
+    let lazy = lazy_tenant(&proto, &[(3, 5), (9, 1)], false);
+    let good = lazy.encode_to_vec();
+
+    // locate the log region: it sits in the counter section after the kind
+    // byte and count; flip the second index below the first to break sorting
+    let header = lps_sketch::read_header(&good).unwrap();
+    let counters_at = header.counter_range.start;
+    let mut bad = good.clone();
+    // counter section layout: kind u8 | count u64 | (index u64, delta i64)*
+    let second_index_at = counters_at + 1 + 8 + 16;
+    bad[second_index_at..second_index_at + 8].copy_from_slice(&1u64.to_le_bytes());
+    assert!(LazySketch::<SparseRecovery>::decode_state(&bad).is_err(), "out-of-order log accepted");
+
+    // a zero delta claims a cancelled entry, which encode never emits
+    let mut bad = good.clone();
+    let first_delta_at = counters_at + 1 + 8 + 8;
+    bad[first_delta_at..first_delta_at + 8].copy_from_slice(&0i64.to_le_bytes());
+    assert!(
+        LazySketch::<SparseRecovery>::decode_state(&bad).is_err(),
+        "cancelled log entry accepted"
+    );
+
+    // an inflated log count must be rejected before allocating
+    let mut bad = good;
+    let count_at = counters_at + 1;
+    bad[count_at..count_at + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    assert!(
+        LazySketch::<SparseRecovery>::decode_state(&bad).is_err(),
+        "inflated log count accepted"
+    );
+}
+
+#[test]
+fn registry_restore_rejects_cross_registry_segments() {
+    use lps_registry::{MemorySpill, RegistryConfig, SketchRegistry, SpillBackend};
+
+    // a segment spilled by a differently-seeded registry must be refused on
+    // restore (seed witness mismatch), not silently merged
+    let proto_a = SparseRecovery::new(DIM, 5, &mut SeedSequence::new(1));
+    let lazy = lazy_tenant(&proto_a, &[(1, 1), (2, 2), (3, 3)], true);
+    let segment = encode_tenant_segment(7, &lazy.encode_to_vec());
+    let mut foreign = MemorySpill::new();
+    foreign.put(7, &segment).unwrap();
+
+    let proto_b = SparseRecovery::new(DIM, 5, &mut SeedSequence::new(2));
+    let config = RegistryConfig { max_resident: 4, materialize_threshold: 2, spill_backlog: 8 };
+    let mut reg_b = SketchRegistry::new(proto_b, config, foreign);
+    assert!(
+        reg_b.route(7, &[Update::new(5, 5)]).is_err(),
+        "segment from a differently-seeded registry must be rejected"
+    );
+}

@@ -12,6 +12,7 @@
 use lps_hash::{FourWiseHash, SeedSequence};
 use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 
+use crate::compensated::kahan_add;
 use crate::linear::LinearSketch;
 use crate::mergeable::{Mergeable, StateDigest};
 use crate::persist::{tags, DecodeError, Persist, WireReader, WireWriter};
@@ -23,6 +24,9 @@ pub struct AmsSketch {
     groups: usize,
     group_size: usize,
     counters: Vec<f64>,
+    /// Kahan compensation terms, parallel to `counters`. Identically zero
+    /// for integer workloads (see [`crate::compensated`]).
+    comp: Vec<f64>,
     signs: Vec<FourWiseHash>,
 }
 
@@ -33,7 +37,14 @@ impl AmsSketch {
         assert!(dimension > 0 && groups >= 1 && group_size >= 1);
         let total = groups * group_size;
         let signs = (0..total).map(|_| FourWiseHash::new(seeds)).collect();
-        AmsSketch { dimension, groups, group_size, counters: vec![0.0; total], signs }
+        AmsSketch {
+            dimension,
+            groups,
+            group_size,
+            counters: vec![0.0; total],
+            comp: vec![0.0; total],
+            signs,
+        }
     }
 
     /// A default shape giving a ≤ 2-factor approximation with high
@@ -86,6 +97,7 @@ impl AmsSketch {
             groups: self.groups,
             group_size: self.group_size,
             counters: vec![0.0; self.counters.len()],
+            comp: vec![0.0; self.counters.len()],
             signs: self.signs.clone(),
         };
         for &(i, v) in entries {
@@ -115,8 +127,10 @@ impl AmsSketch {
 impl LinearSketch for AmsSketch {
     fn update(&mut self, index: u64, delta: f64) {
         debug_assert!(index < self.dimension);
-        for (counter, sign) in self.counters.iter_mut().zip(self.signs.iter()) {
-            *counter += sign.sign(index) as f64 * delta;
+        for ((counter, comp), sign) in
+            self.counters.iter_mut().zip(self.comp.iter_mut()).zip(self.signs.iter())
+        {
+            kahan_add(counter, comp, sign.sign(index) as f64 * delta);
         }
     }
 
@@ -132,7 +146,12 @@ impl LinearSketch for AmsSketch {
 
     fn merge(&mut self, other: &Self) {
         assert_eq!(self.counters.len(), other.counters.len());
+        // Plain elementwise addition of both vectors keeps merge
+        // bitwise-commutative, as Mergeable requires.
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.comp.iter_mut().zip(other.comp.iter()) {
             *a += b;
         }
     }
@@ -140,6 +159,9 @@ impl LinearSketch for AmsSketch {
     fn subtract(&mut self, other: &Self) {
         assert_eq!(self.counters.len(), other.counters.len());
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a -= b;
+        }
+        for (a, b) in self.comp.iter_mut().zip(other.comp.iter()) {
             *a -= b;
         }
     }
@@ -157,6 +179,9 @@ impl Mergeable for AmsSketch {
     fn state_digest(&self) -> u64 {
         let mut d = StateDigest::new();
         for &v in &self.counters {
+            d.write_f64(v);
+        }
+        for &v in &self.comp {
             d.write_f64(v);
         }
         d.finish()
@@ -179,6 +204,9 @@ impl Persist for AmsSketch {
         for &v in &self.counters {
             w.write_f64(v);
         }
+        for &v in &self.comp {
+            w.write_f64(v);
+        }
     }
 
     fn decode_parts(
@@ -198,7 +226,8 @@ impl Persist for AmsSketch {
             .map(|_| FourWiseHash::decode_parts(seeds, counters))
             .collect::<Result<Vec<_>, _>>()?;
         let values = counters.read_f64s(total)?;
-        Ok(AmsSketch { dimension, groups, group_size, counters: values, signs })
+        let comp = counters.read_f64s(total)?;
+        Ok(AmsSketch { dimension, groups, group_size, counters: values, comp, signs })
     }
 }
 

@@ -1,0 +1,71 @@
+//! Kahan compensated summation for the float-accumulator sketches.
+//!
+//! The count-sketch, AMS, and p-stable sketches accumulate real-valued sums
+//! in `f64` counters. Plain `+=` loses low-order bits once a counter's
+//! magnitude dwarfs an incoming delta, and the loss is order-dependent —
+//! exactly the drift the sharded-ingestion tests bound. Kahan's algorithm
+//! carries one compensation term per counter, recovering the bits truncated
+//! by each addition and folding them into the next, which shrinks worst-case
+//! accumulation error from `O(n·ε)` to `O(ε)` for comparable magnitudes.
+//!
+//! Two properties the workspace depends on:
+//!
+//! * **Integer transparency.** When every addend is an integer of magnitude
+//!   below 2^53 and the running sum stays below 2^53, each addition is exact:
+//!   `y = v − 0 = v`, `t = sum + v` exact, `comp = (t − sum) − v = 0`. The
+//!   compensation vector stays identically zero, so integer workloads keep
+//!   the exact digests the engine's bit-identity tests pin.
+//! * **Merge stays bitwise-commutative.** [`crate::Mergeable`] requires
+//!   `merge` to commute at the bit level, so merging compensated sketches
+//!   adds the primary counters and the compensation terms *elementwise and
+//!   independently* — never a compensated add of one into the other, which
+//!   would be order-sensitive.
+//!
+//! The compensation vector is part of the persisted state (wire format
+//! version 2) and of the state digest: a checkpointed-and-restored sketch
+//! resumes summation with bit-identical rounding to one that never left
+//! memory.
+
+/// One step of Kahan summation: add `v` into `sum`, tracking the truncated
+/// low-order bits in `comp`.
+#[inline]
+pub fn kahan_add(sum: &mut f64, comp: &mut f64, v: f64) {
+    let y = v - *comp;
+    let t = *sum + y;
+    *comp = (t - *sum) - y;
+    *sum = t;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_additions_keep_zero_compensation() {
+        let mut sum = 0.0;
+        let mut comp = 0.0;
+        for v in [1.0, -3.0, 1e15, 7.0, -1e15] {
+            kahan_add(&mut sum, &mut comp, v);
+        }
+        assert_eq!(sum, 5.0);
+        assert_eq!(comp.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn compensation_beats_naive_summation() {
+        // A large sum absorbing many tiny addends: naive `+=` rounds every
+        // tiny addend away; Kahan recovers them via the compensation term.
+        let n = 1_000_000u64;
+        let tiny = 1e-16f64;
+        let mut naive = 1.0f64;
+        let mut sum = 1.0f64;
+        let mut comp = 0.0f64;
+        for _ in 0..n {
+            naive += tiny;
+            kahan_add(&mut sum, &mut comp, tiny);
+        }
+        let expected = 1.0 + n as f64 * tiny;
+        assert_eq!(naive, 1.0, "naive summation should drop every tiny addend");
+        assert!((sum - expected).abs() < 1e-13, "kahan sum {sum} comp {comp} vs {expected}");
+    }
+}

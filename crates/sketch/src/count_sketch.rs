@@ -17,6 +17,7 @@
 use lps_hash::{PairwiseHash, SeedSequence};
 use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 
+use crate::compensated::kahan_add;
 use crate::linear::LinearSketch;
 use crate::mergeable::{Mergeable, StateDigest};
 use crate::persist::{tags, DecodeError, Persist, WireReader, WireWriter};
@@ -33,6 +34,9 @@ pub struct CountSketch {
     width: usize,
     /// Row-major bucket counters: `table[j * width + k]`.
     table: Vec<f64>,
+    /// Kahan compensation terms, parallel to `table`. Identically zero for
+    /// integer workloads (see [`crate::compensated`]).
+    comp: Vec<f64>,
     bucket_hashes: Vec<PairwiseHash>,
     sign_hashes: Vec<PairwiseHash>,
 }
@@ -90,6 +94,7 @@ impl CountSketch {
             rows,
             width,
             table: vec![0.0; rows * width],
+            comp: vec![0.0; rows * width],
             bucket_hashes,
             sign_hashes,
         }
@@ -172,6 +177,7 @@ impl CountSketch {
             rows: self.rows,
             width: self.width,
             table: vec![0.0; self.rows * self.width],
+            comp: vec![0.0; self.rows * self.width],
             bucket_hashes: self.bucket_hashes.clone(),
             sign_hashes: self.sign_hashes.clone(),
         };
@@ -214,7 +220,8 @@ impl LinearSketch for CountSketch {
         for j in 0..self.rows {
             let k = self.bucket_hashes[j].bucket(index, self.width);
             let sign = self.sign_hashes[j].sign(index) as f64;
-            self.table[j * self.width + k] += sign * delta;
+            let cell = j * self.width + k;
+            kahan_add(&mut self.table[cell], &mut self.comp[cell], sign * delta);
         }
     }
 
@@ -228,19 +235,29 @@ impl LinearSketch for CountSketch {
         let coalesced = lps_stream::coalesce_updates(updates);
         for j in 0..self.rows {
             let row = &mut self.table[j * self.width..(j + 1) * self.width];
+            let comp_row = &mut self.comp[j * self.width..(j + 1) * self.width];
             let bucket_hash = &self.bucket_hashes[j];
             let sign_hash = &self.sign_hashes[j];
             for &(index, delta) in &coalesced {
                 debug_assert!(index < self.dimension, "index out of range");
                 let k = bucket_hash.bucket(index, self.width);
-                row[k] += sign_hash.sign(index) as f64 * delta as f64;
+                kahan_add(
+                    &mut row[k],
+                    &mut comp_row[k],
+                    sign_hash.sign(index) as f64 * delta as f64,
+                );
             }
         }
     }
 
     fn merge(&mut self, other: &Self) {
         self.assert_same_shape(other);
+        // Plain elementwise addition of both vectors: Mergeable requires a
+        // bitwise-commutative merge, which a compensated add would break.
         for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.comp.iter_mut().zip(other.comp.iter()) {
             *a += b;
         }
     }
@@ -248,6 +265,9 @@ impl LinearSketch for CountSketch {
     fn subtract(&mut self, other: &Self) {
         self.assert_same_shape(other);
         for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a -= b;
+        }
+        for (a, b) in self.comp.iter_mut().zip(other.comp.iter()) {
             *a -= b;
         }
     }
@@ -265,6 +285,9 @@ impl Mergeable for CountSketch {
     fn state_digest(&self) -> u64 {
         let mut d = StateDigest::new();
         for &v in &self.table {
+            d.write_f64(v);
+        }
+        for &v in &self.comp {
             d.write_f64(v);
         }
         d.finish()
@@ -285,6 +308,9 @@ impl Persist for CountSketch {
 
     fn encode_counters(&self, w: &mut WireWriter<'_>) {
         for &v in &self.table {
+            w.write_f64(v);
+        }
+        for &v in &self.comp {
             w.write_f64(v);
         }
     }
@@ -314,7 +340,8 @@ impl Persist for CountSketch {
             .checked_mul(width)
             .ok_or(DecodeError::Corrupt { context: "count-sketch table overflows" })?;
         let table = counters.read_f64s(cells)?;
-        Ok(CountSketch { dimension, m, rows, width, table, bucket_hashes, sign_hashes })
+        let comp = counters.read_f64s(cells)?;
+        Ok(CountSketch { dimension, m, rows, width, table, comp, bucket_hashes, sign_hashes })
     }
 }
 

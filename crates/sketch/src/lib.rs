@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ams;
+pub mod compensated;
 pub mod count_min;
 pub mod count_sketch;
 pub mod linear;
@@ -36,6 +37,7 @@ pub mod pstable;
 pub mod sparse_recovery;
 
 pub use ams::AmsSketch;
+pub use compensated::kahan_add;
 pub use count_min::{CountMedianSketch, CountMinSketch};
 pub use count_sketch::{median, rows_for_dimension, CountSketch, SparseApprox, WIDTH_FACTOR};
 pub use linear::LinearSketch;

@@ -9,12 +9,12 @@
 //! session `checkpoint` / builder `resume` / `merge_checkpointed` build
 //! directly on this trait, wrapping each payload in a plan envelope).
 //!
-//! ## Wire format (version 1)
+//! ## Wire format (version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"LPSK"
-//! 4       2     format version (u16 LE) — currently 1
+//! 4       2     format version (u16 LE) — currently 2
 //! 6       2     structure tag  (u16 LE) — see the `tags` module
 //! 8       8     seed-section length  S  (u64 LE)
 //! 16      S     seed section     (shape parameters + all random seed material)
@@ -46,6 +46,11 @@
 //! foreign layouts. Structure tags are append-only: a tag, once assigned, is
 //! never reused for a different structure.
 //!
+//! Version history: **1** — initial layout; **2** — the float-accumulator
+//! sketches (count-sketch, AMS, p-stable) append their Kahan compensation
+//! vector to the counter section, so a restored state resumes summation with
+//! bit-identical rounding.
+//!
 //! Decoding is total: any byte slice either decodes to a valid structure or
 //! returns a typed [`DecodeError`]. Malformed input never panics and never
 //! triggers large speculative allocations (claimed element counts are checked
@@ -57,7 +62,7 @@ use lps_hash::{FourWiseHash, Fp, KWiseHash, PairwiseHash, TabulationHash, MERSEN
 pub const WIRE_MAGIC: [u8; 4] = *b"LPSK";
 
 /// The current (and only) wire-format version.
-pub const WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 2;
 
 /// Size of the fixed header preceding the seed section: magic, version,
 /// structure tag, seed-section length.
@@ -104,6 +109,8 @@ pub mod tags {
     pub const EXACT_SAMPLER: u16 = 0x0024;
     /// `lps_core::RepeatedSampler<S>` encodes as `REPEATED_BASE | S::TAG`.
     pub const REPEATED_BASE: u16 = 0x4000;
+    /// `lps_registry::LazySketch<T>` encodes as `LAZY_BASE | T::TAG`.
+    pub const LAZY_BASE: u16 = 0x8000;
     /// `lps_heavy::CountSketchHeavyHitters`.
     pub const CS_HEAVY_HITTERS: u16 = 0x0030;
     /// `lps_heavy::CountMinHeavyHitters`.
@@ -257,6 +264,12 @@ impl<'a> WireWriter<'a> {
     pub fn write_fp(&mut self, v: Fp) {
         self.write_u64(v.value());
     }
+
+    /// Append raw bytes verbatim — for embedding an already-encoded section
+    /// (e.g. a captured seed section) without re-serializing it.
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
 }
 
 /// Little-endian cursor over a byte slice; the decoding half of the wire
@@ -379,6 +392,16 @@ impl<'a> WireReader<'a> {
     pub fn read_i64s(&mut self, count: usize) -> Result<Vec<i64>, DecodeError> {
         self.claim(count, 8)?;
         (0..count).map(|_| self.read_i64()).collect()
+    }
+
+    /// Consume and return every unconsumed byte. The inverse of
+    /// [`WireWriter::write_raw`] for a trailing raw field: callers that store
+    /// an opaque blob (e.g. a captured seed section) place it last in the
+    /// section and capture it with this.
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        let out = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        out
     }
 }
 

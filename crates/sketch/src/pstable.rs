@@ -18,6 +18,7 @@
 use lps_hash::{KWiseHash, SeedSequence};
 use lps_stream::{counter_bits_for, SpaceBreakdown, SpaceUsage};
 
+use crate::compensated::kahan_add;
 use crate::count_sketch::median;
 use crate::linear::LinearSketch;
 use crate::mergeable::{Mergeable, StateDigest};
@@ -33,6 +34,11 @@ pub struct PStableSketch {
     p: f64,
     rows: usize,
     counters: Vec<f64>,
+    /// Kahan compensation terms, parallel to `counters` (see
+    /// [`crate::compensated`]). Unlike the signed-unit sketches these
+    /// counters sum arbitrary reals, so the compensation genuinely tightens
+    /// the sequential-vs-sharded drift bound.
+    comp: Vec<f64>,
     /// One hash per row; the hashed index supplies the uniforms that the CMS
     /// transform turns into that row's p-stable coefficient for the index.
     row_hashes: Vec<KWiseHash>,
@@ -51,7 +57,15 @@ impl PStableSketch {
         // independence is emulated by a wide polynomial hash.
         let row_hashes = (0..rows).map(|_| KWiseHash::new(8, seeds)).collect();
         let median_abs = calibrate_median_abs(p);
-        PStableSketch { dimension, p, rows, counters: vec![0.0; rows], row_hashes, median_abs }
+        PStableSketch {
+            dimension,
+            p,
+            rows,
+            counters: vec![0.0; rows],
+            comp: vec![0.0; rows],
+            row_hashes,
+            median_abs,
+        }
     }
 
     /// Default shape: `O(log n)` rows, enough for a 2-approximation w.h.p.
@@ -117,7 +131,8 @@ impl LinearSketch for PStableSketch {
     fn update(&mut self, index: u64, delta: f64) {
         debug_assert!(index < self.dimension);
         for row in 0..self.rows {
-            self.counters[row] += self.coefficient(row, index) * delta;
+            let v = self.coefficient(row, index) * delta;
+            kahan_add(&mut self.counters[row], &mut self.comp[row], v);
         }
     }
 
@@ -142,15 +157,22 @@ impl LinearSketch for PStableSketch {
                 }
             };
             let delta = u.delta as f64;
-            for (counter, c) in self.counters.iter_mut().zip(coeffs.iter()) {
-                *counter += c * delta;
+            for ((counter, comp), c) in
+                self.counters.iter_mut().zip(self.comp.iter_mut()).zip(coeffs.iter())
+            {
+                kahan_add(counter, comp, c * delta);
             }
         }
     }
 
     fn merge(&mut self, other: &Self) {
         assert_eq!(self.rows, other.rows);
+        // Plain elementwise addition of both vectors keeps merge
+        // bitwise-commutative, as Mergeable requires.
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.comp.iter_mut().zip(other.comp.iter()) {
             *a += b;
         }
     }
@@ -158,6 +180,9 @@ impl LinearSketch for PStableSketch {
     fn subtract(&mut self, other: &Self) {
         assert_eq!(self.rows, other.rows);
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a -= b;
+        }
+        for (a, b) in self.comp.iter_mut().zip(other.comp.iter()) {
             *a -= b;
         }
     }
@@ -175,6 +200,9 @@ impl Mergeable for PStableSketch {
     fn state_digest(&self) -> u64 {
         let mut d = StateDigest::new();
         for &v in &self.counters {
+            d.write_f64(v);
+        }
+        for &v in &self.comp {
             d.write_f64(v);
         }
         d.finish()
@@ -197,6 +225,9 @@ impl Persist for PStableSketch {
         for &v in &self.counters {
             w.write_f64(v);
         }
+        for &v in &self.comp {
+            w.write_f64(v);
+        }
     }
 
     fn decode_parts(
@@ -216,10 +247,11 @@ impl Persist for PStableSketch {
             .map(|_| KWiseHash::decode_parts(seeds, counters))
             .collect::<Result<Vec<_>, _>>()?;
         let values = counters.read_f64s(rows)?;
+        let comp = counters.read_f64s(rows)?;
         // The normalising constant is derived deterministically from p, not
         // stored: recompute it exactly as the constructor does.
         let median_abs = calibrate_median_abs(p);
-        Ok(PStableSketch { dimension, p, rows, counters: values, row_hashes, median_abs })
+        Ok(PStableSketch { dimension, p, rows, counters: values, comp, row_hashes, median_abs })
     }
 }
 

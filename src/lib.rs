@@ -20,6 +20,9 @@
 //!   mergeability (shard across threads, tree-merge at the end), plus
 //!   checkpoint/restore and cross-process merging over the versioned
 //!   `Persist` wire format.
+//! * [`registry`] — the multi-tenant sketch registry: fleets of keyed
+//!   sketches sharing one seed pool, with lazy sparse tenants, LRU eviction
+//!   to a spill backend, and transparent restore.
 //! * [`commgames`] — augmented indexing, the universal relation, and the
 //!   executable lower-bound reductions.
 //!
@@ -55,6 +58,7 @@ pub use lps_duplicates as duplicates;
 pub use lps_engine as engine;
 pub use lps_hash as hash;
 pub use lps_heavy as heavy;
+pub use lps_registry as registry;
 pub use lps_sketch as sketch;
 pub use lps_stream as stream;
 
@@ -80,6 +84,9 @@ pub mod prelude {
     pub use lps_heavy::{
         exact_heavy_hitters, is_valid_heavy_hitter_set, CountMinHeavyHitters,
         CountSketchHeavyHitters,
+    };
+    pub use lps_registry::{
+        LazySketch, MemorySpill, RegistryConfig, ShardedRegistry, SketchRegistry, SpillBackend,
     };
     pub use lps_sketch::{
         AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, DecodeError, LinearSketch,

@@ -65,3 +65,8 @@ fn parallel_ingest_example_exits_zero() {
 fn partitioned_ingest_example_exits_zero() {
     run_example("partitioned_ingest");
 }
+
+#[test]
+fn registry_tenants_example_exits_zero() {
+    run_example("registry_tenants");
+}
