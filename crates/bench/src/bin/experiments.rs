@@ -7,6 +7,7 @@
 //!   cargo run --release -p lps-bench --bin experiments -- bench --json --check baseline.json
 //!   cargo run --release -p lps-bench --bin experiments -- checkpoint --dir D [--shards K]
 //!   cargo run --release -p lps-bench --bin experiments -- checkpoint --merge --dir D
+//!   cargo run --release -p lps-bench --bin experiments -- crashtest --dir D [--kills K] [--seed S]
 //!
 //! Without `--full` the harness runs in "quick" mode (fewer trials), which is
 //! what EXPERIMENTS.md reports; `--full` multiplies the trial counts. The
@@ -25,6 +26,11 @@
 //! files back, merges them with seed-compatibility validation, and
 //! digest-compares against sequential ingestion — exiting non-zero on any
 //! mismatch.
+//!
+//! The `crashtest` subcommand is the crash-recovery harness: it re-spawns
+//! this binary as a child (`--child`) that routes Zipf traffic into a
+//! `FileSpill` and aborts mid-run, then reopens the torn log and verifies
+//! every committed record survived (see `lps_bench::crashtest`).
 
 use lps_bench::*;
 
@@ -76,10 +82,37 @@ fn run_checkpoint(args: &[String]) -> i32 {
     }
 }
 
+/// Run the `crashtest` subcommand; returns the process exit code.
+fn run_crashtest(args: &[String]) -> i32 {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| panic!("{flag} needs a value")))
+    };
+    let dir =
+        std::path::PathBuf::from(value_of("--dir").expect("crashtest requires --dir <directory>"));
+    let seed: u64 =
+        value_of("--seed").map(|s| s.parse().expect("--seed needs a number")).unwrap_or(1);
+    if args.iter().any(|a| a == "--child") {
+        let kill_after: u64 = value_of("--kill-after")
+            .expect("--child requires --kill-after <commits>")
+            .parse()
+            .expect("--kill-after needs a number");
+        crashtest_child(&dir, seed, kill_after)
+    } else {
+        let kills: u32 =
+            value_of("--kills").map(|s| s.parse().expect("--kills needs a number")).unwrap_or(8);
+        crashtest_parent(&dir, kills, seed)
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("checkpoint") {
         std::process::exit(run_checkpoint(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("crashtest") {
+        std::process::exit(run_crashtest(&args[1..]));
     }
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");

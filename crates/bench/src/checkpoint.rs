@@ -90,14 +90,14 @@ fn write_one<T: ShardIngest + Persist + 'static>(
         PlanStrategy::RoundRobin => {
             let mut session = EngineBuilder::new(proto).shards(shards).session();
             session.ingest_blocking(updates);
-            session.checkpoint()
+            session.checkpoint().unwrap()
         }
         PlanStrategy::KeyRange => {
             let mut session = EngineBuilder::new(proto)
                 .plan(KeyRange::new(CHECKPOINT_DIMENSION, shards))
                 .session();
             session.ingest_blocking(updates);
-            session.checkpoint()
+            session.checkpoint().unwrap()
         }
     };
     let mut bytes = 0u64;

@@ -69,7 +69,12 @@ pub const E15_MAX_RESIDENT: usize = 4096;
 pub const E15_ZIPF_ALPHA: f64 = 1.05;
 
 fn registry_config() -> RegistryConfig {
-    RegistryConfig { max_resident: E15_MAX_RESIDENT, materialize_threshold: 32, spill_backlog: 256 }
+    RegistryConfig {
+        max_resident: E15_MAX_RESIDENT,
+        materialize_threshold: 32,
+        spill_backlog: 256,
+        ..Default::default()
+    }
 }
 
 /// The per-tenant structure E15 fleets are built from: exact 8-sparse

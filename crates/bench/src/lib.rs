@@ -11,12 +11,15 @@
 //! (`experiments -- bench --json`), together with the headline-ratio
 //! regression gate CI runs via `experiments -- bench --check <baseline>`.
 //! The [`checkpoint`] module backs `experiments -- checkpoint`, the
-//! cross-process checkpoint → shard files → merge → digest-compare pipeline.
+//! cross-process checkpoint → shard files → merge → digest-compare pipeline,
+//! and the [`crashtest`] module backs `experiments -- crashtest`, the
+//! kill-a-child-mid-spill crash-recovery harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod crashtest;
 pub mod e_duplicates;
 pub mod e_heavy;
 pub mod e_lower;
@@ -28,6 +31,7 @@ pub mod throughput;
 pub use checkpoint::{
     checkpoint_merge, checkpoint_write, render_outcomes, CheckpointOutcome, CHECKPOINT_STRUCTURES,
 };
+pub use crashtest::{crashtest_child, crashtest_parent, CrashOutcome};
 pub use e_duplicates::{e5_duplicates, e6_duplicates_short, e7_duplicates_long};
 pub use e_heavy::e8_heavy_hitters;
 pub use e_lower::{e10_reductions, e11_hh_reduction, e9_ur_protocol};

@@ -40,12 +40,12 @@
 //! // replicated shards, additive merge …
 //! let mut rr = EngineBuilder::new(&proto).shards(4).session();
 //! rr.ingest_blocking(&updates);
-//! assert_eq!(rr.seal().state_digest(), sequential.state_digest());
+//! assert_eq!(rr.seal().unwrap().state_digest(), sequential.state_digest());
 //!
 //! // … or partitioned coordinate space, disjoint-union merge: same bits
 //! let mut kr = EngineBuilder::new(&proto).plan(KeyRange::new(1 << 12, 4)).session();
 //! kr.ingest_blocking(&updates);
-//! assert_eq!(kr.seal().state_digest(), sequential.state_digest());
+//! assert_eq!(kr.seal().unwrap().state_digest(), sequential.state_digest());
 //! ```
 //!
 //! ## Exact and approximate sharding
@@ -104,6 +104,36 @@ pub use plan::{
     ENVELOPE_HEADER_LEN, ENVELOPE_MAGIC, ENVELOPE_VERSION,
 };
 pub use session::{EngineBuilder, IngestSession};
+
+/// Errors an engine session can surface at its terminal operations.
+///
+/// A worker panic (a bug in a structure's `ingest_batch`, or a poisoned
+/// update) is contained to its shard: the session keeps running, and
+/// [`IngestSession::seal`] / [`IngestSession::checkpoint`] report the
+/// panicked shard here instead of propagating the panic — so a caller can
+/// fall back to [`IngestSession::checkpoint_surviving`] and persist every
+/// shard that is still healthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The worker thread driving `shard` panicked; its partial state is
+    /// lost, every other shard's state is intact.
+    WorkerPanicked {
+        /// Index of the shard whose worker panicked.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::WorkerPanicked { shard } => {
+                write!(f, "engine worker for shard {shard} panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 use lps_core::{AkoSampler, FisL0Sampler, L0Sampler, LpSampler, PrecisionLpSampler};
 use lps_heavy::{CountMinHeavyHitters, CountSketchHeavyHitters};
@@ -289,6 +319,12 @@ pub fn merge_checkpointed<T: ShardIngest + Persist>(encoded: &[Vec<u8>]) -> Resu
 ///
 /// For exact [`ShardIngest`] structures the result is bit-identical to
 /// `prototype.clone()` ingesting `updates` sequentially.
+///
+/// # Panics
+///
+/// If a worker panics mid-ingest — the one-shot has no degraded mode; use
+/// an [`IngestSession`] and [`IngestSession::checkpoint_surviving`] when
+/// containment matters.
 pub fn parallel_ingest<T: ShardIngest + 'static>(
     prototype: &T,
     updates: &[Update],
@@ -296,11 +332,15 @@ pub fn parallel_ingest<T: ShardIngest + 'static>(
 ) -> T {
     let mut session = EngineBuilder::new(prototype).shards(shards).session();
     session.ingest_blocking(updates);
-    session.seal()
+    session.seal().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// One-shot convenience: shard `updates` under an explicit plan and return
 /// the merged result. The plan decides partitioning *and* recombination.
+///
+/// # Panics
+///
+/// If a worker panics mid-ingest (see [`parallel_ingest`]).
 pub fn partitioned_ingest<T: ShardIngest + 'static, P: ShardPlan>(
     prototype: &T,
     updates: &[Update],
@@ -308,7 +348,7 @@ pub fn partitioned_ingest<T: ShardIngest + 'static, P: ShardPlan>(
 ) -> T {
     let mut session = EngineBuilder::new(prototype).plan(plan).session();
     session.ingest_blocking(updates);
-    session.seal()
+    session.seal().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The legacy construct-then-`finish()` engine: a thin wrapper over
@@ -384,8 +424,10 @@ impl<T: ShardIngest + 'static> ShardedEngine<T> {
 
     /// Close the channels, join the workers and tree-merge the shard states
     /// into the final structure (the sketch of everything ingested).
+    /// Reports a panicked worker as [`EngineError::WorkerPanicked`], like
+    /// [`IngestSession::seal`].
     #[deprecated(since = "0.2.0", note = "use IngestSession::seal")]
-    pub fn finish(self) -> T {
+    pub fn finish(self) -> Result<T, EngineError> {
         self.session.seal()
     }
 }
@@ -398,7 +440,7 @@ impl<T: ShardIngest + Persist + 'static> ShardedEngine<T> {
     /// [`merge_checkpointed`] (not [`merge_encoded`], which handles only
     /// bare pre-envelope buffers).
     #[deprecated(since = "0.2.0", note = "use IngestSession::checkpoint")]
-    pub fn checkpoint_shards(self) -> Vec<Vec<u8>> {
+    pub fn checkpoint_shards(self) -> Result<Vec<Vec<u8>>, EngineError> {
         self.session.checkpoint()
     }
 
@@ -480,7 +522,7 @@ mod tests {
         for piece in updates.chunks(701) {
             session.ingest_blocking(piece);
         }
-        let merged = session.seal();
+        let merged = session.seal().unwrap();
         let mut sequential = proto.clone();
         sequential.process_batch(&updates);
         assert_eq!(merged.state_digest(), sequential.state_digest());
@@ -515,7 +557,7 @@ mod tests {
         let merged = {
             let mut engine = ShardedEngine::new(&proto, 3);
             engine.ingest(&updates);
-            engine.finish()
+            engine.finish().unwrap()
         };
         assert_eq!(merged.state_digest(), sequential.state_digest());
     }

@@ -52,6 +52,19 @@ pub enum Tolerance {
     /// Shard merges may reassociate floating-point sums: results are correct
     /// at the estimator level (within the documented `~2kε` per-counter
     /// drift) but not bit-identical. Required to shard the float structures.
+    ///
+    /// Kahan compensation does **not** lift the float structures to
+    /// [`Exact`](Tolerance::Exact), and cannot: compensation makes each
+    /// shard's *own* accumulation order nearly exact, but sequential
+    /// ingestion folds every update into one counter in stream order while a
+    /// k-way merge adds k already-rounded partial sums in a different
+    /// association. IEEE-754 addition is not associative, the bits rounded
+    /// away inside each partial sum are gone before the merge runs, and each
+    /// shard's compensation term was computed against its own sequence of
+    /// partial sums — summing the compensations elementwise preserves the
+    /// merge's commutativity, not sequential bit-identity. So the float
+    /// structures stay `Approximate` by construction; see
+    /// `lps_sketch::compensated` for the shard-local half of the story.
     Approximate,
 }
 

@@ -16,8 +16,19 @@
 //!                      ▲                └─► Poll::Pending (backpressure)
 //!                      └──── caller retries / drains ◄┘
 //!                      drain() ──► Poll::Ready when all buffers handed off
-//!                      seal()  ──► final merged structure (blocking, terminal)
+//!                      seal()  ──► Ok(final merged structure) (blocking, terminal)
+//!                                  Err(WorkerPanicked) if a shard died
 //! ```
+//!
+//! ## Worker panic containment
+//!
+//! A panic inside a worker (a structure bug, a poisoned update) is contained
+//! to its shard: the session marks the shard dead and keeps accepting and
+//! routing work for the others instead of propagating the panic into the
+//! dispatcher. The terminal operations surface it as a typed
+//! [`EngineError::WorkerPanicked`], and
+//! [`IngestSession::checkpoint_surviving`] persists every healthy shard's
+//! state so a degraded fleet can still checkpoint what it has.
 //!
 //! Internally the session stages routed updates per shard (one copy, into
 //! the staging buffer), seals a staging buffer into a dispatch batch when it
@@ -37,7 +48,7 @@ use lps_sketch::{DecodeError, Persist};
 use lps_stream::{Update, UpdateStream, DEFAULT_BATCH_SIZE};
 
 use crate::plan::{encode_envelope_header, validate_envelopes, RoundRobin, ShardPlan, Tolerance};
-use crate::{decode_compatible_shards, ShardIngest};
+use crate::{decode_compatible_shards, EngineError, ShardIngest};
 
 /// How many dispatch batches may sit unprocessed in each worker's channel.
 /// Together with the outbox cap this bounds peak buffered memory at roughly
@@ -70,7 +81,7 @@ struct Worker<T> {
 /// let mut session =
 ///     EngineBuilder::new(&proto).plan(KeyRange::new(1 << 12, 4)).session();
 /// session.ingest_blocking(&updates);
-/// let merged = session.seal();
+/// let merged = session.seal().unwrap();
 ///
 /// // bit-identical to sequential ingestion
 /// let mut sequential = proto.clone();
@@ -157,6 +168,10 @@ pub struct IngestSession<T: ShardIngest + 'static, P: ShardPlan> {
     /// Sealed batches awaiting channel capacity, global FIFO (per-shard
     /// order is preserved; batches for different shards may overtake).
     outbox: VecDeque<(usize, Vec<Update>)>,
+    /// Shards whose worker was observed dead (disconnected channel) before
+    /// join time. Batches routed to a dead shard are dropped — the state
+    /// they would have updated is already lost to the panic.
+    dead: Vec<bool>,
     batch_size: usize,
     accepted: u64,
 }
@@ -193,6 +208,7 @@ impl<T: ShardIngest + 'static, P: ShardPlan> IngestSession<T, P> {
             workers,
             staging: (0..shards).map(|_| Vec::with_capacity(batch_size)).collect(),
             outbox: VecDeque::new(),
+            dead: vec![false; shards],
             batch_size,
             accepted: 0,
         }
@@ -243,9 +259,9 @@ impl<T: ShardIngest + 'static, P: ShardPlan> IngestSession<T, P> {
                     stuck[shard] = true;
                     remaining.push_back((shard, batch));
                 }
-                Err(TrySendError::Disconnected(_)) => {
-                    panic!("engine worker exited before the stream ended")
-                }
+                // worker panicked: contain it — mark the shard dead and
+                // drop the batch (its state is already lost to the panic)
+                Err(TrySendError::Disconnected(_)) => self.dead[shard] = true,
             }
         }
         self.outbox = remaining;
@@ -255,6 +271,9 @@ impl<T: ShardIngest + 'static, P: ShardPlan> IngestSession<T, P> {
     /// moved, never cloned — a full channel costs nothing but queue position.
     fn dispatch(&mut self, shard: usize, batch: Vec<Update>) {
         debug_assert!(!batch.is_empty());
+        if self.dead[shard] {
+            return;
+        }
         // per-shard FIFO: an earlier batch for this shard queued in the
         // outbox must reach the worker first
         if self.outbox.iter().any(|(s, _)| *s == shard) {
@@ -264,9 +283,7 @@ impl<T: ShardIngest + 'static, P: ShardPlan> IngestSession<T, P> {
         match self.workers[shard].sender.try_send(batch) {
             Ok(()) => {}
             Err(TrySendError::Full(batch)) => self.outbox.push_back((shard, batch)),
-            Err(TrySendError::Disconnected(_)) => {
-                panic!("engine worker exited before the stream ended")
-            }
+            Err(TrySendError::Disconnected(_)) => self.dead[shard] = true,
         }
     }
 
@@ -355,13 +372,13 @@ impl<T: ShardIngest + 'static, P: ShardPlan> IngestSession<T, P> {
     }
 
     /// Send the oldest queued batch with a blocking `send`, waiting for its
-    /// worker to free channel capacity.
+    /// worker to free channel capacity. A dead worker's batch is dropped
+    /// (panic containment), so this always makes progress.
     fn block_on_capacity(&mut self) {
         if let Some((shard, batch)) = self.outbox.pop_front() {
-            self.workers[shard]
-                .sender
-                .send(batch)
-                .expect("engine worker exited before the stream ended");
+            if self.workers[shard].sender.send(batch).is_err() {
+                self.dead[shard] = true;
+            }
         }
     }
 
@@ -376,16 +393,21 @@ impl<T: ShardIngest + 'static, P: ShardPlan> IngestSession<T, P> {
         }
     }
 
-    /// Close the channels and join the workers, returning the raw per-shard
-    /// states in shard order.
-    fn join_shards(&mut self) -> Vec<T> {
-        std::mem::take(&mut self.workers)
-            .into_iter()
-            .map(|w| {
-                drop(w.sender);
-                w.handle.join().expect("engine worker panicked")
-            })
-            .collect()
+    /// Close the channels and join the workers: surviving shard states with
+    /// their shard indices, plus the indices of shards whose worker
+    /// panicked. The panic payloads are swallowed — containment, not
+    /// propagation.
+    fn join_shards(&mut self) -> (Vec<(usize, T)>, Vec<usize>) {
+        let mut survivors = Vec::new();
+        let mut panicked = Vec::new();
+        for (shard, w) in std::mem::take(&mut self.workers).into_iter().enumerate() {
+            drop(w.sender);
+            match w.handle.join() {
+                Ok(state) => survivors.push((shard, state)),
+                Err(_) => panicked.push(shard),
+            }
+        }
+        (survivors, panicked)
     }
 
     /// End the session: flush every buffered update (blocking as needed —
@@ -393,10 +415,20 @@ impl<T: ShardIngest + 'static, P: ShardPlan> IngestSession<T, P> {
     /// states under the plan's merge (additive tree for round robin,
     /// disjoint union for key ranges) into the sketch of everything
     /// accepted.
-    pub fn seal(mut self) -> T {
+    ///
+    /// If any worker panicked, returns
+    /// [`EngineError::WorkerPanicked`] for the lowest-indexed dead shard
+    /// instead of propagating the panic — a merged result that silently
+    /// missed a shard's stream would violate the linearity contract. Use
+    /// [`IngestSession::checkpoint_surviving`] when the healthy shards'
+    /// state must be persisted anyway.
+    pub fn seal(mut self) -> Result<T, EngineError> {
         self.flush_blocking();
-        let states = self.join_shards();
-        self.plan.merge_states(states)
+        let (survivors, panicked) = self.join_shards();
+        if let Some(&shard) = panicked.first() {
+            return Err(EngineError::WorkerPanicked { shard });
+        }
+        Ok(self.plan.merge_states(survivors.into_iter().map(|(_, state)| state).collect()))
     }
 
     /// Stop ingestion and serialize every shard's state **without** merging,
@@ -407,22 +439,53 @@ impl<T: ShardIngest + 'static, P: ShardPlan> IngestSession<T, P> {
     /// [`EngineBuilder::resume`] (and [`crate::merge_checkpointed`]) refuse
     /// buffers taken under a different strategy, so a key-range checkpoint
     /// cannot be silently recombined as round-robin.
-    pub fn checkpoint(mut self) -> Vec<Vec<u8>>
+    ///
+    /// Like [`IngestSession::seal`], reports a panicked worker as
+    /// [`EngineError::WorkerPanicked`] rather than checkpointing a stream
+    /// with a hole in it; [`IngestSession::checkpoint_surviving`] is the
+    /// explicitly-degraded variant.
+    pub fn checkpoint(mut self) -> Result<Vec<Vec<u8>>, EngineError>
     where
         T: Persist,
     {
         self.flush_blocking();
         let plan = self.plan.clone();
-        let states = self.join_shards();
-        states
-            .iter()
-            .enumerate()
-            .map(|(i, state)| {
-                let mut out = encode_envelope_header(&plan, i);
+        let (survivors, panicked) = self.join_shards();
+        if let Some(&shard) = panicked.first() {
+            return Err(EngineError::WorkerPanicked { shard });
+        }
+        Ok(survivors
+            .into_iter()
+            .map(|(shard, state)| {
+                let mut out = encode_envelope_header(&plan, shard);
                 state.encode_state(&mut out);
                 out
             })
-            .collect()
+            .collect())
+    }
+
+    /// Degraded-mode checkpoint: serialize **every surviving shard** behind
+    /// its plan envelope (stamped with the shard's true index), and report
+    /// which shards' workers panicked. Unlike
+    /// [`IngestSession::checkpoint`], this never fails — a fleet that lost
+    /// a shard can still persist the healthy ones and re-ingest only the
+    /// dead shard's slice of the stream.
+    pub fn checkpoint_surviving(mut self) -> (Vec<(usize, Vec<u8>)>, Vec<usize>)
+    where
+        T: Persist,
+    {
+        self.flush_blocking();
+        let plan = self.plan.clone();
+        let (survivors, panicked) = self.join_shards();
+        let buffers = survivors
+            .into_iter()
+            .map(|(shard, state)| {
+                let mut out = encode_envelope_header(&plan, shard);
+                state.encode_state(&mut out);
+                (shard, out)
+            })
+            .collect();
+        (buffers, panicked)
     }
 }
 

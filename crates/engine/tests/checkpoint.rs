@@ -36,7 +36,7 @@ fn checkpointed_shards_merge_to_the_sequential_digest_under_both_plans() {
     for shards in [1, 2, 3, 4] {
         let mut session = EngineBuilder::new(&proto).shards(shards).session();
         session.ingest_blocking(&updates);
-        let encoded = session.checkpoint();
+        let encoded = session.checkpoint().unwrap();
         assert_eq!(encoded.len(), shards);
         let merged: SparseRecovery = merge_checkpointed(&encoded).expect("round-robin merge");
         assert_eq!(
@@ -47,7 +47,7 @@ fn checkpointed_shards_merge_to_the_sequential_digest_under_both_plans() {
 
         let mut session = EngineBuilder::new(&proto).plan(KeyRange::new(1 << 12, shards)).session();
         session.ingest_blocking(&updates);
-        let encoded = session.checkpoint();
+        let encoded = session.checkpoint().unwrap();
         let merged: SparseRecovery = merge_checkpointed(&encoded).expect("key-range merge");
         assert_eq!(
             merged.state_digest(),
@@ -71,11 +71,11 @@ fn resume_continues_exactly_where_the_checkpoint_stopped() {
     let merged = {
         let mut session = EngineBuilder::new(&proto).shards(3).batch_size(128).session();
         session.ingest_blocking(first_half);
-        let encoded = session.checkpoint();
+        let encoded = session.checkpoint().unwrap();
         let mut resumed: lps_engine::IngestSession<CountMinSketch, RoundRobin> =
             EngineBuilder::new(&proto).shards(3).batch_size(128).resume(&encoded).expect("resume");
         resumed.ingest_blocking(second_half);
-        resumed.seal()
+        resumed.seal().unwrap()
     };
     assert_eq!(merged.state_digest(), sequential.state_digest());
 
@@ -83,11 +83,11 @@ fn resume_continues_exactly_where_the_checkpoint_stopped() {
     let plan = KeyRange::new(1 << 10, 3);
     let mut session = EngineBuilder::new(&proto).plan(plan.clone()).batch_size(128).session();
     session.ingest_blocking(first_half);
-    let encoded = session.checkpoint();
+    let encoded = session.checkpoint().unwrap();
     let mut resumed =
         EngineBuilder::new(&proto).plan(plan).batch_size(128).resume(&encoded).expect("resume");
     resumed.ingest_blocking(second_half);
-    assert_eq!(resumed.seal().state_digest(), sequential.state_digest());
+    assert_eq!(resumed.seal().unwrap().state_digest(), sequential.state_digest());
 }
 
 #[test]
@@ -106,12 +106,12 @@ fn merge_checkpointed_covers_every_exact_structure() {
                 {
                     let mut s = EngineBuilder::new(&proto).shards(4).session();
                     s.ingest_blocking(&updates);
-                    s.checkpoint()
+                    s.checkpoint().unwrap()
                 },
                 {
                     let mut s = EngineBuilder::new(&proto).plan(KeyRange::new(n, 4)).session();
                     s.ingest_blocking(&updates);
-                    s.checkpoint()
+                    s.checkpoint().unwrap()
                 },
             ] {
                 let merged: $ty = merge_checkpointed(&encoded).expect("merge");
@@ -144,7 +144,7 @@ fn key_range_checkpoint_cannot_be_resumed_round_robin() {
 
     let mut session = EngineBuilder::new(&proto).plan(KeyRange::new(1 << 10, 3)).session();
     session.ingest_blocking(&updates);
-    let encoded = session.checkpoint();
+    let encoded = session.checkpoint().unwrap();
 
     // the envelope stamps the producing strategy…
     let (envelope, _) = read_envelope(&encoded[0]).expect("read envelope");
@@ -165,7 +165,7 @@ fn key_range_checkpoint_cannot_be_resumed_round_robin() {
         .plan(KeyRange::new(1 << 10, 3))
         .resume(&encoded)
         .expect("matching plan resumes");
-    let _ = resumed.seal();
+    let _ = resumed.seal().unwrap();
 }
 
 #[test]
@@ -176,7 +176,7 @@ fn approximate_checkpoint_cannot_be_resumed_under_an_exact_plan() {
 
     let mut session = EngineBuilder::new(&proto).plan(RoundRobin::approximate(2)).session();
     session.ingest_blocking(&updates);
-    let encoded = session.checkpoint();
+    let encoded = session.checkpoint().unwrap();
     let (envelope, _) = read_envelope(&encoded[0]).expect("read envelope");
     assert_eq!(envelope.tolerance, Tolerance::Approximate);
 
@@ -196,7 +196,7 @@ fn approximate_checkpoint_cannot_be_resumed_under_an_exact_plan() {
         .plan(RoundRobin::approximate(2))
         .resume(&encoded)
         .expect("matching tolerance resumes");
-    let _ = resumed.seal();
+    let _ = resumed.seal().unwrap();
 }
 
 #[test]
@@ -207,7 +207,7 @@ fn resume_rejects_disagreeing_key_ranges_and_mixed_strategies() {
 
     let mut session = EngineBuilder::new(&proto).plan(KeyRange::new(1 << 10, 2)).session();
     session.ingest_blocking(&updates);
-    let encoded = session.checkpoint();
+    let encoded = session.checkpoint().unwrap();
 
     // same strategy, different boundaries: rejected before decoding counters
     let err = EngineBuilder::<SparseRecovery, _>::new(&proto)
@@ -219,7 +219,7 @@ fn resume_rejects_disagreeing_key_ranges_and_mixed_strategies() {
     // mixing strategies inside one checkpoint set: rejected by the merge
     let mut rr = EngineBuilder::new(&proto).shards(2).session();
     rr.ingest_blocking(&updates);
-    let rr_encoded = rr.checkpoint();
+    let rr_encoded = rr.checkpoint().unwrap();
     let mixed = vec![encoded[0].clone(), rr_encoded[1].clone()];
     let err = merge_checkpointed::<SparseRecovery>(&mixed)
         .expect_err("mixed strategies must be rejected");
@@ -235,7 +235,7 @@ fn merge_checkpointed_rejects_mismatched_seeds_and_bare_buffers() {
         let proto = SparseRecovery::new(512, 4, seeds);
         let mut session = EngineBuilder::new(&proto).shards(1).session();
         session.ingest_blocking(&updates);
-        session.checkpoint().remove(0)
+        session.checkpoint().unwrap().remove(0)
     };
     let a = mk(&mut s1);
     let b = mk(&mut s2);
@@ -292,7 +292,7 @@ fn merge_checkpointed_agrees_with_in_process_seal() {
 
     let mut session = EngineBuilder::new(&proto).shards(4).session();
     session.ingest_blocking(&updates);
-    let cross: L0Sampler = merge_checkpointed(&session.checkpoint()).unwrap();
+    let cross: L0Sampler = merge_checkpointed(&session.checkpoint().unwrap()).unwrap();
 
     assert_eq!(in_process.state_digest(), cross.state_digest());
 }

@@ -58,12 +58,12 @@ fn child_writes_shard_files() {
     // shards as round robin: both plan envelopes cross the process boundary
     let mut session = EngineBuilder::new(&sparse).plan(KeyRange::new(DIMENSION, SHARDS)).session();
     session.ingest_blocking(&updates);
-    for (i, buf) in session.checkpoint().iter().enumerate() {
+    for (i, buf) in session.checkpoint().unwrap().iter().enumerate() {
         std::fs::write(dir.join(format!("sparse.shard-{i}.lps")), buf).expect("write shard");
     }
     let mut session = EngineBuilder::new(&l0).shards(SHARDS).session();
     session.ingest_blocking(&updates);
-    for (i, buf) in session.checkpoint().iter().enumerate() {
+    for (i, buf) in session.checkpoint().unwrap().iter().enumerate() {
         std::fs::write(dir.join(format!("l0.shard-{i}.lps")), buf).expect("write shard");
     }
 }

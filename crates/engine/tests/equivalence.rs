@@ -45,7 +45,7 @@ fn assert_plans_equal_sequential<T, F>(
     // ragged dispatch batch size exercises uneven shard loads
     let mut round_robin = EngineBuilder::new(proto).shards(shards).batch_size(37).session();
     round_robin.ingest_blocking(ups);
-    let round_robin = round_robin.seal();
+    let round_robin = round_robin.seal().unwrap();
     assert_eq!(
         round_robin.state_digest(),
         sequential.state_digest(),
@@ -55,7 +55,7 @@ fn assert_plans_equal_sequential<T, F>(
     let mut key_range =
         EngineBuilder::new(proto).plan(KeyRange::new(DIM, shards)).batch_size(37).session();
     key_range.ingest_blocking(ups);
-    let key_range = key_range.seal();
+    let key_range = key_range.seal().unwrap();
     assert_eq!(
         key_range.state_digest(),
         sequential.state_digest(),
@@ -127,7 +127,7 @@ proptest! {
         prop_assert_eq!(merged.recover(), sequential.recover());
         let mut session = EngineBuilder::new(&proto).plan(KeyRange::new(DIM, shards)).session();
         session.ingest_blocking(&updates);
-        prop_assert_eq!(session.seal().recover(), sequential.recover());
+        prop_assert_eq!(session.seal().unwrap().recover(), sequential.recover());
     }
 
     #[test]
@@ -142,6 +142,6 @@ proptest! {
         let plan = KeyRange::with_bounds(vec![0, 3, 17, DIM]);
         let mut session = EngineBuilder::new(&proto).plan(plan).batch_size(23).session();
         session.ingest_blocking(&updates);
-        prop_assert_eq!(session.seal().state_digest(), sequential.state_digest());
+        prop_assert_eq!(session.seal().unwrap().state_digest(), sequential.state_digest());
     }
 }

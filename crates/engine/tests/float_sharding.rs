@@ -162,7 +162,7 @@ fn exact_plan_shard_counts_are_free_for_float_structures_too() {
             EngineBuilder::new(&proto).plan(RoundRobin::approximate(shards)).session();
         assert_eq!(session.shards(), shards);
         session.ingest_blocking(&ups);
-        let merged = session.seal();
+        let merged = session.seal().unwrap();
         assert!(
             rel_close(merged.estimate(), sequential.estimate(), REL_TOL),
             "drift exceeded bound at {shards} shards"

@@ -122,7 +122,7 @@ fn offer_reports_pending_under_backpressure_instead_of_blocking() {
     // Unblock the workers; the blocking conveniences finish the stream.
     proto.open_gate();
     session.ingest_blocking(&ups[accepted..]);
-    let merged = session.seal();
+    let merged = session.seal().unwrap();
 
     // exactly-once: the union of all shards saw every delta exactly once
     let mut got: Vec<i64> = merged.seen.clone();
@@ -150,7 +150,7 @@ fn per_shard_order_is_preserved_across_backpressure() {
     }
     proto.open_gate();
     session.ingest_blocking(&ups[accepted..]);
-    let merged = session.seal();
+    let merged = session.seal().unwrap();
     let want: Vec<i64> = ups.iter().map(|u| u.delta).collect();
     assert_eq!(merged.seen, want, "single-shard ingestion must preserve stream order");
 }
@@ -168,7 +168,7 @@ fn drain_flushes_partial_batches() {
         std::thread::yield_now();
     }
     assert_eq!(session.buffered(), 0);
-    let merged = session.seal();
+    let merged = session.seal().unwrap();
     assert_eq!(merged.seen.len(), 17);
 }
 
@@ -194,7 +194,7 @@ fn poll_driven_session_reproduces_blocking_session_digests() {
     let blocking = {
         let mut session = EngineBuilder::new(&proto).shards(4).batch_size(128).session();
         session.ingest_blocking(&ups);
-        session.seal()
+        session.seal().unwrap()
     };
 
     let mut session = EngineBuilder::new(&proto).shards(4).batch_size(128).session();
@@ -208,7 +208,7 @@ fn poll_driven_session_reproduces_blocking_session_digests() {
     while session.drain().is_pending() {
         std::thread::yield_now();
     }
-    let polled = session.seal();
+    let polled = session.seal().unwrap();
 
     assert_eq!(blocking.state_digest(), sequential.state_digest());
     assert_eq!(polled.state_digest(), sequential.state_digest());
@@ -231,7 +231,7 @@ fn float_structure_under_approximate_plan_builds() {
     let proto = PStableSketch::with_default_rows(1 << 10, 1.0, &mut seeds);
     let mut session = EngineBuilder::new(&proto).plan(RoundRobin::approximate(2)).session();
     session.ingest_blocking(&updates(100));
-    let _ = session.seal();
+    let _ = session.seal().unwrap();
 }
 
 /// The plan accessor reports what was configured.
@@ -244,5 +244,165 @@ fn session_exposes_its_plan() {
     assert_eq!(session.shards(), 4);
     assert_eq!(session.plan().tolerance(), Tolerance::Exact);
     assert_eq!(session.plan().range(0), 0..64);
-    let _ = session.seal();
+    let _ = session.seal().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Worker panic containment
+// ---------------------------------------------------------------------------
+
+use lps_engine::EngineError;
+use lps_sketch::{DecodeError, Persist, WireReader, WireWriter};
+
+/// The delta that makes a [`BombSketch`] worker panic mid-ingest.
+const BOMB: i64 = i64::MIN;
+
+/// A test structure that panics when it ingests the [`BOMB`] delta —
+/// deterministic worker death, targeted at whichever shard the plan routes
+/// the bomb to.
+#[derive(Clone, Debug, PartialEq)]
+struct BombSketch {
+    seen: Vec<i64>,
+}
+
+impl BombSketch {
+    fn new() -> Self {
+        BombSketch { seen: Vec::new() }
+    }
+}
+
+impl Mergeable for BombSketch {
+    fn merge_from(&mut self, other: &Self) {
+        self.seen.extend_from_slice(&other.seen);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for &v in &self.seen {
+            d.write_i64(v);
+        }
+        d.finish()
+    }
+}
+
+impl ShardIngest for BombSketch {
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        for u in updates {
+            assert_ne!(u.delta, BOMB, "bomb delta ingested: worker goes down");
+            self.seen.push(u.delta);
+        }
+    }
+}
+
+impl Persist for BombSketch {
+    const TAG: u16 = 0x7777; // test-only tag, never on a real wire
+
+    fn encode_seeds(&self, _w: &mut WireWriter<'_>) {}
+
+    fn encode_counters(&self, w: &mut WireWriter<'_>) {
+        w.write_len(self.seen.len());
+        for &v in &self.seen {
+            w.write_i64(v);
+        }
+    }
+
+    fn decode_parts(
+        _seeds: &mut WireReader<'_>,
+        counters: &mut WireReader<'_>,
+    ) -> Result<Self, DecodeError> {
+        let n = counters.read_count(8)?;
+        Ok(BombSketch { seen: counters.read_i64s(n)? })
+    }
+}
+
+/// A worker panic must surface at `seal` as a typed error naming the dead
+/// shard — not propagate as a panic into the caller.
+#[test]
+fn worker_panic_surfaces_as_typed_engine_error() {
+    let proto = BombSketch::new();
+    // batch_size 2 and round-robin dealing: updates 0..2 -> shard 0,
+    // 2..4 -> shard 1, 4..6 -> shard 2
+    let mut session = EngineBuilder::new(&proto).shards(3).batch_size(2).session();
+    let ups = vec![
+        Update::new(0, BOMB), // shard 0 dies on this batch
+        Update::new(1, 2),
+        Update::new(2, 3),
+        Update::new(3, 4),
+        Update::new(4, 5),
+        Update::new(5, 6),
+    ];
+    session.ingest_blocking(&ups);
+    assert_eq!(session.seal(), Err(EngineError::WorkerPanicked { shard: 0 }));
+}
+
+/// After one worker dies mid-stream, the session keeps accepting and
+/// routing a long tail of further updates without panicking or hanging —
+/// containment under continued load, not just at the terminal call.
+#[test]
+fn session_survives_a_dead_worker_under_continued_load() {
+    let proto = BombSketch::new();
+    let mut session = EngineBuilder::new(&proto).shards(2).batch_size(2).session();
+    session.ingest_blocking(&[Update::new(0, BOMB), Update::new(1, 1)]);
+    // thousands more updates, half of them routed at the dead shard
+    let tail: Vec<Update> = (0..4000).map(|i| Update::new(i % 64, i as i64 + 1)).collect();
+    session.ingest_blocking(&tail);
+    match session.seal() {
+        Err(EngineError::WorkerPanicked { shard: 0 }) => {}
+        other => panic!("expected shard 0 reported dead, got {other:?}"),
+    }
+}
+
+/// `checkpoint` refuses to persist a stream with a hole in it, with the
+/// same typed error as `seal`.
+#[test]
+fn checkpoint_reports_the_panicked_shard() {
+    let proto = BombSketch::new();
+    let mut session = EngineBuilder::new(&proto).shards(2).batch_size(1).session();
+    session.ingest_blocking(&[Update::new(0, 1), Update::new(1, BOMB)]);
+    assert_eq!(session.checkpoint(), Err(EngineError::WorkerPanicked { shard: 1 }));
+}
+
+/// The degraded path: every surviving shard's state is checkpointed behind
+/// its true-index plan envelope, the dead shard is reported, and the
+/// surviving buffers decode back to exactly what those shards ingested.
+#[test]
+fn surviving_shards_checkpoint_and_decode_after_a_panic() {
+    let proto = BombSketch::new();
+    let mut session = EngineBuilder::new(&proto).shards(3).batch_size(2).session();
+    let ups = vec![
+        Update::new(0, BOMB), // batch 0 -> shard 0 (dies)
+        Update::new(1, 2),
+        Update::new(2, 3), // batch 1 -> shard 1
+        Update::new(3, 4),
+        Update::new(4, 5), // batch 2 -> shard 2
+        Update::new(5, 6),
+    ];
+    session.ingest_blocking(&ups);
+    let (buffers, panicked) = session.checkpoint_surviving();
+    assert_eq!(panicked, vec![0]);
+    assert_eq!(buffers.len(), 2);
+
+    let mut recovered = Vec::new();
+    for (shard, buf) in &buffers {
+        let (envelope, payload) = lps_engine::read_envelope(buf).unwrap();
+        assert_eq!(usize::from(envelope.shard), *shard, "envelope stamps the true shard index");
+        assert_eq!(envelope.shard_count, 3, "envelope keeps the full fleet size");
+        let state = BombSketch::decode_state(payload).unwrap();
+        recovered.push((*shard, state.seen.clone()));
+    }
+    recovered.sort();
+    assert_eq!(recovered, vec![(1, vec![3, 4]), (2, vec![5, 6])]);
+}
+
+/// With no panic, `checkpoint_surviving` is just `checkpoint` with indices:
+/// all shards survive and nothing is reported dead.
+#[test]
+fn checkpoint_surviving_with_healthy_workers_reports_no_deaths() {
+    let proto = BombSketch::new();
+    let mut session = EngineBuilder::new(&proto).shards(2).batch_size(2).session();
+    session.ingest_blocking(&[Update::new(0, 1), Update::new(1, 2)]);
+    let (buffers, panicked) = session.checkpoint_surviving();
+    assert!(panicked.is_empty());
+    assert_eq!(buffers.len(), 2);
+    assert_eq!(buffers.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 1]);
 }

@@ -2,10 +2,12 @@
 //!
 //! When the registry evicts a tenant it serializes the tenant's
 //! [`crate::LazySketch`] through [`lps_sketch::Persist`] and wraps the bytes
-//! in a small self-describing envelope stamping the tenant id, so a spill
-//! file is a walkable sequence of `(tenant, payload)` segments that can be
-//! re-indexed by a fresh process (cross-process restore, mirroring the
-//! engine's plan envelopes in `lps_engine`).
+//! in a small self-describing envelope stamping the tenant id; the
+//! [`FileSpill`](crate::FileSpill) log then frames each envelope in a
+//! checksummed commit record (see [`crate::spill`]), so a spill file is a
+//! walkable, crash-recoverable sequence of `(tenant, payload)` segments
+//! that can be re-indexed by a fresh process (cross-process restore,
+//! mirroring the engine's plan envelopes in `lps_engine`).
 //!
 //! Layout (little-endian, mirroring the sketch wire format's conventions):
 //!

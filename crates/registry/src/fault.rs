@@ -1,0 +1,332 @@
+//! Deterministic fault injection for spill backends.
+//!
+//! Robustness claims are only testable if the faults are reproducible, so a
+//! [`FaultPlan`] drives every injected failure from the same seed
+//! infrastructure the sketches draw their hash seeds from
+//! ([`lps_hash::SeedSequence`]): the same seed and the same operation
+//! sequence produce the same faults, on every platform, every run. A
+//! [`FaultySpill`] wraps any [`SpillBackend`] and injects, per the plan:
+//!
+//! * **transient I/O errors** on `put`/`get` (kind `Interrupted`) — the
+//!   retryable class of the [`SpillBackend`] error contract;
+//! * **short writes** on `put`: the wrapper hands the *inner* backend a
+//!   truncated prefix of the segment and then reports `WriteZero`, so the
+//!   underlying store really does contain a torn artifact (exactly what a
+//!   crash mid-`write_all` leaves in a [`crate::FileSpill`] — recovery must
+//!   skip or truncate it, never serve it);
+//! * **read-side corruption** on `get`: one deterministic byte of the
+//!   returned segment is flipped, exercising every decode-validation path
+//!   above the backend;
+//! * **permanent per-tenant failure**: a deterministic subset of tenants
+//!   (plus any explicitly marked ones) fail every `put` with a
+//!   non-retryable kind (`PermissionDenied`), which is what drives the
+//!   registry's quarantine path.
+//!
+//! Per-tenant permanence is a pure function of `(seed, tenant)` — not of
+//! operation order — so whether a tenant is doomed does not depend on when
+//! it first spills.
+
+use std::collections::HashSet;
+use std::io;
+
+use lps_hash::{splitmix64, SeedSequence};
+
+use crate::spill::SpillBackend;
+
+/// Domain-separation constants so the per-tenant permanence draw, the
+/// per-op draws, and the corruption position draw sample independent
+/// streams of the same seed.
+const PERMANENT_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+const OP_SALT: u64 = 0x2545_f491_4f6c_dd1d;
+
+/// A seeded, deterministic schedule of injected faults.
+///
+/// Rates are in **per-mille** (0..=1000): `with_transient_put(50)` fails
+/// roughly 5% of puts with a retryable error. All rates default to zero, so
+/// `FaultPlan::new(seed)` alone injects nothing.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    transient_put_per_mille: u64,
+    transient_get_per_mille: u64,
+    short_write_per_mille: u64,
+    corrupt_read_per_mille: u64,
+    permanent_tenant_per_mille: u64,
+    permanent_tenants: HashSet<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing until rates are set.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            transient_put_per_mille: 0,
+            transient_get_per_mille: 0,
+            short_write_per_mille: 0,
+            corrupt_read_per_mille: 0,
+            permanent_tenant_per_mille: 0,
+            permanent_tenants: HashSet::new(),
+        }
+    }
+
+    /// Fail this fraction (per mille) of `put` calls with `Interrupted`.
+    pub fn with_transient_put(mut self, per_mille: u64) -> Self {
+        assert!(per_mille <= 1000);
+        self.transient_put_per_mille = per_mille;
+        self
+    }
+
+    /// Fail this fraction (per mille) of `get` calls with `Interrupted`.
+    pub fn with_transient_get(mut self, per_mille: u64) -> Self {
+        assert!(per_mille <= 1000);
+        self.transient_get_per_mille = per_mille;
+        self
+    }
+
+    /// Turn this fraction (per mille) of `put` calls into short writes: the
+    /// inner backend receives a truncated segment prefix and the caller
+    /// receives `WriteZero`.
+    pub fn with_short_write(mut self, per_mille: u64) -> Self {
+        assert!(per_mille <= 1000);
+        self.short_write_per_mille = per_mille;
+        self
+    }
+
+    /// Flip one byte in this fraction (per mille) of `get` results.
+    pub fn with_corrupt_read(mut self, per_mille: u64) -> Self {
+        assert!(per_mille <= 1000);
+        self.corrupt_read_per_mille = per_mille;
+        self
+    }
+
+    /// Doom this fraction (per mille) of the tenant space: a doomed tenant
+    /// fails every `put` with `PermissionDenied`. Which tenants are doomed
+    /// is a pure function of the plan seed and the tenant id.
+    pub fn with_permanent_tenants(mut self, per_mille: u64) -> Self {
+        assert!(per_mille <= 1000);
+        self.permanent_tenant_per_mille = per_mille;
+        self
+    }
+
+    /// Explicitly doom `tenant` regardless of the rate draw.
+    pub fn with_permanent_tenant(mut self, tenant: u64) -> Self {
+        self.permanent_tenants.insert(tenant);
+        self
+    }
+
+    /// Whether `tenant` fails permanently under this plan (order-independent).
+    pub fn tenant_is_doomed(&self, tenant: u64) -> bool {
+        if self.permanent_tenants.contains(&tenant) {
+            return true;
+        }
+        self.permanent_tenant_per_mille > 0
+            && splitmix64(self.seed ^ PERMANENT_SALT ^ tenant) % 1000
+                < self.permanent_tenant_per_mille
+    }
+}
+
+/// Running counts of what a [`FaultySpill`] actually injected.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FaultStats {
+    /// `put` calls failed with a retryable kind.
+    pub transient_puts: u64,
+    /// `get` calls failed with a retryable kind.
+    pub transient_gets: u64,
+    /// `put` calls turned into short writes (torn artifact committed to the
+    /// inner backend, `WriteZero` returned).
+    pub short_writes: u64,
+    /// `get` results returned with a flipped byte.
+    pub corrupted_reads: u64,
+    /// `put` calls rejected because the tenant is permanently doomed.
+    pub permanent_puts: u64,
+}
+
+/// A [`SpillBackend`] decorator that injects the faults a [`FaultPlan`]
+/// schedules. See the [module docs](self) for the fault classes.
+#[derive(Debug)]
+pub struct FaultySpill<B> {
+    inner: B,
+    plan: FaultPlan,
+    /// Per-op draw stream, advanced once per fault decision so the schedule
+    /// depends only on the operation sequence.
+    draws: SeedSequence,
+    stats: FaultStats,
+}
+
+impl<B> FaultySpill<B> {
+    /// Wrap `inner`, injecting faults per `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        let draws = SeedSequence::new(plan.seed ^ OP_SALT);
+        Self { inner, plan, draws, stats: FaultStats::default() }
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// The plan driving the injection.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The wrapped backend, mutably (tests poke at the real store).
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    /// One per-mille Bernoulli draw from the deterministic op stream.
+    fn draw(&mut self, per_mille: u64) -> bool {
+        // always advance the stream, even at rate zero, so enabling one
+        // fault class does not shift every other class's schedule
+        let roll = self.draws.next_below(1000);
+        roll < per_mille
+    }
+}
+
+fn transient(op: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, format!("injected transient {op} failure"))
+}
+
+impl<B: SpillBackend> SpillBackend for FaultySpill<B> {
+    fn put(&mut self, tenant: u64, segment: &[u8]) -> io::Result<()> {
+        if self.plan.tenant_is_doomed(tenant) {
+            self.stats.permanent_puts += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!("injected permanent failure for tenant {tenant}"),
+            ));
+        }
+        if self.draw(self.plan.transient_put_per_mille) {
+            self.stats.transient_puts += 1;
+            return Err(transient("put"));
+        }
+        if self.draw(self.plan.short_write_per_mille) {
+            self.stats.short_writes += 1;
+            // commit a torn prefix to the inner backend — the realistic
+            // artifact of a write that died partway — then report failure
+            if segment.len() >= 2 {
+                let cut = 1 + self.draws.next_below(segment.len() as u64 - 1) as usize;
+                let _ = self.inner.put(tenant, &segment[..cut]);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("injected short write for tenant {tenant}"),
+            ));
+        }
+        self.inner.put(tenant, segment)
+    }
+
+    fn get(&mut self, tenant: u64) -> io::Result<Option<Vec<u8>>> {
+        if self.draw(self.plan.transient_get_per_mille) {
+            self.stats.transient_gets += 1;
+            return Err(transient("get"));
+        }
+        let mut segment = self.inner.get(tenant)?;
+        if let Some(seg) = &mut segment {
+            if !seg.is_empty() && self.draw(self.plan.corrupt_read_per_mille) {
+                self.stats.corrupted_reads += 1;
+                let pos = self.draws.next_below(seg.len() as u64) as usize;
+                seg[pos] ^= 0xA5;
+            }
+        }
+        Ok(segment)
+    }
+
+    fn remove(&mut self, tenant: u64) {
+        self.inner.remove(tenant);
+    }
+
+    fn spilled(&self) -> usize {
+        self.inner.spilled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::encode_tenant_segment;
+    use crate::spill::MemorySpill;
+
+    #[test]
+    fn zero_rate_plan_is_transparent() {
+        let mut spill = FaultySpill::new(MemorySpill::new(), FaultPlan::new(1));
+        let seg = encode_tenant_segment(7, b"payload");
+        spill.put(7, &seg).unwrap();
+        assert_eq!(spill.get(7).unwrap().unwrap(), seg);
+        assert_eq!(spill.stats(), &FaultStats::default());
+    }
+
+    #[test]
+    fn schedules_are_reproducible() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new(seed)
+                .with_transient_put(200)
+                .with_transient_get(100)
+                .with_corrupt_read(100);
+            let mut spill = FaultySpill::new(MemorySpill::new(), plan);
+            let mut outcomes = Vec::new();
+            for tenant in 0..200u64 {
+                let seg = encode_tenant_segment(tenant, b"x");
+                outcomes.push(spill.put(tenant, &seg).is_ok());
+                outcomes.push(matches!(spill.get(tenant), Ok(Some(_))));
+            }
+            (outcomes, spill.stats().clone())
+        };
+        let (a_out, a_stats) = run(42);
+        let (b_out, b_stats) = run(42);
+        assert_eq!(a_out, b_out, "same seed, same schedule");
+        assert_eq!(a_stats, b_stats);
+        assert!(a_stats.transient_puts > 0, "a 20% rate over 200 puts must fire");
+        let (c_out, _) = run(43);
+        assert_ne!(a_out, c_out, "different seed, different schedule");
+    }
+
+    #[test]
+    fn doomed_tenants_are_order_independent() {
+        let plan = FaultPlan::new(9).with_permanent_tenants(100);
+        let doomed: Vec<u64> = (0..1000).filter(|&t| plan.tenant_is_doomed(t)).collect();
+        assert!(
+            doomed.len() > 50 && doomed.len() < 200,
+            "10% of 1000 tenants, got {}",
+            doomed.len()
+        );
+        // the draw is a pure function of (seed, tenant): re-asking agrees
+        for &t in &doomed {
+            assert!(plan.tenant_is_doomed(t));
+        }
+        let explicit = FaultPlan::new(9).with_permanent_tenant(12345);
+        assert!(explicit.tenant_is_doomed(12345));
+        assert!(!explicit.tenant_is_doomed(12346));
+    }
+
+    #[test]
+    fn short_writes_leave_a_torn_artifact_in_the_inner_backend() {
+        let plan = FaultPlan::new(5).with_short_write(1000);
+        let mut spill = FaultySpill::new(MemorySpill::new(), plan);
+        let seg = encode_tenant_segment(3, b"a tenant segment body");
+        let err = spill.put(3, &seg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(spill.stats().short_writes, 1);
+        let torn = spill.inner_mut().get(3).unwrap().expect("torn artifact committed");
+        assert!(torn.len() < seg.len(), "inner backend must hold a strict prefix");
+        assert_eq!(torn[..], seg[..torn.len()]);
+    }
+
+    #[test]
+    fn corrupt_reads_flip_exactly_one_byte() {
+        let plan = FaultPlan::new(6).with_corrupt_read(1000);
+        let mut spill = FaultySpill::new(MemorySpill::new(), plan);
+        let seg = encode_tenant_segment(8, b"some payload bytes");
+        spill.put(8, &seg).unwrap();
+        let read = spill.get(8).unwrap().unwrap();
+        let differing = seg.iter().zip(&read).filter(|(a, b)| a != b).count();
+        assert_eq!(differing, 1, "exactly one byte flipped");
+        assert_eq!(spill.stats().corrupted_reads, 1);
+    }
+}

@@ -25,11 +25,23 @@
 //! over its backlog, and [`SketchRegistry::drain`] flushes it.
 //! [`ShardedRegistry`] partitions hashed tenant space with the engine's
 //! [`KeyRange`](lps_engine::KeyRange) plan for multi-shard fleets.
+//!
+//! The durability boundary is crash-safe and fault-tolerant: [`FileSpill`]
+//! appends checksummed commit records and recovers every committed record
+//! across a crash (truncating a torn tail, see [`spill`]); [`drain`]
+//! retries transient backend failures under a bounded
+//! [`RetryPolicy`] and quarantines permanently
+//! failing tenants instead of wedging the fleet; and the [`fault`] module
+//! provides seeded, deterministic fault injection ([`FaultySpill`]) to
+//! prove all of it under test.
+//!
+//! [`drain`]: SketchRegistry::drain
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod envelope;
+pub mod fault;
 pub mod lazy;
 pub mod registry;
 pub mod sharded;
@@ -39,7 +51,11 @@ pub use envelope::{
     decode_tenant_segment, encode_tenant_segment, read_tenant_segment, TENANT_HEADER_LEN,
     TENANT_MAGIC, TENANT_VERSION,
 };
+pub use fault::{FaultPlan, FaultStats, FaultySpill};
 pub use lazy::LazySketch;
-pub use registry::{RegistryConfig, RegistryError, RegistryStats, SketchRegistry};
+pub use registry::{RegistryConfig, RegistryError, RegistryStats, RetryPolicy, SketchRegistry};
 pub use sharded::ShardedRegistry;
-pub use spill::{FileSpill, MemorySpill, SpillBackend};
+pub use spill::{
+    record_checksum, FileSpill, MemorySpill, SpillBackend, SpillStats, RECORD_HEADER_LEN,
+    RECORD_MAGIC,
+};

@@ -21,6 +21,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::io;
 use std::sync::Arc;
 use std::task::Poll;
 
@@ -32,6 +33,42 @@ use crate::envelope::{decode_tenant_segment, encode_tenant_segment};
 use crate::lazy::LazySketch;
 use crate::spill::SpillBackend;
 
+/// How [`SketchRegistry::drain`] responds to spill-backend failures.
+///
+/// The [`SpillBackend`] error contract divides failures into **transient**
+/// kinds (`Interrupted`, `WouldBlock`, `TimedOut`, `WriteZero` — the same
+/// `put` may be retried verbatim) and **permanent** kinds (everything
+/// else). `drain` retries a transient failure up to `max_attempts` times;
+/// a permanent failure, or a transient one that exhausts the budget, is
+/// escalated (quarantine or a returned error respectively) — in neither
+/// case is the segment lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per segment per [`SketchRegistry::drain`] call
+    /// (first try included). Must be at least 1.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether the [`SpillBackend`] error contract classifies `error` as
+    /// retryable.
+    pub fn is_transient(error: &io::Error) -> bool {
+        matches!(
+            error.kind(),
+            io::ErrorKind::Interrupted
+                | io::ErrorKind::WouldBlock
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::WriteZero
+        )
+    }
+}
+
 /// Tuning knobs for a [`SketchRegistry`].
 #[derive(Debug, Clone)]
 pub struct RegistryConfig {
@@ -42,11 +79,19 @@ pub struct RegistryConfig {
     /// Outbox depth at which [`SketchRegistry::route`] reports `Pending`
     /// instead of accepting more work.
     pub spill_backlog: usize,
+    /// Retry budget and classification for spill failures during
+    /// [`SketchRegistry::drain`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for RegistryConfig {
     fn default() -> Self {
-        Self { max_resident: 1024, materialize_threshold: 64, spill_backlog: 64 }
+        Self {
+            max_resident: 1024,
+            materialize_threshold: 64,
+            spill_backlog: 64,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -62,6 +107,12 @@ pub struct RegistryStats {
     pub materializations: u64,
     /// Updates accepted through [`SketchRegistry::route`].
     pub routed_updates: u64,
+    /// Transient spill-put failures retried during [`SketchRegistry::drain`].
+    pub transient_put_retries: u64,
+    /// Transient spill-get failures retried during restore or query.
+    pub transient_get_retries: u64,
+    /// Tenants moved to the quarantine set after a permanent spill failure.
+    pub quarantined: u64,
 }
 
 impl RegistryStats {
@@ -71,16 +122,29 @@ impl RegistryStats {
         self.restores += other.restores;
         self.materializations += other.materializations;
         self.routed_updates += other.routed_updates;
+        self.transient_put_retries += other.transient_put_retries;
+        self.transient_get_retries += other.transient_get_retries;
+        self.quarantined += other.quarantined;
     }
 }
 
 /// Errors a registry operation can surface.
 #[derive(Debug)]
 pub enum RegistryError {
-    /// The spill backend failed.
+    /// The spill backend failed (transient failures already retried up to
+    /// the [`RetryPolicy`] budget).
     Io(std::io::Error),
     /// A spilled segment failed to decode.
     Decode(DecodeError),
+    /// The tenant's segment failed its spill permanently and the tenant
+    /// was moved to the quarantine set. Its last-known state is held there
+    /// (see [`SketchRegistry::take_quarantined`] /
+    /// [`SketchRegistry::release_quarantined`]); every other tenant keeps
+    /// routing and answering queries.
+    Quarantined {
+        /// The quarantined tenant id.
+        tenant: u64,
+    },
 }
 
 impl fmt::Display for RegistryError {
@@ -88,6 +152,9 @@ impl fmt::Display for RegistryError {
         match self {
             RegistryError::Io(e) => write!(f, "spill backend error: {e}"),
             RegistryError::Decode(e) => write!(f, "spilled segment rejected: {e}"),
+            RegistryError::Quarantined { tenant } => {
+                write!(f, "tenant {tenant} is quarantined after a permanent spill failure")
+            }
         }
     }
 }
@@ -136,8 +203,21 @@ pub struct SketchRegistry<T, B> {
     /// Most-recently-used slot (head) … least-recently-used (tail).
     head: usize,
     tail: usize,
-    /// Evicted segments not yet flushed to the backend, oldest first.
-    outbox: VecDeque<(u64, Vec<u8>)>,
+    /// Eviction order of outbox tenants, oldest first. May hold stale ids
+    /// for tenants already restored or quarantined; [`drain`] skips any id
+    /// with no `outbox` entry.
+    ///
+    /// [`drain`]: SketchRegistry::drain
+    outbox_order: VecDeque<u64>,
+    /// Evicted segments not yet flushed to the backend, indexed by tenant
+    /// so [`query`]/[`digest`]/restore stay O(1) under a deep backlog.
+    ///
+    /// [`query`]: SketchRegistry::query
+    /// [`digest`]: SketchRegistry::digest
+    outbox: HashMap<u64, Vec<u8>>,
+    /// Tenants whose segments failed their spill permanently, with the
+    /// segment (their last-known state — never dropped) and the error.
+    quarantine: HashMap<u64, (Vec<u8>, io::Error)>,
     spill: B,
     stats: RegistryStats,
 }
@@ -159,7 +239,9 @@ impl<T: ShardIngest + Persist, B: SpillBackend> SketchRegistry<T, B> {
             resident: HashMap::new(),
             head: NIL,
             tail: NIL,
-            outbox: VecDeque::new(),
+            outbox_order: VecDeque::new(),
+            outbox: HashMap::new(),
+            quarantine: HashMap::new(),
             spill,
             stats: RegistryStats::default(),
         }
@@ -183,6 +265,20 @@ impl<T: ShardIngest + Persist, B: SpillBackend> SketchRegistry<T, B> {
     /// Number of tenants held by the spill backend.
     pub fn spilled_count(&self) -> usize {
         self.spill.spilled()
+    }
+
+    /// The spill backend, e.g. to read [`FileSpill`](crate::FileSpill) or
+    /// [`FaultySpill`](crate::FaultySpill) statistics.
+    pub fn spill(&self) -> &B {
+        &self.spill
+    }
+
+    /// Mutable access to the spill backend. Intended for fault-injection
+    /// harnesses (healing a simulated partition, reconfiguring a
+    /// [`FaultySpill`](crate::FaultySpill)); mutating live tenant segments
+    /// underneath the registry voids the digest-identity guarantee.
+    pub fn spill_mut(&mut self) -> &mut B {
+        &mut self.spill
     }
 
     /// Evicted segments awaiting a [`drain`](Self::drain).
@@ -261,7 +357,8 @@ impl<T: ShardIngest + Persist, B: SpillBackend> SketchRegistry<T, B> {
         self.free.push(slot);
         self.resident.remove(&tenant);
         let segment = encode_tenant_segment(tenant, &state.encode_to_vec());
-        self.outbox.push_back((tenant, segment));
+        self.outbox_order.push_back(tenant);
+        self.outbox.insert(tenant, segment);
         self.stats.evictions += 1;
     }
 
@@ -288,9 +385,31 @@ impl<T: ShardIngest + Persist, B: SpillBackend> SketchRegistry<T, B> {
         Ok(state)
     }
 
+    /// [`SpillBackend::get`] under the retry budget: transient failures are
+    /// retried up to `retry.max_attempts` total attempts.
+    fn spill_get(&mut self, tenant: u64) -> Result<Option<Vec<u8>>, RegistryError> {
+        let mut attempt = 1;
+        loop {
+            match self.spill.get(tenant) {
+                Ok(segment) => return Ok(segment),
+                Err(e)
+                    if RetryPolicy::is_transient(&e)
+                        && attempt < self.config.retry.max_attempts =>
+                {
+                    attempt += 1;
+                    self.stats.transient_get_retries += 1;
+                }
+                Err(e) => return Err(RegistryError::Io(e)),
+            }
+        }
+    }
+
     /// Bring `tenant` into residency (restoring or creating as needed) and
     /// return its slot index, evicting LRU tenants beyond the cap.
     fn touch(&mut self, tenant: u64) -> Result<usize, RegistryError> {
+        if self.quarantine.contains_key(&tenant) {
+            return Err(RegistryError::Quarantined { tenant });
+        }
         if let Some(&slot) = self.resident.get(&tenant) {
             self.unlink(slot);
             self.push_front(slot);
@@ -298,11 +417,11 @@ impl<T: ShardIngest + Persist, B: SpillBackend> SketchRegistry<T, B> {
         }
         // not resident: the newest state is in the outbox if it was evicted
         // but not yet drained, else in the backend, else it is a new tenant
-        let state = if let Some(pos) = self.outbox.iter().position(|(t, _)| *t == tenant) {
-            let (_, segment) = self.outbox.remove(pos).expect("position just found");
+        // (the stale id left in `outbox_order` is skipped by `drain`)
+        let state = if let Some(segment) = self.outbox.remove(&tenant) {
             self.stats.restores += 1;
             self.decode_segment(tenant, &segment)?
-        } else if let Some(segment) = self.spill.get(tenant)? {
+        } else if let Some(segment) = self.spill_get(tenant)? {
             let state = self.decode_segment(tenant, &segment)?;
             self.spill.remove(tenant);
             self.stats.restores += 1;
@@ -342,11 +461,54 @@ impl<T: ShardIngest + Persist, B: SpillBackend> SketchRegistry<T, B> {
 
     /// Flush every outbox segment to the spill backend; returns how many
     /// segments were flushed.
+    ///
+    /// Failure handling follows the [`RetryPolicy`]: a transient `put`
+    /// failure is retried in place up to the attempt budget (counted in
+    /// [`RegistryStats::transient_put_retries`]); if the budget is
+    /// exhausted, `drain` returns the error **with the segment still
+    /// queued** — a later `drain` picks it back up, and no outbox segment
+    /// is ever lost to an error. A permanent failure moves the tenant and
+    /// its segment into the quarantine set (counted in
+    /// [`RegistryStats::quarantined`]) and draining continues with the
+    /// next tenant, so one bad segment cannot wedge the rest of the fleet.
     pub fn drain(&mut self) -> Result<usize, RegistryError> {
         let mut flushed = 0;
-        while let Some((tenant, segment)) = self.outbox.pop_front() {
-            self.spill.put(tenant, &segment)?;
-            flushed += 1;
+        while let Some(&tenant) = self.outbox_order.front() {
+            // stale id: the tenant was restored (or quarantined) since it
+            // was queued — nothing left to flush for it
+            let Some(segment) = self.outbox.get(&tenant) else {
+                self.outbox_order.pop_front();
+                continue;
+            };
+            let mut attempt = 1;
+            loop {
+                match self.spill.put(tenant, segment) {
+                    Ok(()) => {
+                        self.outbox_order.pop_front();
+                        self.outbox.remove(&tenant);
+                        flushed += 1;
+                        break;
+                    }
+                    Err(e) if RetryPolicy::is_transient(&e) => {
+                        if attempt >= self.config.retry.max_attempts {
+                            // budget exhausted: leave the segment queued at
+                            // the front and surface the error
+                            return Err(RegistryError::Io(e));
+                        }
+                        attempt += 1;
+                        self.stats.transient_put_retries += 1;
+                    }
+                    Err(e) => {
+                        // permanent: quarantine the tenant with its
+                        // last-known state and keep draining the others
+                        self.outbox_order.pop_front();
+                        let segment = self.outbox.remove(&tenant).expect("segment just seen");
+                        self.quarantine.insert(tenant, (segment, e));
+                        self.stats.quarantined += 1;
+                        break;
+                    }
+                }
+            }
         }
         Ok(flushed)
     }
@@ -377,14 +539,16 @@ impl<T: ShardIngest + Persist, B: SpillBackend> SketchRegistry<T, B> {
         tenant: u64,
         f: impl FnOnce(&T) -> R,
     ) -> Result<Option<R>, RegistryError> {
+        if self.quarantine.contains_key(&tenant) {
+            return Err(RegistryError::Quarantined { tenant });
+        }
         if let Some(&slot) = self.resident.get(&tenant) {
             let entry = self.slots[slot].as_ref().expect("resident slot");
             return Ok(Some(entry.state.with_state(&self.proto, f)));
         }
-        let segment = if let Some((_, seg)) = self.outbox.iter().find(|(t, _)| *t == tenant) {
-            Some(seg.clone())
-        } else {
-            self.spill.get(tenant)?
+        let segment = match self.outbox.get(&tenant) {
+            Some(seg) => Some(seg.clone()),
+            None => self.spill_get(tenant)?,
         };
         match segment {
             Some(segment) => {
@@ -399,18 +563,60 @@ impl<T: ShardIngest + Persist, B: SpillBackend> SketchRegistry<T, B> {
     /// (resident or spilled), or `None` if never seen. Eviction and restore
     /// preserve this digest bit-for-bit.
     pub fn digest(&mut self, tenant: u64) -> Result<Option<u64>, RegistryError> {
+        if self.quarantine.contains_key(&tenant) {
+            return Err(RegistryError::Quarantined { tenant });
+        }
         if let Some(&slot) = self.resident.get(&tenant) {
             let entry = self.slots[slot].as_ref().expect("resident slot");
             return Ok(Some(entry.state.state_digest()));
         }
-        let segment = if let Some((_, seg)) = self.outbox.iter().find(|(t, _)| *t == tenant) {
-            Some(seg.clone())
-        } else {
-            self.spill.get(tenant)?
+        let segment = match self.outbox.get(&tenant) {
+            Some(seg) => Some(seg.clone()),
+            None => self.spill_get(tenant)?,
         };
         match segment {
             Some(segment) => Ok(Some(self.decode_segment(tenant, &segment)?.state_digest())),
             None => Ok(None),
+        }
+    }
+
+    // ---- quarantine surface -----------------------------------------------
+
+    /// Number of tenants currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Whether `tenant` is quarantined.
+    pub fn is_quarantined(&self, tenant: u64) -> bool {
+        self.quarantine.contains_key(&tenant)
+    }
+
+    /// Iterate the quarantined tenants with the permanent error that put
+    /// each one there (arbitrary order).
+    pub fn quarantined_tenants(&self) -> impl Iterator<Item = (u64, &io::Error)> + '_ {
+        self.quarantine.iter().map(|(&tenant, (_, error))| (tenant, error))
+    }
+
+    /// Remove `tenant` from quarantine, handing its last-known encoded
+    /// segment and the error to the caller (e.g. to park it in a dead-letter
+    /// store). The tenant becomes routable again as a fresh tenant.
+    pub fn take_quarantined(&mut self, tenant: u64) -> Option<(Vec<u8>, io::Error)> {
+        self.quarantine.remove(&tenant)
+    }
+
+    /// Remove `tenant` from quarantine and re-queue its segment into the
+    /// outbox for another [`drain`](Self::drain) attempt (after the
+    /// operator fixed the backend). Returns `false` if the tenant was not
+    /// quarantined.
+    pub fn release_quarantined(&mut self, tenant: u64) -> bool {
+        match self.quarantine.remove(&tenant) {
+            Some((segment, _)) => {
+                self.outbox_order.push_back(tenant);
+                self.outbox.insert(tenant, segment);
+                true
+            }
+            None => false,
         }
     }
 
@@ -429,6 +635,7 @@ impl<T: fmt::Debug, B> fmt::Debug for SketchRegistry<T, B> {
         f.debug_struct("SketchRegistry")
             .field("resident", &self.resident.len())
             .field("outbox", &self.outbox.len())
+            .field("quarantined", &self.quarantine.len())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }

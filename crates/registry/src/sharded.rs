@@ -113,6 +113,17 @@ impl<T: ShardIngest + Persist, B: SpillBackend> ShardedRegistry<T, B> {
         self.shards.iter().map(SketchRegistry::resident_bytes_estimate).sum()
     }
 
+    /// Total quarantined tenants across shards (see
+    /// [`SketchRegistry::quarantined_count`]).
+    pub fn quarantined_count(&self) -> usize {
+        self.shards.iter().map(SketchRegistry::quarantined_count).sum()
+    }
+
+    /// Whether `tenant` is quarantined on its owning shard.
+    pub fn is_quarantined(&self, tenant: u64) -> bool {
+        self.shards[self.shard_of(tenant)].is_quarantined(tenant)
+    }
+
     /// Aggregated lifetime stats across shards.
     pub fn stats(&self) -> RegistryStats {
         let mut total = RegistryStats::default();

@@ -33,8 +33,12 @@ fn assert_evicted_digest_identical<T: ShardIngest + Persist>(
 ) {
     let split = split.min(history.len());
     let (before, after) = history.split_at(split);
-    let config =
-        RegistryConfig { max_resident: 2, materialize_threshold: threshold, spill_backlog: 8 };
+    let config = RegistryConfig {
+        max_resident: 2,
+        materialize_threshold: threshold,
+        spill_backlog: 8,
+        ..Default::default()
+    };
 
     // evicted path: filler tenants push tenant 1 out between the two halves
     let mut evicted = SketchRegistry::new(proto.clone(), config.clone(), MemorySpill::new());
@@ -55,6 +59,7 @@ fn assert_evicted_digest_identical<T: ShardIngest + Persist>(
         max_resident: 1024,
         materialize_threshold: threshold,
         spill_backlog: 1024,
+        ..Default::default()
     };
     let mut resident = SketchRegistry::new(proto, roomy, MemorySpill::new());
     resident.route_blocking(1, &to_updates(before)).unwrap();

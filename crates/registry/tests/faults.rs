@@ -1,0 +1,287 @@
+//! Graceful degradation under injected spill faults: the outbox-loss
+//! regression, bounded transient retries, quarantine isolation, and a
+//! seeded `FaultySpill` smoke matrix proving digest-exact convergence under
+//! fault schedules (widen with `LPS_FAULT_SEEDS=n` — CI runs it enlarged).
+
+use std::io;
+
+use lps_hash::SeedSequence;
+use lps_registry::{
+    FaultPlan, FaultySpill, MemorySpill, RegistryConfig, RegistryError, RetryPolicy,
+    SketchRegistry, SpillBackend,
+};
+use lps_sketch::SparseRecovery;
+use lps_stream::Update;
+
+fn recovery_proto(seed: u64) -> SparseRecovery {
+    let mut seeds = SeedSequence::new(seed);
+    SparseRecovery::new(1 << 14, 8, &mut seeds)
+}
+
+/// A backend whose next `fail_next` puts fail with a transient kind — the
+/// minimal reproduction of the outbox-loss bug: before the fix, `drain`
+/// popped the segment first and the error dropped it on the floor.
+struct FlakyPuts {
+    inner: MemorySpill,
+    fail_next: u32,
+}
+
+impl FlakyPuts {
+    fn new(fail_next: u32) -> Self {
+        Self { inner: MemorySpill::new(), fail_next }
+    }
+}
+
+impl SpillBackend for FlakyPuts {
+    fn put(&mut self, tenant: u64, segment: &[u8]) -> io::Result<()> {
+        if self.fail_next > 0 {
+            self.fail_next -= 1;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"));
+        }
+        self.inner.put(tenant, segment)
+    }
+
+    fn get(&mut self, tenant: u64) -> io::Result<Option<Vec<u8>>> {
+        self.inner.get(tenant)
+    }
+
+    fn remove(&mut self, tenant: u64) {
+        self.inner.remove(tenant);
+    }
+
+    fn spilled(&self) -> usize {
+        self.inner.spilled()
+    }
+}
+
+fn tight_config() -> RegistryConfig {
+    RegistryConfig {
+        max_resident: 2,
+        materialize_threshold: 4,
+        spill_backlog: 8,
+        retry: RetryPolicy { max_attempts: 3 },
+    }
+}
+
+/// Regression for the outbox-loss bug: a `put` failure within the retry
+/// budget is retried in place and the segment is flushed, not dropped.
+#[test]
+fn transient_put_failures_within_budget_are_retried_not_lost() {
+    let proto = recovery_proto(1);
+    let mut reg = SketchRegistry::new(proto, tight_config(), FlakyPuts::new(2));
+    for tenant in 0..6u64 {
+        reg.route_blocking(tenant, &[Update::new(tenant, 7)]).unwrap();
+    }
+    reg.drain().unwrap();
+    assert_eq!(reg.outbox_len(), 0, "everything flushed despite two transient failures");
+    assert_eq!(reg.stats().transient_put_retries, 2);
+    // nothing lost: every tenant still answers with its exact state
+    for tenant in 0..6u64 {
+        let v = reg
+            .query(tenant, |s| s.recover().entries().expect("sparse").to_vec())
+            .unwrap()
+            .expect("tenant exists");
+        assert_eq!(v, vec![(tenant, 7)], "tenant {tenant}");
+    }
+}
+
+/// Regression for the outbox-loss bug, exhaustion side: when the budget
+/// runs out, `drain` errors but the segment stays queued, and a later
+/// `drain` (the backend healed) flushes it.
+#[test]
+fn exhausted_retry_budget_keeps_the_segment_queued() {
+    let proto = recovery_proto(2);
+    // 9 failures: the first drain (3 attempts) and the second (3 more)
+    // both exhaust; the third drain's first attempt still fails twice
+    let mut reg = SketchRegistry::new(proto, tight_config(), FlakyPuts::new(7));
+    for tenant in 0..4u64 {
+        // route enough to force evictions into the outbox
+        reg.route_blocking(tenant, &[Update::new(tenant, 1)]).unwrap();
+    }
+    let queued = reg.outbox_len();
+    assert!(queued > 0, "evictions must have queued segments");
+
+    let err = reg.drain().unwrap_err();
+    assert!(matches!(err, RegistryError::Io(_)));
+    assert_eq!(reg.outbox_len(), queued, "the failing segment must remain queued");
+
+    let err = reg.drain().unwrap_err();
+    assert!(matches!(err, RegistryError::Io(_)));
+    assert_eq!(reg.outbox_len(), queued);
+
+    // backend healed (failure budget spent): everything flushes
+    reg.drain().unwrap();
+    assert_eq!(reg.outbox_len(), 0);
+    for tenant in 0..4u64 {
+        let v = reg
+            .query(tenant, |s| s.recover().entries().expect("sparse").to_vec())
+            .unwrap()
+            .expect("tenant exists");
+        assert_eq!(v, vec![(tenant, 1)], "tenant {tenant} survived the flaky backend");
+    }
+}
+
+/// The quarantine acceptance scenario: one permanently-failing tenant is
+/// quarantined with a typed error; routing and queries for every other
+/// tenant are unaffected.
+#[test]
+fn permanent_failure_quarantines_one_tenant_without_wedging_the_rest() {
+    const DOOMED: u64 = 13;
+    let proto = recovery_proto(3);
+    let plan = FaultPlan::new(99).with_permanent_tenant(DOOMED);
+    let spill = FaultySpill::new(MemorySpill::new(), plan);
+    let mut reg = SketchRegistry::new(proto, tight_config(), spill);
+
+    for tenant in 0..40u64 {
+        reg.route_blocking(tenant, &[Update::new(tenant, 3)]).unwrap();
+    }
+    reg.drain().unwrap();
+
+    assert!(reg.is_quarantined(DOOMED));
+    assert_eq!(reg.quarantined_count(), 1);
+    assert_eq!(reg.stats().quarantined, 1);
+    assert!(matches!(
+        reg.route(DOOMED, &[Update::new(1, 1)]),
+        Err(RegistryError::Quarantined { tenant: DOOMED })
+    ));
+    assert!(matches!(
+        reg.query(DOOMED, |_| ()),
+        Err(RegistryError::Quarantined { tenant: DOOMED })
+    ));
+    assert!(matches!(reg.digest(DOOMED), Err(RegistryError::Quarantined { tenant: DOOMED })));
+
+    // every other tenant routes and answers exactly
+    for tenant in (0..40u64).filter(|&t| t != DOOMED) {
+        reg.route_blocking(tenant, &[Update::new(tenant + 1000, 4)]).unwrap();
+        let v = reg
+            .query(tenant, |s| s.recover().entries().expect("sparse").to_vec())
+            .unwrap()
+            .expect("tenant exists");
+        assert_eq!(v, vec![(tenant, 3), (tenant + 1000, 4)], "tenant {tenant}");
+    }
+
+    // the quarantined segment is the tenant's last-known state, not lost:
+    // take it out and decode it
+    let (segment, error) = reg.take_quarantined(DOOMED).expect("was quarantined");
+    assert_eq!(error.kind(), io::ErrorKind::PermissionDenied);
+    let (stamped, _) = lps_registry::decode_tenant_segment(&segment).unwrap();
+    assert_eq!(stamped, DOOMED);
+    assert!(!reg.is_quarantined(DOOMED), "take releases the tenant");
+}
+
+/// `release_quarantined` re-queues the held segment for another drain.
+#[test]
+fn released_quarantined_tenant_flushes_once_the_backend_heals() {
+    const DOOMED: u64 = 5;
+    let proto = recovery_proto(4);
+    // a backend that permanently fails tenant 5 only while `broken` is set
+    struct Partition {
+        inner: MemorySpill,
+        broken: bool,
+    }
+    impl SpillBackend for Partition {
+        fn put(&mut self, tenant: u64, segment: &[u8]) -> io::Result<()> {
+            if self.broken && tenant == DOOMED {
+                return Err(io::Error::new(io::ErrorKind::PermissionDenied, "partitioned"));
+            }
+            self.inner.put(tenant, segment)
+        }
+        fn get(&mut self, tenant: u64) -> io::Result<Option<Vec<u8>>> {
+            self.inner.get(tenant)
+        }
+        fn remove(&mut self, tenant: u64) {
+            self.inner.remove(tenant);
+        }
+        fn spilled(&self) -> usize {
+            self.inner.spilled()
+        }
+    }
+
+    let spill = Partition { inner: MemorySpill::new(), broken: true };
+    let mut reg = SketchRegistry::new(proto, tight_config(), spill);
+    for tenant in 0..8u64 {
+        reg.route_blocking(tenant, &[Update::new(tenant, 2)]).unwrap();
+    }
+    reg.drain().unwrap();
+    assert!(reg.is_quarantined(DOOMED));
+
+    // still quarantined: release before healing just re-quarantines
+    assert!(reg.release_quarantined(DOOMED));
+    reg.drain().unwrap();
+    assert!(reg.is_quarantined(DOOMED), "backend still broken: quarantined again");
+    assert_eq!(reg.stats().quarantined, 2);
+
+    // heal, release, drain: the tenant's state finally lands in the backend
+    // and is queryable again
+    reg.spill_mut().broken = false;
+    assert!(reg.release_quarantined(DOOMED));
+    reg.drain().unwrap();
+    assert!(!reg.is_quarantined(DOOMED));
+    let v = reg
+        .query(DOOMED, |s| s.recover().entries().expect("sparse").to_vec())
+        .unwrap()
+        .expect("tenant restored");
+    assert_eq!(v, vec![(DOOMED, 2)]);
+}
+
+/// Seeded smoke matrix: registries driven over a `FaultySpill` with
+/// transient and short-write schedules must converge to the exact same
+/// per-tenant digests as a fault-free reference. `LPS_FAULT_SEEDS` widens
+/// the matrix (CI runs 8 seeds).
+#[test]
+fn fault_matrix_converges_to_fault_free_digests() {
+    let seeds: u64 =
+        std::env::var("LPS_FAULT_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    for seed in 1..=seeds {
+        let proto = recovery_proto(100);
+        let tenants = 64u64;
+
+        // fault-free reference registry
+        let mut reference = SketchRegistry::new(proto.clone(), tight_config(), MemorySpill::new());
+        // faulty registry: 10% transient puts, 5% transient gets, 5% short
+        // writes — all retryable or superseded, so no state may be lost
+        let plan = FaultPlan::new(seed)
+            .with_transient_put(100)
+            .with_transient_get(50)
+            .with_short_write(50);
+        let mut faulty =
+            SketchRegistry::new(proto, tight_config(), FaultySpill::new(MemorySpill::new(), plan));
+
+        let mut traffic = SeedSequence::new(seed ^ 0xDEAD);
+        for _ in 0..2_000 {
+            let tenant = traffic.next_below(tenants);
+            let index = traffic.next_below(1 << 14);
+            let delta = (traffic.next_below(9) as i64) - 4;
+            let ups = [Update::new(index, if delta == 0 { 1 } else { delta })];
+            reference.route_blocking(tenant, &ups).unwrap();
+            // a transient schedule can exhaust one retry budget; the caller
+            // retries the whole op, which must stay idempotent-safe
+            let mut attempts = 0;
+            loop {
+                match faulty.route_blocking(tenant, &ups) {
+                    Ok(_) => break,
+                    Err(RegistryError::Io(_)) if attempts < 32 => attempts += 1,
+                    Err(e) => panic!("seed {seed}: unexpected error {e}"),
+                }
+            }
+        }
+
+        for tenant in 0..tenants {
+            let want = reference.digest(tenant).unwrap();
+            let mut attempts = 0;
+            let got = loop {
+                match faulty.digest(tenant) {
+                    Ok(d) => break d,
+                    Err(RegistryError::Io(_)) if attempts < 32 => attempts += 1,
+                    Err(e) => panic!("seed {seed}: digest error {e}"),
+                }
+            };
+            assert_eq!(got, want, "seed {seed}, tenant {tenant} diverged under faults");
+        }
+        let stats = faulty.stats();
+        assert!(
+            stats.transient_put_retries > 0,
+            "seed {seed}: the schedule must actually have injected put faults"
+        );
+    }
+}

@@ -25,6 +25,19 @@
 //! version 2) and of the state digest: a checkpointed-and-restored sketch
 //! resumes summation with bit-identical rounding to one that never left
 //! memory.
+//!
+//! **Why compensation does not make the float structures `Exact`.** The
+//! engine's `Tolerance::Exact` means shard merges recombine bit-identically
+//! to sequential ingestion. Kahan keeps each shard's own running sum exact
+//! to `O(ε)`, but a k-way shard merge adds k already-rounded partial sums in
+//! a different association than the sequential interleaving — and `f64`
+//! addition is not associative. The low-order bits each shard rounded away
+//! were rounded against *its* partial-sum trajectory; no per-counter
+//! compensation term computed on one trajectory can reconstruct the bits of
+//! another. Compensation therefore tightens the drift bound (the `~2kε`
+//! figure the equivalence tests pin) without ever closing it to zero, and
+//! the float structures remain `Tolerance::Approximate` by construction
+//! rather than by implementation laziness.
 
 /// One step of Kahan summation: add `v` into `sum`, tracking the truncated
 /// low-order bits in `comp`.

@@ -39,7 +39,7 @@ fn main() {
         let t = Instant::now();
         let mut session = EngineBuilder::new(&proto).shards(shards).session();
         session.ingest_blocking(&updates);
-        let merged = session.seal();
+        let merged = session.seal().unwrap();
         let elapsed = t.elapsed();
         assert_eq!(
             merged.state_digest(),

@@ -40,7 +40,7 @@ fn main() {
     // --- strategy 1: round robin (replicated shards, additive merge) ---
     let mut session = EngineBuilder::new(&proto).shards(shards).session();
     session.ingest_blocking(&updates);
-    let round_robin = session.seal();
+    let round_robin = session.seal().unwrap();
     assert_eq!(round_robin.state_digest(), sequential.state_digest());
     println!("round-robin  x{shards}: digest {:#018x} == sequential", round_robin.state_digest());
 
@@ -48,7 +48,7 @@ fn main() {
     let plan = KeyRange::new(n, shards);
     let mut session = EngineBuilder::new(&proto).plan(plan).session();
     session.ingest_blocking(&updates);
-    let key_range = session.seal();
+    let key_range = session.seal().unwrap();
     assert_eq!(key_range.state_digest(), sequential.state_digest());
     println!("key-range    x{shards}: digest {:#018x} == sequential", key_range.state_digest());
 
@@ -70,7 +70,7 @@ fn main() {
     while session.drain().is_pending() {
         std::thread::yield_now();
     }
-    let polled = session.seal();
+    let polled = session.seal().unwrap();
     assert_eq!(polled.state_digest(), sequential.state_digest());
     // `pendings` depends on thread scheduling, so it stays out of the
     // (byte-reproducible) output
@@ -87,7 +87,7 @@ fn main() {
     LinearSketch::process_batch(&mut sequential_ps, &updates);
     let mut session = EngineBuilder::new(&pstable).plan(KeyRange::approximate(n, shards)).session();
     session.ingest_blocking(&updates);
-    let sharded_ps = session.seal();
+    let sharded_ps = session.seal().unwrap();
     let (a, b) = (sharded_ps.estimate(), sequential_ps.estimate());
     assert!((a - b).abs() <= 1e-9 * a.abs().max(b.abs()), "drift beyond the documented bound");
     println!(

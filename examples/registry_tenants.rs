@@ -22,8 +22,12 @@ fn main() {
 
     // Residency is bounded far below the tenant space, so the traffic must
     // constantly evict and restore.
-    let config =
-        RegistryConfig { max_resident: 1024, materialize_threshold: 32, spill_backlog: 128 };
+    let config = RegistryConfig {
+        max_resident: 1024,
+        materialize_threshold: 32,
+        spill_backlog: 128,
+        ..Default::default()
+    };
     let mut registry = SketchRegistry::new(proto.clone(), config, MemorySpill::new());
 
     // Heavy-tailed tenant traffic: a handful of hot tenants absorb most
@@ -96,8 +100,12 @@ fn main() {
     // partitioned by hash so each shard owns a disjoint fleet slice.
     let mut seeds = SeedSequence::new(0xF1EE7);
     let proto = SparseRecovery::new(dimension, 8, &mut seeds);
-    let sharded_config =
-        RegistryConfig { max_resident: 256, materialize_threshold: 32, spill_backlog: 128 };
+    let sharded_config = RegistryConfig {
+        max_resident: 256,
+        materialize_threshold: 32,
+        spill_backlog: 128,
+        ..Default::default()
+    };
     let mut sharded = ShardedRegistry::new(&proto, 4, sharded_config, |_| MemorySpill::new());
     let zipf = Zipf::new(tenants, 1.05);
     let mut shard_seeds = SeedSequence::new(0x7E4A);
