@@ -8,6 +8,9 @@
 //!   cargo run --release -p lps-bench --bin experiments -- checkpoint --dir D [--shards K]
 //!   cargo run --release -p lps-bench --bin experiments -- checkpoint --merge --dir D
 //!   cargo run --release -p lps-bench --bin experiments -- crashtest --dir D [--kills K] [--seed S]
+//!   cargo run --release -p lps-bench --bin experiments -- serve [--dim N] [--seed S]
+//!   cargo run --release -p lps-bench --bin experiments -- feed --addr A [--updates N]
+//!   cargo run --release -p lps-bench --bin experiments -- servetest [--updates N]
 //!
 //! Without `--full` the harness runs in "quick" mode (fewer trials), which is
 //! what EXPERIMENTS.md reports; `--full` multiplies the trial counts. The
@@ -31,6 +34,14 @@
 //! this binary as a child (`--child`) that routes Zipf traffic into a
 //! `FileSpill` and aborts mid-run, then reopens the torn log and verifies
 //! every committed record survived (see `lps_bench::crashtest`).
+//!
+//! The `serve`/`feed`/`servetest` subcommands drive the streaming service
+//! over real TCP: `servetest` spawns a `serve` child of this binary, reads
+//! the bound address off its stdout, streams update batches plus a shard
+//! checkpoint set at it (with live queries mid-ingestion and a deliberate
+//! plan-mismatch rejection), and digest-compares every catalog structure
+//! against sequential ingestion — exiting non-zero on any mismatch (see
+//! `lps_bench::service_loopback`).
 
 use lps_bench::*;
 
@@ -114,6 +125,15 @@ fn main() {
     if args.first().map(String::as_str) == Some("crashtest") {
         std::process::exit(run_crashtest(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(serve_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("feed") {
+        std::process::exit(feed_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("servetest") {
+        std::process::exit(servetest_main(&args[1..]));
+    }
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
     let check_baseline: Option<String> = args
@@ -155,6 +175,9 @@ fn main() {
         let strategies = strategy_comparison_suite(quick);
         println!("{}", strategy_comparison_table(&strategies, meta.host_cpus).render());
         records.extend(strategies);
+        let service = service_suite(quick);
+        println!("{}", service_table(&service).render());
+        records.extend(service);
         let registry = registry_suite(quick);
         println!("{}", registry_table(&registry).render());
         if json {

@@ -59,12 +59,7 @@ fn crash_proto() -> SparseRecovery {
 
 fn crash_config() -> RegistryConfig {
     // tiny residency so the traffic spills constantly
-    RegistryConfig {
-        max_resident: 8,
-        materialize_threshold: 16,
-        spill_backlog: 4,
-        ..Default::default()
-    }
+    RegistryConfig::new().max_resident(8).materialize_threshold(16).spill_backlog(4)
 }
 
 fn spill_path(dir: &Path) -> PathBuf {

@@ -69,12 +69,10 @@ pub const E15_MAX_RESIDENT: usize = 4096;
 pub const E15_ZIPF_ALPHA: f64 = 1.05;
 
 fn registry_config() -> RegistryConfig {
-    RegistryConfig {
-        max_resident: E15_MAX_RESIDENT,
-        materialize_threshold: 32,
-        spill_backlog: 256,
-        ..Default::default()
-    }
+    RegistryConfig::new()
+        .max_resident(E15_MAX_RESIDENT)
+        .materialize_threshold(32)
+        .spill_backlog(256)
 }
 
 /// The per-tenant structure E15 fleets are built from: exact 8-sparse
@@ -154,7 +152,7 @@ fn run_sharded(
     let proto = tenant_proto(0xE15);
     // Split the residency cap across the shards so the sharded scenario keeps
     // the same total footprint as the single registry — and keeps evicting.
-    let config = RegistryConfig { max_resident: E15_MAX_RESIDENT / shards, ..registry_config() };
+    let config = registry_config().max_resident(E15_MAX_RESIDENT / shards);
     let mut reg = ShardedRegistry::new(&proto, shards, config, |_| MemorySpill::new());
     let start = Instant::now();
     for &(tenant, update) in traffic {

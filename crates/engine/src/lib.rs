@@ -141,7 +141,7 @@ use lps_sketch::{
     read_header, seed_section, AmsSketch, CountMedianSketch, CountMinSketch, CountSketch,
     DecodeError, LinearSketch, Mergeable, PStableSketch, Persist, SparseRecovery,
 };
-use lps_stream::{Update, UpdateStream};
+use lps_stream::Update;
 
 use plan::tree_merge_with;
 
@@ -351,116 +351,6 @@ pub fn partitioned_ingest<T: ShardIngest + 'static, P: ShardPlan>(
     session.seal().unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// The legacy construct-then-`finish()` engine: a thin wrapper over
-/// [`EngineBuilder`] + [`IngestSession`] with a round-robin plan and
-/// blocking ingestion.
-///
-/// New code should use the builder/session API directly — it exposes the
-/// same round-robin behavior plus key-range partitioning, non-blocking
-/// `offer`/`drain` polls, and approximate-tolerance sharding of the float
-/// structures. Migration is mechanical:
-///
-/// | legacy | builder/session |
-/// |---|---|
-/// | `ShardedEngine::new(&p, k)` | `EngineBuilder::new(&p).shards(k).session()` |
-/// | `engine.ingest(&ups)` | `session.ingest_blocking(&ups)` (or poll `offer`) |
-/// | `engine.finish()` | `session.seal()` |
-/// | `engine.checkpoint_shards()` | `session.checkpoint()` |
-/// | `ShardedEngine::resume_from(&bufs, b)` | `EngineBuilder::new(&p).shards(k).batch_size(b).resume(&bufs)` |
-pub struct ShardedEngine<T: ShardIngest + 'static> {
-    session: IngestSession<T, RoundRobin>,
-}
-
-impl<T: ShardIngest + 'static> std::fmt::Debug for ShardedEngine<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardedEngine").field("session", &self.session).finish()
-    }
-}
-
-impl<T: ShardIngest + 'static> ShardedEngine<T> {
-    /// Spawn `shards` worker threads, each owning a clone of `prototype`,
-    /// dealing work in [`lps_stream::DEFAULT_BATCH_SIZE`]-update batches.
-    #[deprecated(since = "0.2.0", note = "use EngineBuilder::new(&proto).shards(n).session()")]
-    pub fn new(prototype: &T, shards: usize) -> Self {
-        assert!(shards >= 1, "need at least one shard");
-        ShardedEngine { session: EngineBuilder::new(prototype).shards(shards).session() }
-    }
-
-    /// Spawn the engine with an explicit dispatch batch size.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use EngineBuilder::new(&proto).shards(n).batch_size(b).session()"
-    )]
-    pub fn with_batch_size(prototype: &T, shards: usize, batch_size: usize) -> Self {
-        assert!(shards >= 1, "need at least one shard");
-        ShardedEngine {
-            session: EngineBuilder::new(prototype).shards(shards).batch_size(batch_size).session(),
-        }
-    }
-
-    /// Number of shards (worker threads).
-    pub fn shards(&self) -> usize {
-        self.session.shards()
-    }
-
-    /// Distribute a slice of updates across the workers. Blocks only when a
-    /// worker's backlog is full (backpressure).
-    #[deprecated(since = "0.2.0", note = "use IngestSession::ingest_blocking (or poll offer())")]
-    pub fn ingest(&mut self, updates: &[Update]) {
-        self.session.ingest_blocking(updates);
-    }
-
-    /// Ingest one batch of updates.
-    #[deprecated(since = "0.2.0", note = "use IngestSession::ingest_blocking (or poll offer())")]
-    pub fn ingest_batch(&mut self, batch: &[Update]) {
-        self.session.ingest_blocking(batch);
-    }
-
-    /// Distribute a whole update stream across the workers.
-    #[deprecated(since = "0.2.0", note = "use IngestSession::ingest_stream_blocking")]
-    pub fn ingest_stream(&mut self, stream: &UpdateStream) {
-        self.session.ingest_stream_blocking(stream);
-    }
-
-    /// Close the channels, join the workers and tree-merge the shard states
-    /// into the final structure (the sketch of everything ingested).
-    /// Reports a panicked worker as [`EngineError::WorkerPanicked`], like
-    /// [`IngestSession::seal`].
-    #[deprecated(since = "0.2.0", note = "use IngestSession::seal")]
-    pub fn finish(self) -> Result<T, EngineError> {
-        self.session.seal()
-    }
-}
-
-impl<T: ShardIngest + Persist + 'static> ShardedEngine<T> {
-    /// Stop ingestion and serialize every shard's state, in shard order,
-    /// **without** merging — see [`IngestSession::checkpoint`]. Buffers are
-    /// stamped with this engine's round-robin plan: since 0.2.0 they carry a
-    /// plan envelope ahead of the `Persist` payload, so recombine them with
-    /// [`merge_checkpointed`] (not [`merge_encoded`], which handles only
-    /// bare pre-envelope buffers).
-    #[deprecated(since = "0.2.0", note = "use IngestSession::checkpoint")]
-    pub fn checkpoint_shards(self) -> Result<Vec<Vec<u8>>, EngineError> {
-        self.session.checkpoint()
-    }
-
-    /// Re-create a running engine from checkpointed shard states (one worker
-    /// per buffer, in order), validating the stamped plan (round robin —
-    /// key-range checkpoints are rejected with
-    /// [`DecodeError::PlanMismatch`]), then seed compatibility, before any
-    /// thread spawns.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use EngineBuilder::new(&proto).shards(n).batch_size(b).resume(&bufs)"
-    )]
-    pub fn resume_from(encoded: &[Vec<u8>], batch_size: usize) -> Result<Self, DecodeError> {
-        let plan = RoundRobin::new(encoded.len().max(1));
-        let payloads = plan::validate_envelopes(&plan, encoded)?;
-        let states = decode_compatible_shards::<T, _>(&payloads)?;
-        Ok(ShardedEngine { session: IngestSession::from_states(plan, states, batch_size) })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,21 +434,5 @@ mod tests {
         let mut seeds = SeedSequence::new(8);
         let proto = CountSketch::with_default_rows(64, 4, &mut seeds);
         let _ = EngineBuilder::new(&proto).shards(0).session();
-    }
-
-    #[test]
-    fn legacy_wrapper_reproduces_the_session_digests() {
-        let mut seeds = SeedSequence::new(9);
-        let proto = SparseRecovery::new(1 << 10, 6, &mut seeds);
-        let updates = workload(1 << 10, 4000, 10);
-        let mut sequential = proto.clone();
-        sequential.process_batch(&updates);
-        #[allow(deprecated)]
-        let merged = {
-            let mut engine = ShardedEngine::new(&proto, 3);
-            engine.ingest(&updates);
-            engine.finish().unwrap()
-        };
-        assert_eq!(merged.state_digest(), sequential.state_digest());
     }
 }

@@ -174,8 +174,7 @@ fn drain_flushes_partial_batches() {
 
 /// The sans-io poll loop must land on the same bits as the blocking
 /// `ingest_blocking`/`seal` surface (and sequential ingestion) — polling is a
-/// different driving style, not different semantics. (The deprecated
-/// `ShardedEngine` wrapper keeps its own equivalence test in-crate.)
+/// different driving style, not different semantics.
 #[test]
 fn poll_driven_session_reproduces_blocking_session_digests() {
     let mut seeds = SeedSequence::new(42);

@@ -69,8 +69,27 @@ impl RetryPolicy {
     }
 }
 
-/// Tuning knobs for a [`SketchRegistry`].
+/// Tuning knobs for a [`SketchRegistry`], built fluently in the
+/// [`EngineBuilder`](lps_engine::EngineBuilder) style:
+///
+/// ```
+/// use lps_registry::{RegistryConfig, RetryPolicy};
+///
+/// let config = RegistryConfig::new()
+///     .max_resident(4096)
+///     .materialize_threshold(128)
+///     .spill_backlog(256)
+///     .retry(RetryPolicy { max_attempts: 5 });
+/// assert_eq!(config.max_resident, 4096);
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: fields stay readable, but
+/// construction outside this crate goes through [`RegistryConfig::new`] /
+/// [`RegistryConfig::default`] plus the setters — bare struct literals (the
+/// pre-0.3 idiom) no longer compile, so the config surface is one idiom
+/// across engine and registry.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RegistryConfig {
     /// Maximum number of tenants resident in memory before LRU eviction.
     pub max_resident: usize,
@@ -92,6 +111,43 @@ impl Default for RegistryConfig {
             spill_backlog: 64,
             retry: RetryPolicy::default(),
         }
+    }
+}
+
+impl RegistryConfig {
+    /// Start from the default configuration (1024 resident tenants,
+    /// materialize at 64 logged updates, 64-segment outbox backlog, 3
+    /// retry attempts).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the maximum number of tenants resident in memory before LRU
+    /// eviction. Must be at least 1 (validated by `SketchRegistry::new`).
+    pub fn max_resident(mut self, max_resident: usize) -> Self {
+        self.max_resident = max_resident;
+        self
+    }
+
+    /// Set the sparse-log length above which a tenant materializes its
+    /// full structure.
+    pub fn materialize_threshold(mut self, threshold: usize) -> Self {
+        self.materialize_threshold = threshold;
+        self
+    }
+
+    /// Set the outbox depth at which [`SketchRegistry::route`] reports
+    /// `Pending` instead of accepting more work.
+    pub fn spill_backlog(mut self, backlog: usize) -> Self {
+        self.spill_backlog = backlog;
+        self
+    }
+
+    /// Set the retry budget for spill failures during
+    /// [`SketchRegistry::drain`].
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -159,7 +215,15 @@ impl fmt::Display for RegistryError {
     }
 }
 
-impl std::error::Error for RegistryError {}
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            RegistryError::Decode(e) => Some(e),
+            RegistryError::Quarantined { .. } => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for RegistryError {
     fn from(e: std::io::Error) -> Self {

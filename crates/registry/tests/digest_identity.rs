@@ -33,12 +33,8 @@ fn assert_evicted_digest_identical<T: ShardIngest + Persist>(
 ) {
     let split = split.min(history.len());
     let (before, after) = history.split_at(split);
-    let config = RegistryConfig {
-        max_resident: 2,
-        materialize_threshold: threshold,
-        spill_backlog: 8,
-        ..Default::default()
-    };
+    let config =
+        RegistryConfig::new().max_resident(2).materialize_threshold(threshold).spill_backlog(8);
 
     // evicted path: filler tenants push tenant 1 out between the two halves
     let mut evicted = SketchRegistry::new(proto.clone(), config.clone(), MemorySpill::new());
@@ -55,12 +51,10 @@ fn assert_evicted_digest_identical<T: ShardIngest + Persist>(
     assert!(evicted.stats().evictions > 0 && evicted.stats().restores > 0);
 
     // resident path: a roomy registry where tenant 1 never leaves memory
-    let roomy = RegistryConfig {
-        max_resident: 1024,
-        materialize_threshold: threshold,
-        spill_backlog: 1024,
-        ..Default::default()
-    };
+    let roomy = RegistryConfig::new()
+        .max_resident(1024)
+        .materialize_threshold(threshold)
+        .spill_backlog(1024);
     let mut resident = SketchRegistry::new(proto, roomy, MemorySpill::new());
     resident.route_blocking(1, &to_updates(before)).unwrap();
     resident.route_blocking(1, &to_updates(after)).unwrap();

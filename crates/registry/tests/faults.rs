@@ -55,12 +55,11 @@ impl SpillBackend for FlakyPuts {
 }
 
 fn tight_config() -> RegistryConfig {
-    RegistryConfig {
-        max_resident: 2,
-        materialize_threshold: 4,
-        spill_backlog: 8,
-        retry: RetryPolicy { max_attempts: 3 },
-    }
+    RegistryConfig::new()
+        .max_resident(2)
+        .materialize_threshold(4)
+        .spill_backlog(8)
+        .retry(RetryPolicy { max_attempts: 3 })
 }
 
 /// Regression for the outbox-loss bug: a `put` failure within the retry

@@ -36,12 +36,7 @@ fn tenants_are_isolated_and_queryable() {
 #[test]
 fn eviction_keeps_residency_bounded_and_restores_transparently() {
     let proto = recovery_proto(2);
-    let config = RegistryConfig {
-        max_resident: 4,
-        materialize_threshold: 2,
-        spill_backlog: 2,
-        ..Default::default()
-    };
+    let config = RegistryConfig::new().max_resident(4).materialize_threshold(2).spill_backlog(2);
     let mut reg = SketchRegistry::new(proto, config, MemorySpill::new());
 
     // touch 32 tenants, each with a distinguishable update
@@ -70,12 +65,7 @@ fn eviction_keeps_residency_bounded_and_restores_transparently() {
 #[test]
 fn route_is_sans_io_pending_until_drained() {
     let proto = recovery_proto(3);
-    let config = RegistryConfig {
-        max_resident: 1,
-        materialize_threshold: 4,
-        spill_backlog: 3,
-        ..Default::default()
-    };
+    let config = RegistryConfig::new().max_resident(1).materialize_threshold(4).spill_backlog(3);
     let mut reg = SketchRegistry::new(proto, config, MemorySpill::new());
 
     // each new tenant evicts the previous one; after 4 evictions the outbox
@@ -103,12 +93,7 @@ fn registry_matches_per_tenant_sequential_sketches() {
     // the registry under eviction pressure must agree with one plain sketch
     // per tenant fed the same per-tenant stream
     let proto = CountSketch::new(1 << 12, 16, 5, &mut SeedSequence::new(4));
-    let config = RegistryConfig {
-        max_resident: 8,
-        materialize_threshold: 8,
-        spill_backlog: 16,
-        ..Default::default()
-    };
+    let config = RegistryConfig::new().max_resident(8).materialize_threshold(8).spill_backlog(16);
     let mut reg = SketchRegistry::new(proto.clone(), config, MemorySpill::new());
 
     let tenants = 64u64;
@@ -137,12 +122,8 @@ fn zipf_traffic_over_many_tenants_stays_bounded() {
     // traffic, residency bounded, evictions and restores both exercised
     let tenants = 100_000u64;
     let proto = recovery_proto(6);
-    let config = RegistryConfig {
-        max_resident: 512,
-        materialize_threshold: 16,
-        spill_backlog: 256,
-        ..Default::default()
-    };
+    let config =
+        RegistryConfig::new().max_resident(512).materialize_threshold(16).spill_backlog(256);
     let mut reg = SketchRegistry::new(proto, config, MemorySpill::new());
 
     let zipf = Zipf::new(tenants, 1.1);
@@ -169,12 +150,7 @@ fn zipf_traffic_over_many_tenants_stays_bounded() {
 #[test]
 fn sharded_registry_partitions_tenants_consistently() {
     let proto = recovery_proto(8);
-    let config = RegistryConfig {
-        max_resident: 32,
-        materialize_threshold: 4,
-        spill_backlog: 16,
-        ..Default::default()
-    };
+    let config = RegistryConfig::new().max_resident(32).materialize_threshold(4).spill_backlog(16);
     let mut reg = ShardedRegistry::new(&proto, 4, config, |_| MemorySpill::new());
     assert_eq!(reg.shard_count(), 4);
 
@@ -199,12 +175,7 @@ fn file_spill_registry_survives_a_process_style_restart() {
     path.push(format!("lps-registry-restart-{}.spill", std::process::id()));
 
     let proto = recovery_proto(9);
-    let config = RegistryConfig {
-        max_resident: 2,
-        materialize_threshold: 2,
-        spill_backlog: 1,
-        ..Default::default()
-    };
+    let config = RegistryConfig::new().max_resident(2).materialize_threshold(2).spill_backlog(1);
     {
         let spill = FileSpill::create(&path).unwrap();
         let mut reg = SketchRegistry::new(proto.clone(), config.clone(), spill);

@@ -177,12 +177,7 @@ fn registry_restore_rejects_cross_registry_segments() {
     foreign.put(7, &segment).unwrap();
 
     let proto_b = SparseRecovery::new(DIM, 5, &mut SeedSequence::new(2));
-    let config = RegistryConfig {
-        max_resident: 4,
-        materialize_threshold: 2,
-        spill_backlog: 8,
-        ..Default::default()
-    };
+    let config = RegistryConfig::new().max_resident(4).materialize_threshold(2).spill_backlog(8);
     let mut reg_b = SketchRegistry::new(proto_b, config, foreign);
     assert!(
         reg_b.route(7, &[Update::new(5, 5)]).is_err(),

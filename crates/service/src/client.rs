@@ -1,0 +1,168 @@
+//! The blocking client: a thin request/reply wrapper over any
+//! `Read + Write` stream, speaking the [`crate::proto`] framing.
+//!
+//! Every helper is strictly synchronous — encode the request, write it,
+//! read frames until one arrives, map a protocol [`Frame::Error`] to
+//! [`ServiceError::Remote`]. The client is generic over the stream so the
+//! same code drives TCP, Unix-domain sockets, and in-memory test pipes.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::task::Poll;
+
+use lps_stream::Update;
+
+use crate::proto::{Frame, FrameCodec, Query, Reply, PROTOCOL_VERSION};
+use crate::ServiceError;
+
+/// A connected service client.
+///
+/// Constructed either over TCP ([`ServiceClient::connect_tcp`]) or over any
+/// existing stream ([`ServiceClient::handshake`]); both perform the
+/// `Hello` version handshake before returning, so a constructed client is
+/// known-compatible.
+pub struct ServiceClient<S: Read + Write> {
+    stream: S,
+    codec: FrameCodec,
+}
+
+impl ServiceClient<TcpStream> {
+    /// Connect over TCP and perform the `Hello` handshake.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::handshake(stream)
+    }
+}
+
+impl<S: Read + Write> ServiceClient<S> {
+    /// Wrap an already-connected stream and perform the `Hello` handshake.
+    pub fn handshake(stream: S) -> Result<Self, ServiceError> {
+        let mut client = ServiceClient { stream, codec: FrameCodec::new() };
+        match client.call(&Frame::Hello { major: PROTOCOL_VERSION, minor: 0 })? {
+            Frame::Hello { .. } => Ok(client),
+            _ => Err(ServiceError::Proto(crate::ProtoError::Malformed {
+                context: "handshake reply was not a hello frame",
+            })),
+        }
+    }
+
+    /// Send one frame and block for the next frame back. A protocol
+    /// `Error` frame comes back as [`ServiceError::Remote`]; a clean
+    /// disconnect as [`ServiceError::Closed`].
+    fn call(&mut self, request: &Frame) -> Result<Frame, ServiceError> {
+        let mut wire = Vec::new();
+        FrameCodec::encode(request, &mut wire);
+        self.stream.write_all(&wire)?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            // A previous read may have buffered the next frame already.
+            if let Poll::Ready(frame) = self.codec.poll()? {
+                return match frame {
+                    Frame::Error { code, detail } => Err(ServiceError::Remote { code, detail }),
+                    frame => Ok(frame),
+                };
+            }
+            let n = match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ServiceError::Closed),
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            };
+            if let Poll::Ready(frame) = self.codec.feed(&chunk[..n])? {
+                return match frame {
+                    Frame::Error { code, detail } => Err(ServiceError::Remote { code, detail }),
+                    frame => Ok(frame),
+                };
+            }
+        }
+    }
+
+    /// Stream a batch of updates into `tenant` (tenant 0 is the shared
+    /// catalog; any other id lands in the multi-tenant registry). Returns
+    /// the server's total accepted-update count.
+    pub fn send_updates(&mut self, tenant: u64, updates: &[Update]) -> Result<u64, ServiceError> {
+        let frame = Frame::UpdateBatch { tenant, updates: updates.to_vec() };
+        match self.call(&frame)? {
+            Frame::Reply(Reply::Ack { accepted }) => Ok(accepted),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Upload one shard's enveloped checkpoint buffer for server-side
+    /// merging. The server validates the envelope against its own plan
+    /// first; a mismatch comes back as [`ServiceError::Remote`] with
+    /// [`crate::ErrorCode::PlanMismatch`] — and the connection survives.
+    pub fn upload_checkpoint(&mut self, buffer: Vec<u8>) -> Result<u64, ServiceError> {
+        match self.call(&Frame::CheckpointUpload { buffer })? {
+            Frame::Reply(Reply::Ack { accepted }) => Ok(accepted),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Run any query and return the raw reply.
+    pub fn query(&mut self, query: Query) -> Result<Reply, ServiceError> {
+        match self.call(&Frame::Query(query))? {
+            Frame::Reply(reply) => Ok(reply),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Draw a sample from the sampler with `structure` tag (live: answered
+    /// from the latest published snapshot).
+    pub fn sample(&mut self, structure: u16) -> Result<Option<(u64, f64)>, ServiceError> {
+        match self.query(Query::Sample { structure })? {
+            Reply::Sample { sample } => Ok(sample),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Point-estimate one coordinate of the counter sketch with
+    /// `structure` tag (live).
+    pub fn point_estimate(&mut self, structure: u16, index: u64) -> Result<f64, ServiceError> {
+        match self.query(Query::PointEstimate { structure, index })? {
+            Reply::Estimate { value } => Ok(value),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Recover the duplicate set from the sparse-recovery structure (live).
+    pub fn duplicates(&mut self, structure: u16) -> Result<Vec<(u64, i64)>, ServiceError> {
+        match self.query(Query::Duplicates { structure })? {
+            Reply::Duplicates { entries } => Ok(entries),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// State digest of the structure with `structure` tag, linearized with
+    /// ingestion (the server publishes a fresh snapshot first).
+    pub fn digest(&mut self, structure: u16) -> Result<u64, ServiceError> {
+        match self.query(Query::Digest { structure })? {
+            Reply::Digest { digest } => Ok(digest),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// State digest of one registry tenant (`None` if the tenant has never
+    /// received an update).
+    pub fn tenant_digest(&mut self, tenant: u64) -> Result<Option<u64>, ServiceError> {
+        match self.query(Query::TenantDigest { tenant })? {
+            Reply::TenantDigest { digest } => Ok(digest),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Ask the server to shut down, consuming the client. Returns the
+    /// server's final accepted-update count.
+    pub fn shutdown(mut self) -> Result<u64, ServiceError> {
+        match self.call(&Frame::Shutdown)? {
+            Frame::Reply(Reply::Ack { accepted }) => Ok(accepted),
+            _ => Err(unexpected_reply()),
+        }
+    }
+}
+
+fn unexpected_reply() -> ServiceError {
+    ServiceError::Proto(crate::ProtoError::Malformed {
+        context: "reply frame does not match the request kind",
+    })
+}

@@ -1,0 +1,412 @@
+//! The blocking socket front-end: std-only listeners feeding the sans-io
+//! [`ServiceCore`] from a dedicated ingest thread.
+//!
+//! ## Threading model
+//!
+//! * **Acceptor thread** — polls a non-blocking listener, spawns one
+//!   connection thread per accepted socket, and joins them on shutdown. It
+//!   never touches the ingest channel, so a stalled ingest pipeline cannot
+//!   stop new connections from being accepted.
+//! * **Connection threads** — frame the byte stream through a per-connection
+//!   [`FrameCodec`], answer live queries (sample / point-estimate /
+//!   duplicates) directly from the [`SnapshotHandle`] without any ingest
+//!   coordination, and forward ingest-ordered frames (update batches,
+//!   checkpoint uploads, digest queries) over a **bounded** channel —
+//!   blocking on `send` when the ingest thread falls behind, so
+//!   backpressure lands on the connection that produced the load.
+//! * **Ingest thread** — owns the [`ServiceCore`] outright (no lock) and
+//!   applies requests in arrival order, posting each reply back on a
+//!   one-shot channel.
+//!
+//! Failures stay scoped to their connection: a malformed byte stream earns
+//! a best-effort [`Frame::Error`] and a close, a rejected upload (for
+//! example a [`PlanMismatch`](lps_sketch::DecodeError::PlanMismatch)
+//! envelope) earns a typed [`Frame::Error`] **and the connection keeps
+//! going** — the protocol distinguishes "your request was bad" from "this
+//! conversation is over".
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::task::Poll;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::merge::{ServiceConfig, ServiceCore, SnapshotHandle};
+use crate::proto::{ErrorCode, Frame, FrameCodec, Query, PROTOCOL_VERSION};
+use crate::ServiceError;
+
+/// How long blocking reads wait before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+/// How long the ingest thread waits on its queue before re-checking the
+/// shutdown flag.
+const INGEST_POLL: Duration = Duration::from_millis(50);
+/// How long the acceptor sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A request forwarded from a connection thread to the ingest thread. The
+/// reply channel is a rendezvous: the connection blocks until the core has
+/// applied the frame, which is what serializes acknowledgements with
+/// ingestion.
+enum Request {
+    Apply(Frame, SyncSender<Frame>),
+    Shutdown(SyncSender<Frame>),
+}
+
+/// The socket transports a connection thread can sit on. Both TCP and Unix
+/// streams qualify; the trait erases the difference so one connection loop
+/// serves both listeners.
+trait Connection: Read + Write + Send {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+impl Connection for TcpStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+}
+
+#[cfg(unix)]
+impl Connection for UnixStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, dur)
+    }
+}
+
+/// A non-blocking accept source (TCP or Unix listener).
+trait Acceptor: Send {
+    /// Accept one pending connection, or `None` when none is waiting.
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn Connection>>>;
+}
+
+impl Acceptor for TcpListener {
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn Connection>>> {
+        match self.accept() {
+            Ok((stream, _)) => Ok(Some(Box::new(stream))),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Acceptor for UnixListener {
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn Connection>>> {
+        match self.accept() {
+            Ok((stream, _)) => Ok(Some(Box::new(stream))),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A running service instance: the acceptor, its connection threads, and
+/// the ingest thread, all stoppable from the handle.
+///
+/// ```no_run
+/// use lps_service::{RunningServer, ServiceConfig};
+///
+/// let config = ServiceConfig::new(1 << 12, 0xC0FE);
+/// let server = RunningServer::bind_tcp("127.0.0.1:0", config).unwrap();
+/// println!("listening on {}", server.local_addr().unwrap());
+/// server.stop();
+/// ```
+pub struct RunningServer {
+    addr: Option<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    ingest: Option<JoinHandle<u64>>,
+}
+
+impl RunningServer {
+    /// Bind a TCP listener (use port 0 to let the OS choose, then read it
+    /// back from [`RunningServer::local_addr`]) and start serving.
+    pub fn bind_tcp<A: ToSocketAddrs>(
+        addr: A,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Ok(Self::start(Box::new(listener), Some(local), config))
+    }
+
+    /// Bind a Unix-domain listener at `path` and start serving.
+    #[cfg(unix)]
+    pub fn bind_unix<P: AsRef<Path>>(path: P, config: ServiceConfig) -> Result<Self, ServiceError> {
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self::start(Box::new(listener), None, config))
+    }
+
+    fn start(listener: Box<dyn Acceptor>, addr: Option<SocketAddr>, config: ServiceConfig) -> Self {
+        let core = ServiceCore::new(&config);
+        let snapshots = core.snapshot_handle();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel::<Request>(config.queue_depth);
+
+        let ingest = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || ingest_loop(core, rx, shutdown))
+        };
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(listener, tx, snapshots, shutdown))
+        };
+        RunningServer { addr, shutdown, acceptor: Some(acceptor), ingest: Some(ingest) }
+    }
+
+    /// The bound TCP address (`None` for Unix-domain servers).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Stop the server from this side: flag shutdown, then join the
+    /// acceptor (which joins its connections) and the ingest thread.
+    /// Returns the total updates the core accepted.
+    pub fn stop(mut self) -> u64 {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads()
+    }
+
+    /// Wait for the server to be shut down by a client's
+    /// [`Frame::Shutdown`], then join everything. Returns the total
+    /// updates the core accepted.
+    pub fn join(mut self) -> u64 {
+        let accepted = match self.ingest.take() {
+            Some(handle) => handle.join().unwrap_or(0),
+            None => 0,
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        accepted
+    }
+
+    fn join_threads(&mut self) -> u64 {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        match self.ingest.take() {
+            Some(handle) => handle.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads();
+    }
+}
+
+/// The ingest thread: applies requests in arrival order against the core
+/// it exclusively owns. Returns the total accepted-update count.
+fn ingest_loop(mut core: ServiceCore, rx: Receiver<Request>, shutdown: Arc<AtomicBool>) -> u64 {
+    loop {
+        match rx.recv_timeout(INGEST_POLL) {
+            Ok(Request::Apply(frame, reply)) => {
+                let response = match core.apply(frame) {
+                    Ok(frame) => frame,
+                    Err(e) => e.to_error_frame(),
+                };
+                let _ = reply.send(response);
+            }
+            Ok(Request::Shutdown(reply)) => {
+                // Publish one final snapshot set so a post-mortem reader of
+                // the handle sees everything, then acknowledge and stop.
+                let response = match core.publish_all() {
+                    Ok(()) => Frame::Reply(crate::proto::Reply::Ack { accepted: core.accepted() }),
+                    Err(e) => e.to_error_frame(),
+                };
+                let _ = reply.send(response);
+                shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    core.accepted()
+}
+
+/// The acceptor thread: polls the listener, spawns connection threads, and
+/// joins them all once shutdown is flagged.
+fn accept_loop(
+    listener: Box<dyn Acceptor>,
+    tx: SyncSender<Request>,
+    snapshots: SnapshotHandle,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.poll_accept() {
+            Ok(Some(conn)) => {
+                let tx = tx.clone();
+                let snapshots = snapshots.clone();
+                let shutdown = Arc::clone(&shutdown);
+                connections.push(std::thread::spawn(move || {
+                    serve_connection(conn, tx, snapshots, shutdown)
+                }));
+            }
+            Ok(None) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => break,
+        }
+        connections.retain(|handle| !handle.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Encode and write one frame.
+fn write_frame(conn: &mut dyn Connection, frame: &Frame) -> io::Result<()> {
+    let mut wire = Vec::new();
+    FrameCodec::encode(frame, &mut wire);
+    conn.write_all(&wire)
+}
+
+/// One connection's full lifetime: frame the byte stream, route each frame,
+/// write each reply.
+fn serve_connection(
+    mut conn: Box<dyn Connection>,
+    tx: SyncSender<Request>,
+    snapshots: SnapshotHandle,
+    shutdown: Arc<AtomicBool>,
+) {
+    if conn.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut codec = FrameCodec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    'conn: loop {
+        let n = match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        let mut pending = &chunk[..n];
+        loop {
+            // Feed once, then keep polling: one read may complete several
+            // frames, and each must be answered in order.
+            let step = if pending.is_empty() { codec.poll() } else { codec.feed(pending) };
+            pending = &[];
+            match step {
+                Ok(Poll::Pending) => break,
+                Ok(Poll::Ready(frame)) => {
+                    if !handle_frame(conn.as_mut(), frame, &tx, &snapshots) {
+                        break 'conn;
+                    }
+                }
+                Err(e) => {
+                    // The codec is poisoned: the stream cannot be re-framed
+                    // past this point, so report and hang up.
+                    let _ = write_frame(
+                        conn.as_mut(),
+                        &Frame::Error { code: ErrorCode::Proto, detail: e.to_string() },
+                    );
+                    break 'conn;
+                }
+            }
+        }
+    }
+}
+
+/// Route one decoded frame; `false` means the connection should close.
+fn handle_frame(
+    conn: &mut dyn Connection,
+    frame: Frame,
+    tx: &SyncSender<Request>,
+    snapshots: &SnapshotHandle,
+) -> bool {
+    match frame {
+        Frame::Hello { major, .. } => {
+            if major == PROTOCOL_VERSION {
+                write_frame(conn, &Frame::Hello { major: PROTOCOL_VERSION, minor: 0 }).is_ok()
+            } else {
+                let _ = write_frame(
+                    conn,
+                    &Frame::Error {
+                        code: ErrorCode::Unsupported,
+                        detail: format!(
+                            "protocol major {major} is not supported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                );
+                false
+            }
+        }
+        // Live queries: answered from the published snapshot, never
+        // entering the ingest queue — ingestion load cannot delay them.
+        Frame::Query(
+            query @ (Query::Sample { .. } | Query::PointEstimate { .. } | Query::Duplicates { .. }),
+        ) => {
+            let response = match snapshots.serve(&query) {
+                Ok(reply) => Frame::Reply(reply),
+                Err(e) => e.to_error_frame(),
+            };
+            write_frame(conn, &response).is_ok()
+        }
+        Frame::Shutdown => {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if tx.send(Request::Shutdown(reply_tx)).is_err() {
+                return false;
+            }
+            if let Ok(response) = reply_rx.recv() {
+                let _ = write_frame(conn, &response);
+            }
+            false
+        }
+        // Everything else is ingest-ordered: update batches, checkpoint
+        // uploads, digest queries. `send` blocks when the bounded queue is
+        // full — that is the backpressure point.
+        frame @ (Frame::UpdateBatch { .. } | Frame::CheckpointUpload { .. } | Frame::Query(_)) => {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if tx.send(Request::Apply(frame, reply_tx)).is_err() {
+                let _ = write_frame(
+                    conn,
+                    &Frame::Error {
+                        code: ErrorCode::Internal,
+                        detail: "service is shutting down".to_string(),
+                    },
+                );
+                return false;
+            }
+            match reply_rx.recv() {
+                Ok(response) => write_frame(conn, &response).is_ok(),
+                Err(_) => false,
+            }
+        }
+        // A server never expects replies or errors from a client; flag it
+        // but keep the conversation open.
+        Frame::Reply(_) | Frame::Error { .. } => write_frame(
+            conn,
+            &Frame::Error {
+                code: ErrorCode::Proto,
+                detail: "unexpected reply/error frame from client".to_string(),
+            },
+        )
+        .is_ok(),
+    }
+}

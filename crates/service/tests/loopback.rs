@@ -1,0 +1,267 @@
+//! In-process loopback integration: a real TCP (and Unix-socket) server,
+//! real clients, and the digest-identity contract end to end.
+//!
+//! The load pattern mirrors the CI two-process harness at a smaller scale:
+//! streamed update batches, a concurrent tenant feeder on a second
+//! connection, live queries mid-ingestion, a complete shard-checkpoint
+//! upload set, one deliberately mismatched (key-range) upload that must
+//! come back as a typed `PlanMismatch` error *without* killing the
+//! connection, and final digests compared against sequential local
+//! references — bit-identical, because every catalog structure merges
+//! exactly.
+
+use std::net::TcpStream;
+
+use lps_engine::{EngineBuilder, KeyRange, ShardIngest};
+use lps_service::proto::tags as frame_tags;
+use lps_service::{
+    CatalogPrototypes, ErrorCode, Frame, FrameCodec, Query, RunningServer, ServiceClient,
+    ServiceConfig, ServiceError, CATALOG_STRUCTURES,
+};
+use lps_sketch::persist::tags;
+use lps_sketch::Mergeable;
+use lps_stream::Update;
+
+const DIM: u64 = 1 << 12;
+const SEED: u64 = 0x51DE_CA7A;
+
+/// Deterministic splitmix-style workload; `salt` decorrelates streams.
+fn workload(n: usize, salt: u64) -> Vec<Update> {
+    (0..n as u64)
+        .map(|i| {
+            let mut x = i.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            let delta = ((x >> 33) % 5) as i64 - 2;
+            Update { index: x % DIM, delta: if delta == 0 { 1 } else { delta } }
+        })
+        .collect()
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig::new(DIM, SEED).shards(2).batch_size(256).publish_interval(4096)
+}
+
+#[test]
+fn tcp_loopback_matches_sequential_references() {
+    let main = workload(8_000, 1);
+    let side = workload(3_000, 2);
+    let tenant_stream = workload(1_000, 3);
+
+    let server = RunningServer::bind_tcp("127.0.0.1:0", config()).expect("bind");
+    let addr = server.local_addr().expect("tcp server has an address");
+    let mut client = ServiceClient::connect_tcp(addr).expect("connect");
+
+    // A second connection feeds tenant 7 concurrently with the main stream:
+    // live ingestion on one socket must not block another.
+    let feeder = {
+        let tenant_stream = tenant_stream.clone();
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::connect_tcp(addr).expect("feeder connect");
+            for batch in tenant_stream.chunks(250) {
+                client.send_updates(7, batch).expect("tenant batch accepted");
+            }
+        })
+    };
+
+    // Stream the main load into the shared catalog (tenant 0), with live
+    // queries interleaved mid-ingestion.
+    let mut last_accepted = 0;
+    for (i, batch) in main.chunks(500).enumerate() {
+        let accepted = client.send_updates(0, batch).expect("batch accepted");
+        assert!(accepted > last_accepted, "accepted count must be monotone");
+        last_accepted = accepted;
+        if i == 7 {
+            // mid-stream live reads answer from the published snapshot
+            // without pausing ingestion; values are checked against the
+            // references once the stream completes
+            client.sample(tags::L0_SAMPLER).expect("live sample");
+            client.point_estimate(tags::COUNT_MIN, main[0].index).expect("live estimate");
+            client.duplicates(tags::SPARSE_RECOVERY).ok();
+        }
+    }
+    feeder.join().expect("feeder thread");
+
+    // Shard-checkpoint upload: a 3-shard round-robin session over the
+    // identically seeded count-min prototype, checkpointed and uploaded
+    // shard by shard. The set completes on the third upload and merges
+    // into the service's count-min state.
+    let protos = CatalogPrototypes::standard(DIM, SEED);
+    let mut session = EngineBuilder::new(&protos.count_min).shards(3).batch_size(128).session();
+    session.ingest_blocking(&side);
+    let buffers = session.checkpoint().expect("local checkpoint");
+    assert_eq!(buffers.len(), 3);
+    for buffer in buffers {
+        client.upload_checkpoint(buffer).expect("upload accepted");
+    }
+
+    // A key-range checkpoint violates the service's round-robin plan: the
+    // envelope is rejected as a typed PlanMismatch error frame and the
+    // connection keeps working.
+    let mut wrong =
+        EngineBuilder::new(&protos.count_min).plan(KeyRange::new(DIM, 2)).batch_size(128).session();
+    wrong.ingest_blocking(&side[..64]);
+    let wrong_buffers = wrong.checkpoint().expect("key-range checkpoint");
+    match client.upload_checkpoint(wrong_buffers[0].clone()) {
+        Err(ServiceError::Remote { code: ErrorCode::PlanMismatch, detail }) => {
+            assert!(detail.contains("round_robin"), "detail names the expected plan: {detail}");
+        }
+        other => panic!("key-range upload should be a PlanMismatch error, got {other:?}"),
+    }
+    // connection survived the rejection:
+    client.digest(tags::AMS).expect("connection still serves after a rejected upload");
+
+    // Unknown structure tags and unsupported query kinds are typed, too.
+    match client.digest(0x00FF) {
+        Err(ServiceError::Remote { code: ErrorCode::UnknownStructure, .. }) => {}
+        other => panic!("expected UnknownStructure, got {other:?}"),
+    }
+    match client.point_estimate(tags::AMS, 3) {
+        Err(ServiceError::Remote { code: ErrorCode::Unsupported, .. }) => {}
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+
+    // Sequential references: every catalog structure ingests the main
+    // stream; count-min additionally absorbs the uploaded side stream; the
+    // tenant prototype ingests the tenant stream.
+    let mut reference = CatalogPrototypes::standard(DIM, SEED);
+    reference.sparse_recovery.ingest_batch(&main);
+    reference.l0_sampler.ingest_batch(&main);
+    reference.fis_l0.ingest_batch(&main);
+    reference.count_sketch.ingest_batch(&main);
+    reference.count_min.ingest_batch(&main);
+    reference.count_min.ingest_batch(&side);
+    reference.count_median.ingest_batch(&main);
+    reference.ams.ingest_batch(&main);
+    reference.tenant_proto.ingest_batch(&tenant_stream);
+
+    let expected: Vec<(&str, u16, u64)> = vec![
+        ("sparse_recovery", tags::SPARSE_RECOVERY, reference.sparse_recovery.state_digest()),
+        ("l0_sampler", tags::L0_SAMPLER, reference.l0_sampler.state_digest()),
+        ("fis_l0", tags::FIS_L0_SAMPLER, reference.fis_l0.state_digest()),
+        ("count_sketch", tags::COUNT_SKETCH, reference.count_sketch.state_digest()),
+        ("count_min", tags::COUNT_MIN, reference.count_min.state_digest()),
+        ("count_median", tags::COUNT_MEDIAN, reference.count_median.state_digest()),
+        ("ams", tags::AMS, reference.ams.state_digest()),
+    ];
+    assert_eq!(expected.len(), CATALOG_STRUCTURES.len());
+    for (name, tag, digest) in expected {
+        assert_eq!(
+            client.digest(tag).expect("digest query"),
+            digest,
+            "{name}: service digest diverged from sequential ingestion"
+        );
+    }
+
+    // Tenant digests: exact for the fed tenant, absent for a stranger.
+    assert_eq!(
+        client.tenant_digest(7).expect("tenant digest"),
+        Some(reference.tenant_proto.state_digest()),
+        "tenant 7 digest diverged from its sequential reference"
+    );
+    assert_eq!(client.tenant_digest(99).expect("unknown tenant"), None);
+
+    // Clean two-sided teardown: the client's shutdown ack carries the final
+    // accepted count, and join() returns the same number.
+    let total = (main.len() + tenant_stream.len()) as u64;
+    assert_eq!(client.shutdown().expect("shutdown ack"), total);
+    assert_eq!(server.join(), total);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_loopback_smoke() {
+    use std::os::unix::net::UnixStream;
+
+    let path = std::env::temp_dir().join(format!("lps-service-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = RunningServer::bind_unix(&path, config()).expect("bind unix");
+
+    let updates = workload(2_000, 9);
+    let mut reference = CatalogPrototypes::standard(DIM, SEED).count_min;
+    reference.ingest_batch(&updates);
+
+    let stream = UnixStream::connect(&path).expect("connect unix");
+    let mut client = ServiceClient::handshake(stream).expect("handshake");
+    for batch in updates.chunks(400) {
+        client.send_updates(0, batch).expect("batch accepted");
+    }
+    assert_eq!(client.digest(tags::COUNT_MIN).expect("digest"), reference.state_digest());
+    client.shutdown().expect("shutdown ack");
+    server.join();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn version_mismatch_in_hello_is_rejected_and_closed() {
+    use std::io::{Read, Write};
+    use std::task::Poll;
+
+    let server = RunningServer::bind_tcp("127.0.0.1:0", config()).expect("bind");
+    let addr = server.local_addr().expect("address");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut wire = Vec::new();
+    FrameCodec::encode(&Frame::Hello { major: 99, minor: 0 }, &mut wire);
+    stream.write_all(&wire).expect("write hello");
+
+    let mut codec = FrameCodec::new();
+    let mut chunk = [0u8; 4096];
+    let reply = loop {
+        if let Poll::Ready(frame) = codec.poll().expect("well-framed reply") {
+            break frame;
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed before answering");
+        if let Poll::Ready(frame) = codec.feed(&chunk[..n]).expect("well-framed reply") {
+            break frame;
+        }
+    };
+    match reply {
+        Frame::Error { code: ErrorCode::Unsupported, detail } => {
+            assert!(detail.contains("99"), "detail names the offending version: {detail}");
+        }
+        other => panic!("expected an Unsupported error frame, got {other:?}"),
+    }
+    // ... and the server hangs up on us.
+    assert_eq!(stream.read(&mut chunk).expect("read eof"), 0);
+
+    server.stop();
+}
+
+#[test]
+fn query_against_an_empty_service_answers_from_the_zero_snapshot() {
+    let server = RunningServer::bind_tcp("127.0.0.1:0", config()).expect("bind");
+    let addr = server.local_addr().expect("address");
+    let mut client = ServiceClient::connect_tcp(addr).expect("connect");
+
+    // before any update: the published zero-state snapshots answer
+    assert_eq!(client.sample(tags::L0_SAMPLER).expect("sample"), None);
+    assert_eq!(client.point_estimate(tags::COUNT_MIN, 0).expect("estimate"), 0.0);
+    assert_eq!(client.duplicates(tags::SPARSE_RECOVERY).expect("duplicates"), vec![]);
+    let zero = CatalogPrototypes::standard(DIM, SEED).ams.state_digest();
+    assert_eq!(client.digest(tags::AMS).expect("digest"), zero);
+
+    // raw Query frame kinds route consistently through the typed helper
+    let reply = client.query(Query::TenantDigest { tenant: 42 }).expect("query");
+    assert_eq!(reply, lps_service::Reply::TenantDigest { digest: None });
+
+    drop(client);
+    server.stop();
+}
+
+// Keep the frame-tag constants in the public API honest: the loopback
+// harness and any external client dispatch on them.
+#[test]
+fn frame_tags_are_stable() {
+    assert_eq!(frame_tags::HELLO, 0x0001);
+    assert_eq!(frame_tags::UPDATE_BATCH, 0x0002);
+    assert_eq!(frame_tags::CHECKPOINT_UPLOAD, 0x0003);
+    assert_eq!(frame_tags::QUERY, 0x0004);
+    assert_eq!(frame_tags::REPLY, 0x0005);
+    assert_eq!(frame_tags::ERROR, 0x0006);
+    assert_eq!(frame_tags::SHUTDOWN, 0x0007);
+}

@@ -22,12 +22,8 @@ fn main() {
 
     // Residency is bounded far below the tenant space, so the traffic must
     // constantly evict and restore.
-    let config = RegistryConfig {
-        max_resident: 1024,
-        materialize_threshold: 32,
-        spill_backlog: 128,
-        ..Default::default()
-    };
+    let config =
+        RegistryConfig::new().max_resident(1024).materialize_threshold(32).spill_backlog(128);
     let mut registry = SketchRegistry::new(proto.clone(), config, MemorySpill::new());
 
     // Heavy-tailed tenant traffic: a handful of hot tenants absorb most
@@ -75,8 +71,7 @@ fn main() {
 
     // The restore guarantee: route the same history into a roomy registry
     // that never evicts, and the digests match bit-for-bit.
-    let roomy_config =
-        RegistryConfig { max_resident: tenants as usize, ..RegistryConfig::default() };
+    let roomy_config = RegistryConfig::new().max_resident(tenants as usize);
     let mut roomy = SketchRegistry::new(proto, roomy_config, MemorySpill::new());
     let zipf = Zipf::new(tenants, 1.05);
     let mut replay_seeds = SeedSequence::new(0x7E4A);
@@ -100,12 +95,8 @@ fn main() {
     // partitioned by hash so each shard owns a disjoint fleet slice.
     let mut seeds = SeedSequence::new(0xF1EE7);
     let proto = SparseRecovery::new(dimension, 8, &mut seeds);
-    let sharded_config = RegistryConfig {
-        max_resident: 256,
-        materialize_threshold: 32,
-        spill_backlog: 128,
-        ..Default::default()
-    };
+    let sharded_config =
+        RegistryConfig::new().max_resident(256).materialize_threshold(32).spill_backlog(128);
     let mut sharded = ShardedRegistry::new(&proto, 4, sharded_config, |_| MemorySpill::new());
     let zipf = Zipf::new(tenants, 1.05);
     let mut shard_seeds = SeedSequence::new(0x7E4A);

@@ -23,6 +23,10 @@
 //! * [`registry`] — the multi-tenant sketch registry: fleets of keyed
 //!   sketches sharing one seed pool, with lazy sparse tenants, LRU eviction
 //!   to a spill backend, and transparent restore.
+//! * [`service`] — the streaming sketch service: a framed `LPSW` wire
+//!   protocol with a sans-io codec, a blocking socket server that merges
+//!   shard checkpoint uploads and answers live queries from published
+//!   snapshots, and the matching client.
 //! * [`commgames`] — augmented indexing, the universal relation, and the
 //!   executable lower-bound reductions.
 //!
@@ -59,6 +63,7 @@ pub use lps_engine as engine;
 pub use lps_hash as hash;
 pub use lps_heavy as heavy;
 pub use lps_registry as registry;
+pub use lps_service as service;
 pub use lps_sketch as sketch;
 pub use lps_stream as stream;
 
@@ -78,7 +83,7 @@ pub mod prelude {
     };
     pub use lps_engine::{
         merge_checkpointed, merge_encoded, parallel_ingest, partitioned_ingest, EngineBuilder,
-        IngestSession, KeyRange, RoundRobin, ShardIngest, ShardPlan, ShardedEngine, Tolerance,
+        IngestSession, KeyRange, RoundRobin, ShardIngest, ShardPlan, Tolerance,
     };
     pub use lps_hash::SeedSequence;
     pub use lps_heavy::{
@@ -87,6 +92,10 @@ pub mod prelude {
     };
     pub use lps_registry::{
         LazySketch, MemorySpill, RegistryConfig, ShardedRegistry, SketchRegistry, SpillBackend,
+    };
+    pub use lps_service::{
+        CatalogPrototypes, Frame, FrameCodec, ProtoError, Query, Reply, RunningServer,
+        ServiceClient, ServiceConfig, ServiceError,
     };
     pub use lps_sketch::{
         AmsSketch, CountMedianSketch, CountMinSketch, CountSketch, DecodeError, LinearSketch,
