@@ -15,8 +15,9 @@
 //! Without `--full` the harness runs in "quick" mode (fewer trials), which is
 //! what EXPERIMENTS.md reports; `--full` multiplies the trial counts. The
 //! `bench` experiment runs the update-path throughput suite (E13), the
-//! sharded-ingestion engine scaling suite (E14), and the multi-tenant
-//! registry suite (E15); with `--json` it also writes the results to
+//! sharded-ingestion engine scaling suite (E14), the multi-tenant
+//! registry suite (E15), and the field-kernel micro-bench suite (E17,
+//! scalar vs lane-parallel); with `--json` it also writes the results to
 //! `BENCH_samplers.json` so every PR leaves a machine-readable perf
 //! datapoint. `--check <path>` re-reads a committed
 //! baseline document, compares the gated headline speedups, and exits
@@ -175,6 +176,9 @@ fn main() {
         let strategies = strategy_comparison_suite(quick);
         println!("{}", strategy_comparison_table(&strategies, meta.host_cpus).render());
         records.extend(strategies);
+        let kernels = kernel_suite(quick);
+        println!("{}", kernel_table(&kernels).render());
+        records.extend(kernels);
         let service = service_suite(quick);
         println!("{}", service_table(&service).render());
         records.extend(service);

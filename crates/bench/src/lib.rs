@@ -25,6 +25,7 @@ pub mod e_heavy;
 pub mod e_lower;
 pub mod e_registry;
 pub mod e_samplers;
+pub mod kernels;
 pub mod report;
 pub mod service_loopback;
 pub mod throughput;
@@ -40,6 +41,7 @@ pub use e_registry::{
     registry_suite, registry_table, RegistryRecord, E15_MAX_RESIDENT, E15_ZIPF_ALPHA,
 };
 pub use e_samplers::{e1_sampler_accuracy, e2_sampler_space, e3_l0_sampler};
+pub use kernels::{kernel_suite, kernel_table};
 pub use report::Table;
 pub use service_loopback::{
     feed_main, serve_main, servetest_main, service_suite, service_table, SERVICE_DIM, SERVICE_SEED,

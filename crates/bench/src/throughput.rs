@@ -529,15 +529,19 @@ fn json_escape(s: &str) -> String {
 
 /// The headline ratio names and the (structure, fast mode, slow mode)
 /// triples they are computed from. The first four are the E13 single-thread
-/// speedups over the pre-optimization reference path; the last two are the
-/// E14 engine scaling ratios (4 shards vs 1 shard).
-pub const HEADLINE_RATIOS: [(&str, &str, &str, &str); 6] = [
+/// speedups over the pre-optimization reference path; the next two are the
+/// E14 engine scaling ratios (4 shards vs 1 shard); the last two are the
+/// E17 lane-kernel speedups ([`crate::kernels`]) for the two hottest field
+/// kernels — polynomial hashing and the windowed fingerprint powers.
+pub const HEADLINE_RATIOS: [(&str, &str, &str, &str); 8] = [
     ("sparse_recovery_batched_vs_reference", "sparse_recovery", "batched", "reference"),
     ("l0_sampler_batched_vs_reference", "l0_sampler", "batched", "reference"),
     ("sparse_recovery_sequential_vs_reference", "sparse_recovery", "sequential", "reference"),
     ("l0_sampler_sequential_vs_reference", "l0_sampler", "sequential", "reference"),
     ("sparse_recovery_4shard_vs_1shard", "sparse_recovery", "shards-4", "shards-1"),
     ("l0_sampler_4shard_vs_1shard", "l0_sampler", "shards-4", "shards-1"),
+    ("kernel_horner_k4_lanes_vs_scalar", "horner_k4", "lanes", "scalar"),
+    ("kernel_pow_window_lanes_vs_scalar", "pow_window", "lanes", "scalar"),
 ];
 
 /// The headline ratios the CI perf gate enforces. The shard-scaling ratios

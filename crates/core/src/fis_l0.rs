@@ -17,8 +17,8 @@
 use lps_hash::{Fp, PowTable, SeedSequence, TabulationHash};
 use lps_sketch::persist::tags;
 use lps_sketch::{
-    fingerprint_term, CellState, DecodeError, Mergeable, OneSparseCell, Persist, StateDigest,
-    WireReader, WireWriter,
+    fingerprint_term, fingerprint_terms, CellState, DecodeError, Mergeable, OneSparseCell, Persist,
+    StateDigest, WireReader, WireWriter,
 };
 use lps_stream::{SpaceBreakdown, SpaceUsage, Update};
 
@@ -128,15 +128,15 @@ impl LpSampler for FisL0Sampler {
     }
 
     /// Batched fast path: coalesce the batch, compute each entry's
-    /// fingerprint term once, then walk the slot table level-major so each
-    /// pass touches one level's contiguous cells.
+    /// fingerprint term once (lane-parallel, via
+    /// [`lps_sketch::fingerprint_terms`]), then walk the slot table
+    /// level-major so each pass touches one level's contiguous cells.
     fn process_batch(&mut self, updates: &[Update]) {
         let coalesced = lps_stream::coalesce_updates(updates);
         if coalesced.is_empty() {
             return;
         }
-        let terms: Vec<Fp> =
-            coalesced.iter().map(|&(i, d)| fingerprint_term(i, d, &self.pow)).collect();
+        let terms: Vec<Fp> = fingerprint_terms(&coalesced, &self.pow);
         for level in 0..self.levels {
             for rep in 0..self.repetitions {
                 for (&(index, delta), &term) in coalesced.iter().zip(terms.iter()) {

@@ -383,13 +383,20 @@ impl LpSampler for L0Sampler {
         if coalesced.is_empty() {
             return;
         }
-        let slots: Vec<u64> = coalesced
+        // lane-parallel membership evaluation: batch-hash every distinct
+        // index, then apply the same multiply-shift slot mapping as
+        // `membership_slot` — identical values, LANES keys at a time
+        let keys: Vec<u64> = coalesced
             .iter()
             .map(|&(index, _)| {
                 debug_assert!(index < self.dimension);
-                self.membership_slot(index)
+                index
             })
             .collect();
+        let mut hashes = vec![0u64; keys.len()];
+        self.membership.hash_keys(&keys, &mut hashes);
+        let slots: Vec<u64> =
+            hashes.iter().map(|&h| ((h as u128 * self.dimension as u128) >> 61) as u64).collect();
         let mut surviving: Vec<(u64, i64)> = Vec::with_capacity(coalesced.len());
         for k in 0..self.levels.len() {
             let threshold = self.levels[k].threshold;

@@ -96,6 +96,23 @@ impl Fp {
         Fp(mul_mod(self.0, rhs.0))
     }
 
+    /// Fused multiply-add: `self · b + c` with a **single** Mersenne
+    /// reduction, instead of the two reductions `mul` followed by `add`
+    /// would perform.
+    ///
+    /// Safe because the unreduced sum is bounded: for canonical operands the
+    /// product is at most `(P−1)²` and the addend at most `P−1`, so the
+    /// `u128` accumulator stays below `2^122 + 2^61`, comfortably inside
+    /// `reduce_u128`'s input range (three 61-bit limbs). The result is the
+    /// same canonical residue the unfused sequence produces — canonical
+    /// representatives are unique, so the two are bit-identical (pinned by
+    /// `mul_add_matches_mul_then_add` below). This is the inner step of
+    /// [`horner`], the single hottest scalar kernel in the workspace.
+    #[inline]
+    pub fn mul_add(self, b: Fp, c: Fp) -> Fp {
+        Fp(reduce_u128(self.0 as u128 * b.0 as u128 + c.0 as u128))
+    }
+
     /// Exponentiation by squaring.
     pub fn pow(self, mut e: u64) -> Fp {
         let mut base = self;
@@ -259,6 +276,15 @@ impl PowTable {
         }
         acc
     }
+
+    /// The table entry `base^(d · 16^w)` — the per-window factor the lane
+    /// kernels in [`crate::simd`] gather when evaluating several exponents at
+    /// once (`d = 0` yields [`Fp::ONE`], so uniform lanes can multiply
+    /// unconditionally without changing the result).
+    #[inline]
+    pub(crate) fn entry(&self, w: usize, d: usize) -> Fp {
+        self.table[w][d]
+    }
 }
 
 /// Reduce a `u64` modulo the Mersenne prime using shift-and-add.
@@ -272,9 +298,13 @@ fn reduce_u64(v: u64) -> u64 {
     r
 }
 
-/// Reduce a `u128` modulo the Mersenne prime.
+/// Reduce a `u128` modulo the Mersenne prime. Valid for any input below
+/// `2^123` (three 61-bit limbs plus two conditional subtractions), which
+/// covers both a full product of canonical residues and a fused
+/// product-plus-addend (see [`Fp::mul_add`]). Shared with the lane kernels
+/// in [`crate::simd`].
 #[inline]
-fn reduce_u128(v: u128) -> u64 {
+pub(crate) fn reduce_u128(v: u128) -> u64 {
     // Split into 61-bit limbs: v = a + b*2^61 + c*2^122 with 2^61 == 1 (mod P).
     let a = (v & (MERSENNE_P as u128)) as u64;
     let b = ((v >> 61) & (MERSENNE_P as u128)) as u64;
@@ -298,12 +328,14 @@ pub fn mul_mod(a: u64, b: u64) -> u64 {
 
 /// Evaluate the polynomial with the given coefficients (constant term first)
 /// at point `x`, using Horner's rule. This is the work-horse of every k-wise
-/// independent hash family in this crate.
+/// independent hash family in this crate. Each step is the fused
+/// [`Fp::mul_add`] — one reduction per coefficient instead of the two the
+/// unfused `mul` + `add` sequence paid.
 #[inline]
 pub fn horner(coeffs: &[Fp], x: Fp) -> Fp {
     let mut acc = Fp::ZERO;
     for &c in coeffs.iter().rev() {
-        acc = acc.mul(x).add(c);
+        acc = acc.mul_add(x, c);
     }
     acc
 }
@@ -351,6 +383,39 @@ mod tests {
         ];
         for (a, b) in cases {
             assert_eq!(mul_mod(a, b), slow_mul(a, b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_mul_then_add() {
+        // The fused kernel must be bit-identical to the unfused reference on
+        // the whole canonical range, including the P−1 edge residues where
+        // the unreduced accumulator peaks at (P−1)² + (P−1).
+        let edge = [0u64, 1, 2, MERSENNE_P - 2, MERSENNE_P - 1, 123456789, 1 << 60];
+        for &a in &edge {
+            for &b in &edge {
+                for &c in &edge {
+                    let (a, b, c) = (Fp::new(a), Fp::new(b), Fp::new(c));
+                    assert_eq!(
+                        a.mul_add(b, c),
+                        a.mul(b).add(c),
+                        "fused mul-add diverged at a={} b={} c={}",
+                        a.value(),
+                        b.value(),
+                        c.value()
+                    );
+                }
+            }
+        }
+        // a pseudo-random sweep on top of the edge lattice
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state % MERSENNE_P
+        };
+        for _ in 0..2000 {
+            let (a, b, c) = (Fp::new(next()), Fp::new(next()), Fp::new(next()));
+            assert_eq!(a.mul_add(b, c), a.mul(b).add(c));
         }
     }
 

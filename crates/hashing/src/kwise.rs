@@ -135,6 +135,27 @@ impl KWiseHash {
     pub fn random_bits(&self) -> u64 {
         (self.coeffs.len() as u64) * 61
     }
+
+    /// Batch evaluation: hash every key in `keys` (each a reduced residue,
+    /// `key < P`) into `out`, [`crate::simd::LANES`] lanes at a time with a
+    /// scalar tail. Bit-identical to calling [`KWiseHash::hash`] per key.
+    #[inline]
+    pub fn hash_keys(&self, keys: &[u64], out: &mut [u64]) {
+        crate::simd::horner_many(&self.coeffs, keys, out);
+    }
+
+    /// Batch bucket mapping: `out[i]` is `keys[i]`'s bucket in `[0, m)`, via
+    /// the same multiply-shift reduction as [`KWiseHash::bucket`]. The hash
+    /// values scratch buffer is caller-provided so hot walks can reuse it.
+    #[inline]
+    pub fn buckets_into(&self, keys: &[u64], m: usize, hashes: &mut [u64], out: &mut [usize]) {
+        debug_assert!(m > 0);
+        assert_eq!(keys.len(), out.len(), "buckets_into output length mismatch");
+        self.hash_keys(keys, hashes);
+        for (&h, b) in hashes.iter().zip(out.iter_mut()) {
+            *b = ((h as u128 * m as u128) >> 61) as usize;
+        }
+    }
 }
 
 /// A pairwise (2-wise) independent hash function.
@@ -178,6 +199,12 @@ impl PairwiseHash {
     #[inline]
     pub fn hash(&self, key: u64) -> u64 {
         self.0.hash(key)
+    }
+
+    /// Batch evaluation — see [`KWiseHash::hash_keys`].
+    #[inline]
+    pub fn hash_keys(&self, keys: &[u64], out: &mut [u64]) {
+        self.0.hash_keys(keys, out)
     }
 
     /// Stored random bits.
@@ -227,6 +254,12 @@ impl FourWiseHash {
     #[inline]
     pub fn hash(&self, key: u64) -> u64 {
         self.0.hash(key)
+    }
+
+    /// Batch evaluation — see [`KWiseHash::hash_keys`].
+    #[inline]
+    pub fn hash_keys(&self, keys: &[u64], out: &mut [u64]) {
+        self.0.hash_keys(keys, out)
     }
 
     /// Stored random bits.
@@ -369,6 +402,40 @@ mod tests {
         assert_eq!(a.coefficients(), b.coefficients());
         let c = KWiseHash::from_pool(5, &pool);
         assert_ne!(a.coefficients(), &c.coefficients()[..4]);
+    }
+
+    #[test]
+    fn batch_hash_and_buckets_match_scalar_for_ragged_lengths() {
+        let mut s = seq(11);
+        for k in [2usize, 4, 16] {
+            let h = KWiseHash::new(k, &mut s);
+            for len in [0usize, 1, 7, 8, 9, 13, 24, 37] {
+                let keys: Vec<u64> =
+                    (0..len as u64).map(|i| i.wrapping_mul(0x9E37) % (1 << 40)).collect();
+                let mut out = vec![0u64; len];
+                h.hash_keys(&keys, &mut out);
+                let mut hashes = vec![0u64; len];
+                let mut buckets = vec![0usize; len];
+                h.buckets_into(&keys, 97, &mut hashes, &mut buckets);
+                for (i, &key) in keys.iter().enumerate() {
+                    assert_eq!(out[i], h.hash(key), "k={k} len={len} i={i}");
+                    assert_eq!(hashes[i], h.hash(key));
+                    assert_eq!(buckets[i], h.bucket(key, 97));
+                }
+            }
+        }
+        let pw = PairwiseHash::new(&mut s);
+        let fw = FourWiseHash::new(&mut s);
+        let keys: Vec<u64> = (0..13u64).collect();
+        let mut out = vec![0u64; 13];
+        pw.hash_keys(&keys, &mut out);
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(out[i], pw.hash(key));
+        }
+        fw.hash_keys(&keys, &mut out);
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(out[i], fw.hash(key));
+        }
     }
 
     #[test]

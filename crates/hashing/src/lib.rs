@@ -21,14 +21,25 @@
 //! so every experiment in the workspace is reproducible from a single master
 //! seed, and every structure can report the number of random bits it stores
 //! (the paper's space model charges for stored randomness).
+//!
+//! The batched update paths evaluate these primitives many keys at a time
+//! through the lane-parallel kernels in [`simd`]; the `simd` cargo feature
+//! additionally enables an AVX2-multiversioned backend (runtime-dispatched,
+//! bit-identical to the portable lanes and to the scalar path).
 
-#![forbid(unsafe_code)]
+// The only unsafe code in the workspace is the `#[target_feature]` dispatch
+// in `simd`, which exists only under the `simd` feature; the default build
+// stays `forbid(unsafe_code)`, and even with the feature every unsafe block
+// must carry an explicit allow + SAFETY comment.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod field;
 pub mod kwise;
 pub mod nisan;
 pub mod seeds;
+pub mod simd;
 pub mod tabulation;
 
 pub use field::{mul_mod, Fp, PowTable, MERSENNE_P};

@@ -1,6 +1,11 @@
 //! Property-based tests for the field arithmetic and hash families.
 
-use lps_hash::{Fp, KWiseHash, SeedSequence, MERSENNE_P};
+use lps_hash::field::horner;
+use lps_hash::simd::{
+    self, horner_lanes, mul_add_mod_lanes, mul_mod_lanes, pow_lanes, reduce_lanes, Lanes, PolyBank,
+    LANES,
+};
+use lps_hash::{Fp, KWiseHash, PowTable, SeedSequence, MERSENNE_P};
 use proptest::prelude::*;
 
 fn ref_add(a: u64, b: u64) -> u64 {
@@ -89,5 +94,109 @@ proptest! {
     fn seed_sequence_next_below_is_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
         let mut s = SeedSequence::new(seed);
         prop_assert!(s.next_below(bound) < bound);
+    }
+}
+
+/// Lanes mixing random residues with the edge values the Mersenne reduction
+/// is most likely to get wrong: 0, 1, P−1, and the 32-bit limb boundary.
+fn lanes_with_edges(seed: u64) -> Lanes {
+    let mut s = SeedSequence::new(seed);
+    let mut lanes = [0u64; LANES];
+    for lane in lanes.iter_mut() {
+        *lane = s.next_below(MERSENNE_P);
+    }
+    lanes[0] = MERSENNE_P - 1;
+    lanes[1] = 0;
+    lanes[2] = 1;
+    lanes[3] = 0xFFFF_FFFF;
+    lanes
+}
+
+proptest! {
+    #[test]
+    fn lane_mul_and_fused_mul_add_match_scalar(sa in any::<u64>(), sb in any::<u64>(), sc in any::<u64>()) {
+        let a = lanes_with_edges(sa);
+        let b = lanes_with_edges(sb);
+        let c = lanes_with_edges(sc);
+        let prod = mul_mod_lanes(&a, &b);
+        let fused = mul_add_mod_lanes(&a, &b, &c);
+        for l in 0..LANES {
+            let (x, y, z) = (Fp::from_reduced(a[l]), Fp::from_reduced(b[l]), Fp::from_reduced(c[l]));
+            prop_assert_eq!(prod[l], x.mul(y).value());
+            prop_assert_eq!(fused[l], x.mul(y).add(z).value());
+        }
+    }
+
+    #[test]
+    fn lane_reduce_matches_scalar_over_full_u64_range(seed in any::<u64>()) {
+        let mut s = SeedSequence::new(seed);
+        let mut v = [0u64; LANES];
+        for lane in v.iter_mut() {
+            *lane = s.next_u64();
+        }
+        v[0] = u64::MAX;
+        v[1] = MERSENNE_P;
+        let reduced = reduce_lanes(&v);
+        for l in 0..LANES {
+            prop_assert_eq!(reduced[l], Fp::new(v[l]).value());
+        }
+    }
+
+    #[test]
+    fn lane_horner_matches_scalar_horner(seed in any::<u64>(), xs in any::<u64>(), k in 1usize..8) {
+        let mut s = SeedSequence::new(seed);
+        let coeffs: Vec<Fp> = (0..k).map(|_| Fp::new(s.next_u64())).collect();
+        let x = lanes_with_edges(xs);
+        let got = horner_lanes(&coeffs, &x);
+        for l in 0..LANES {
+            prop_assert_eq!(got[l], horner(&coeffs, Fp::from_reduced(x[l])).value());
+        }
+    }
+
+    #[test]
+    fn horner_many_matches_per_key_hash_for_remainder_tails(seed in any::<u64>(), len in 0usize..40, k in 1usize..8) {
+        let mut s = SeedSequence::new(seed);
+        let h = KWiseHash::new(k, &mut s);
+        let mut keys: Vec<u64> = (0..len).map(|_| s.next_below(MERSENNE_P)).collect();
+        if len > 0 {
+            keys[0] = MERSENNE_P - 1;
+        }
+        let mut out = vec![0u64; len];
+        h.hash_keys(&keys, &mut out);
+        for (i, &key) in keys.iter().enumerate() {
+            prop_assert_eq!(out[i], h.hash(key));
+        }
+    }
+
+    #[test]
+    fn pow_lanes_and_many_match_windowed_scalar(base in any::<u64>(), es in any::<u64>(), len in 0usize..20) {
+        let table = PowTable::new(Fp::new(base));
+        let mut e = lanes_with_edges(es);
+        e[4] = u64::MAX;
+        let got = pow_lanes(&table, &e);
+        for l in 0..LANES {
+            prop_assert_eq!(got[l], table.pow(e[l]).value());
+        }
+        let mut s = SeedSequence::new(es);
+        let exps: Vec<u64> = (0..len).map(|_| s.next_u64()).collect();
+        let mut out = vec![0u64; len];
+        simd::pow_many(&table, &exps, &mut out);
+        for (i, &exp) in exps.iter().enumerate() {
+            prop_assert_eq!(out[i], table.pow(exp).value());
+        }
+    }
+
+    #[test]
+    fn poly_bank_matches_scalar_horner_per_polynomial(seed in any::<u64>(), count in 0usize..20, key in 0..MERSENNE_P) {
+        let mut s = SeedSequence::new(seed);
+        let polys: Vec<Vec<Fp>> = (0..count)
+            .map(|_| (0..4).map(|_| Fp::new(s.next_u64())).collect())
+            .collect();
+        let bank = PolyBank::new(polys.iter().map(|p| p.as_slice()));
+        let mut out = vec![0u64; count];
+        bank.eval_key(key, &mut out);
+        for (h, poly) in polys.iter().enumerate() {
+            prop_assert_eq!(out[h], horner(poly, Fp::from_reduced(key)).value());
+        }
     }
 }

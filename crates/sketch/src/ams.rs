@@ -138,9 +138,32 @@ impl LinearSketch for AmsSketch {
     /// walks the `groups × group_size` sign hashes exactly once per batch.
     /// Signed-unit counters stay exact integers in f64 for integer
     /// workloads, so coalescing matches the sequential loop.
+    ///
+    /// This is the rows×keys shape: *many* sign polynomials evaluated at
+    /// *one* key per entry. The batch path transposes the coefficient
+    /// vectors into a [`lps_hash::simd::PolyBank`] once per batch (a few
+    /// hundred word copies, amortised over every entry) and evaluates all
+    /// sign hashes lane-parallel, then replays the Kahan accumulation in
+    /// the exact counter order of [`AmsSketch::update`] — float state stays
+    /// bit-identical to the sequential walk.
     fn process_batch(&mut self, updates: &[lps_stream::Update]) {
-        for (index, delta) in lps_stream::coalesce_updates(updates) {
-            self.update(index, delta as f64);
+        let coalesced = lps_stream::coalesce_updates(updates);
+        if coalesced.is_empty() {
+            return;
+        }
+        let bank =
+            lps_hash::simd::PolyBank::new(self.signs.iter().map(|h| h.kwise().coefficients()));
+        let mut hashes = vec![0u64; self.counters.len()];
+        for (index, delta) in coalesced {
+            debug_assert!(index < self.dimension);
+            bank.eval_key(index, &mut hashes);
+            let delta = delta as f64;
+            for ((counter, comp), &h) in
+                self.counters.iter_mut().zip(self.comp.iter_mut()).zip(hashes.iter())
+            {
+                let sign = if h & 1 == 1 { 1.0 } else { -1.0 };
+                kahan_add(counter, comp, sign * delta);
+            }
         }
     }
 

@@ -83,12 +83,15 @@ impl CountMinSketch {
     /// identical to the sequential loop for any batch.
     pub fn process_batch(&mut self, updates: &[Update]) {
         let coalesced = lps_stream::coalesce_updates(updates);
+        let keys: Vec<u64> = coalesced.iter().map(|&(i, _)| i).collect();
+        let mut hash_scratch = vec![0u64; keys.len()];
+        let mut buckets = vec![0usize; keys.len()];
         for j in 0..self.rows {
             let row = &mut self.table[j * self.width..(j + 1) * self.width];
-            let hash = &self.hashes[j];
-            for &(index, delta) in &coalesced {
+            self.hashes[j].kwise().buckets_into(&keys, self.width, &mut hash_scratch, &mut buckets);
+            for (&(index, delta), &b) in coalesced.iter().zip(buckets.iter()) {
                 debug_assert!(index < self.dimension);
-                row[hash.bucket(index, self.width)] += delta;
+                row[b] += delta;
             }
         }
     }
@@ -290,12 +293,15 @@ impl LinearSketch for CountMedianSketch {
     /// integer workloads (counters remain exact integers in f64).
     fn process_batch(&mut self, updates: &[Update]) {
         let coalesced = lps_stream::coalesce_updates(updates);
+        let keys: Vec<u64> = coalesced.iter().map(|&(i, _)| i).collect();
+        let mut hash_scratch = vec![0u64; keys.len()];
+        let mut buckets = vec![0usize; keys.len()];
         for j in 0..self.rows {
             let row = &mut self.table[j * self.width..(j + 1) * self.width];
-            let hash = &self.hashes[j];
-            for &(index, delta) in &coalesced {
+            self.hashes[j].kwise().buckets_into(&keys, self.width, &mut hash_scratch, &mut buckets);
+            for (&(index, delta), &b) in coalesced.iter().zip(buckets.iter()) {
                 debug_assert!(index < self.dimension);
-                row[hash.bucket(index, self.width)] += delta as f64;
+                row[b] += delta as f64;
             }
         }
     }

@@ -230,22 +230,33 @@ impl LinearSketch for CountSketch {
     /// row's `6m` contiguous counters instead of striding across the whole
     /// table per update. Signed-unit buckets keep every counter an exact
     /// integer in f64 for integer workloads, so coalescing is
-    /// state-identical to the sequential loop.
+    /// state-identical to the sequential loop. Bucket and sign hashes are
+    /// evaluated through the lane-parallel kernels in [`lps_hash::simd`].
     fn process_batch(&mut self, updates: &[lps_stream::Update]) {
         let coalesced = lps_stream::coalesce_updates(updates);
+        let keys: Vec<u64> = coalesced.iter().map(|&(i, _)| i).collect();
+        // Per-row scratch for the lane-parallel hash evaluations; the Kahan
+        // accumulation below replays in exactly the original entry order, so
+        // the float state is bit-identical to the scalar walk.
+        let mut hash_scratch = vec![0u64; keys.len()];
+        let mut buckets = vec![0usize; keys.len()];
+        let mut signs = vec![0u64; keys.len()];
         for j in 0..self.rows {
             let row = &mut self.table[j * self.width..(j + 1) * self.width];
             let comp_row = &mut self.comp[j * self.width..(j + 1) * self.width];
-            let bucket_hash = &self.bucket_hashes[j];
-            let sign_hash = &self.sign_hashes[j];
-            for &(index, delta) in &coalesced {
+            self.bucket_hashes[j].kwise().buckets_into(
+                &keys,
+                self.width,
+                &mut hash_scratch,
+                &mut buckets,
+            );
+            self.sign_hashes[j].hash_keys(&keys, &mut signs);
+            for ((&(index, delta), &k), &sign_hash) in
+                coalesced.iter().zip(buckets.iter()).zip(signs.iter())
+            {
                 debug_assert!(index < self.dimension, "index out of range");
-                let k = bucket_hash.bucket(index, self.width);
-                kahan_add(
-                    &mut row[k],
-                    &mut comp_row[k],
-                    sign_hash.sign(index) as f64 * delta as f64,
-                );
+                let sign = if sign_hash & 1 == 1 { 1.0 } else { -1.0 };
+                kahan_add(&mut row[k], &mut comp_row[k], sign * delta as f64);
             }
         }
     }

@@ -48,5 +48,6 @@ pub use persist::{
 };
 pub use pstable::{stable_sample, PStableSketch};
 pub use sparse_recovery::{
-    fingerprint_term, signed_field, CellState, OneSparseCell, RecoveryOutput, SparseRecovery,
+    fingerprint_term, fingerprint_terms, signed_field, CellState, OneSparseCell, RecoveryOutput,
+    SparseRecovery,
 };

@@ -186,6 +186,22 @@ pub fn fingerprint_term(index: u64, delta: i64, table: &PowTable) -> Fp {
     signed_field(delta).mul(table.pow(index))
 }
 
+/// Lane-parallel batch form of [`fingerprint_term`]: the fingerprint
+/// contributions of every coalesced `(index, delta)` entry, computed by
+/// walking the power table [`lps_hash::simd::LANES`] exponents at a time
+/// ([`lps_hash::simd::pow_many`]) and folding in the signed deltas
+/// element-wise. Bit-identical to calling [`fingerprint_term`] per entry;
+/// shared by [`SparseRecovery`] and the FIS-L0 sampler in `lps-core`.
+pub fn fingerprint_terms(entries: &[(u64, i64)], table: &PowTable) -> Vec<Fp> {
+    let indices: Vec<u64> = entries.iter().map(|&(i, _)| i).collect();
+    let mut pows = vec![0u64; entries.len()];
+    lps_hash::simd::pow_many(table, &indices, &mut pows);
+    let deltas: Vec<u64> = entries.iter().map(|&(_, d)| signed_field(d).value()).collect();
+    let mut terms = vec![0u64; entries.len()];
+    lps_hash::simd::mul_mod_many(&deltas, &pows, &mut terms);
+    terms.into_iter().map(Fp::from_reduced).collect()
+}
+
 /// Result of attempting sparse recovery.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecoveryOutput {
@@ -316,15 +332,29 @@ impl SparseRecovery {
     /// Apply already-coalesced `(index, delta)` entries (deltas non-zero).
     /// Shared with the L0 sampler, which coalesces once and feeds every
     /// level's recovery structure from the same entry list.
+    ///
+    /// All field math runs through the lane kernels: fingerprint terms via
+    /// [`fingerprint_terms`], per-row bucket hashes via the batch polynomial
+    /// evaluator. The cell mutations then replay in exactly the original
+    /// row-major order, so the resulting state is bit-identical to the
+    /// scalar walk.
     pub fn apply_coalesced(&mut self, entries: &[(u64, i64)]) {
-        let terms: Vec<Fp> =
-            entries.iter().map(|&(i, d)| fingerprint_term(i, d, &self.pow)).collect();
+        let terms = fingerprint_terms(entries, &self.pow);
+        let keys: Vec<u64> = entries.iter().map(|&(i, _)| i).collect();
+        let mut hash_scratch = vec![0u64; entries.len()];
+        let mut buckets = vec![0usize; entries.len()];
         for j in 0..self.rows {
             let row = &mut self.cells[j * self.buckets..(j + 1) * self.buckets];
-            let hash = &self.hashes[j];
-            for (&(index, delta), &term) in entries.iter().zip(terms.iter()) {
+            self.hashes[j].kwise().buckets_into(
+                &keys,
+                self.buckets,
+                &mut hash_scratch,
+                &mut buckets,
+            );
+            for ((&(index, delta), &term), &b) in
+                entries.iter().zip(terms.iter()).zip(buckets.iter())
+            {
                 debug_assert!(index < self.dimension);
-                let b = hash.bucket(index, self.buckets);
                 row[b].apply(index, delta, term);
             }
         }
