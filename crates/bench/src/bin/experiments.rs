@@ -11,6 +11,7 @@
 //!   cargo run --release -p lps-bench --bin experiments -- serve [--dim N] [--seed S]
 //!   cargo run --release -p lps-bench --bin experiments -- feed --addr A [--updates N]
 //!   cargo run --release -p lps-bench --bin experiments -- servetest [--updates N]
+//!   cargo run --release -p lps-bench --bin experiments -- workload <spec.toml>... [--json] [--check]
 //!
 //! Without `--full` the harness runs in "quick" mode (fewer trials), which is
 //! what EXPERIMENTS.md reports; `--full` multiplies the trial counts. The
@@ -43,6 +44,14 @@
 //! plan-mismatch rejection), and digest-compares every catalog structure
 //! against sequential ingestion — exiting non-zero on any mismatch (see
 //! `lps_bench::service_loopback`).
+//!
+//! The `workload` subcommand runs declarative workload specs (crate
+//! `lps-workload`, specs under `crates/workload/specs/`) against both the
+//! in-process engine core and the socket service over loopback, ramping
+//! the offered rate to saturation and recording p50/p99/p999 per step;
+//! `--json` merges a `workloads` array into `BENCH_samplers.json` and
+//! `--check` validates the stamped artifact (see
+//! `lps_bench::workload_cli`).
 
 use lps_bench::*;
 
@@ -134,6 +143,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("servetest") {
         std::process::exit(servetest_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("workload") {
+        std::process::exit(workload_main(&args[1..]));
     }
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");

@@ -29,6 +29,7 @@ pub mod kernels;
 pub mod report;
 pub mod service_loopback;
 pub mod throughput;
+pub mod workload_cli;
 
 pub use checkpoint::{
     checkpoint_merge, checkpoint_write, render_outcomes, CheckpointOutcome, CHECKPOINT_STRUCTURES,
@@ -52,6 +53,7 @@ pub use throughput::{
     strategy_comparison_suite, strategy_comparison_table, throughput_suite, throughput_table,
     to_json, BenchMeta, ThroughputRecord, GATE_TOLERANCE, SEED_RUNNER_CLASS, STRATEGY_SHARDS,
 };
+pub use workload_cli::workload_main;
 
 /// Run every experiment and return the rendered tables in order.
 pub fn run_all(quick: bool) -> Vec<String> {

@@ -47,15 +47,20 @@ fn parsed<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
-/// `experiments -- serve [--dim N] [--seed S] [--shards K] [--publish P]`:
-/// bind a loopback TCP service, announce the address on stdout, and serve
-/// until a client sends `Shutdown`. Returns the process exit code.
+/// `experiments -- serve [--dim N] [--seed S] [--shards K] [--publish P]
+/// [--token T]`: bind a loopback TCP service, announce the address on
+/// stdout, and serve until a client sends `Shutdown`. With `--token` the
+/// server requires that authentication token in every `Hello`. Returns the
+/// process exit code.
 pub fn serve_main(args: &[String]) -> i32 {
     let dim = parsed(args, "--dim", SERVICE_DIM);
     let seed = parsed(args, "--seed", SERVICE_SEED);
     let shards = parsed(args, "--shards", 2usize);
     let publish = parsed(args, "--publish", 25_000u64);
-    let config = ServiceConfig::new(dim, seed).shards(shards).publish_interval(publish);
+    let mut config = ServiceConfig::new(dim, seed).shards(shards).publish_interval(publish);
+    if let Some(token) = value_of(args, "--token") {
+        config = config.auth_token(token);
+    }
     let server = match RunningServer::bind_tcp(("127.0.0.1", 0), config) {
         Ok(s) => s,
         Err(e) => {
@@ -84,7 +89,8 @@ pub fn feed_main(args: &[String]) -> i32 {
     let dim = parsed(args, "--dim", SERVICE_DIM);
     let seed = parsed(args, "--seed", SERVICE_SEED);
     let shutdown = args.iter().any(|a| a == "--shutdown");
-    match run_feed(&addr, updates, dim, seed, shutdown) {
+    let token = value_of(args, "--token");
+    match run_feed(&addr, updates, dim, seed, shutdown, token.as_deref()) {
         Ok(report) => {
             print!("{report}");
             println!("service loopback: all digests match sequential ingestion");
@@ -103,8 +109,12 @@ pub fn feed_main(args: &[String]) -> i32 {
 pub fn servetest_main(args: &[String]) -> i32 {
     let updates = parsed(args, "--updates", 120_000usize);
     let exe = std::env::current_exe().expect("current_exe");
+    // The child requires an auth token so the two-process harness also
+    // exercises the authenticated handshake end to end.
+    let token = "lps-servetest-token";
     let mut child = match Command::new(&exe)
         .args(["serve", "--dim", &SERVICE_DIM.to_string(), "--seed", &SERVICE_SEED.to_string()])
+        .args(["--token", token])
         .stdout(Stdio::piped())
         .spawn()
     {
@@ -128,7 +138,7 @@ pub fn servetest_main(args: &[String]) -> i32 {
     };
     println!("servetest: serve child {} is listening on {addr}", child.id());
 
-    let feed_rc = match run_feed(&addr, updates, SERVICE_DIM, SERVICE_SEED, true) {
+    let feed_rc = match run_feed(&addr, updates, SERVICE_DIM, SERVICE_SEED, true, Some(token)) {
         Ok(report) => {
             print!("{report}");
             println!("service loopback: all digests match sequential ingestion");
@@ -160,6 +170,7 @@ fn run_feed(
     dim: u64,
     seed: u64,
     shutdown: bool,
+    token: Option<&str>,
 ) -> Result<String, String> {
     let fail = |context: &str, e: ServiceError| format!("{context}: {e}");
     let mut report = String::new();
@@ -173,7 +184,13 @@ fn run_feed(
     let uploaded = workload(dim, uploaded_n, FEED_SEED ^ 0xA5A5);
     let tenant_stream = workload(dim, tenant_n, FEED_SEED ^ 0x5A5A);
 
-    let mut client = ServiceClient::connect_tcp(addr).map_err(|e| fail("connect", e))?;
+    let connect = |context: &str| match token {
+        Some(t) => {
+            ServiceClient::connect_tcp_with_token(addr, t).map_err(|e| format!("{context}: {e}"))
+        }
+        None => ServiceClient::connect_tcp(addr).map_err(|e| format!("{context}: {e}")),
+    };
+    let mut client = connect("connect")?;
 
     // Stream the catalog load with live queries interleaved: every eighth
     // batch reads the latest published snapshot while ingestion continues.

@@ -32,13 +32,33 @@ impl ServiceClient<TcpStream> {
         let stream = TcpStream::connect(addr)?;
         Self::handshake(stream)
     }
+
+    /// Connect over TCP, presenting an authentication token in the `Hello`
+    /// handshake. A server that requires a different (or no) token rejects
+    /// with [`crate::ErrorCode::Unauthorized`], surfaced as
+    /// [`ServiceError::Remote`].
+    pub fn connect_tcp_with_token<A: ToSocketAddrs>(
+        addr: A,
+        token: &str,
+    ) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::handshake_with_token(stream, Some(token))
+    }
 }
 
 impl<S: Read + Write> ServiceClient<S> {
     /// Wrap an already-connected stream and perform the `Hello` handshake.
     pub fn handshake(stream: S) -> Result<Self, ServiceError> {
+        Self::handshake_with_token(stream, None)
+    }
+
+    /// Wrap an already-connected stream and perform the `Hello` handshake,
+    /// optionally presenting an authentication token.
+    pub fn handshake_with_token(stream: S, token: Option<&str>) -> Result<Self, ServiceError> {
         let mut client = ServiceClient { stream, codec: FrameCodec::new() };
-        match client.call(&Frame::Hello { major: PROTOCOL_VERSION, minor: 0 })? {
+        let hello =
+            Frame::Hello { major: PROTOCOL_VERSION, minor: 0, token: token.map(|t| t.to_string()) };
+        match client.call(&hello)? {
             Frame::Hello { .. } => Ok(client),
             _ => Err(ServiceError::Proto(crate::ProtoError::Malformed {
                 context: "handshake reply was not a hello frame",

@@ -74,6 +74,9 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// `max_resident` of the tenant registry.
     pub max_resident: usize,
+    /// Authentication token connections must present in their `Hello`
+    /// frame. `None` (the default) leaves the server open.
+    pub auth_token: Option<String>,
 }
 
 impl ServiceConfig {
@@ -90,6 +93,7 @@ impl ServiceConfig {
             publish_interval: 25_000,
             queue_depth: 64,
             max_resident: 1024,
+            auth_token: None,
         }
     }
 
@@ -120,6 +124,13 @@ impl ServiceConfig {
     /// Set the tenant registry's resident cap.
     pub fn max_resident(mut self, max_resident: usize) -> Self {
         self.max_resident = max_resident.max(1);
+        self
+    }
+
+    /// Require connections to authenticate with `token` in their `Hello`
+    /// frame before any other frame is served.
+    pub fn auth_token(mut self, token: impl Into<String>) -> Self {
+        self.auth_token = Some(token.into());
         self
     }
 }

@@ -151,6 +151,10 @@ pub enum ErrorCode {
     Unsupported,
     /// Any other server-side failure.
     Internal,
+    /// The connection did not present the authentication token the server
+    /// requires (absent or mismatched `Hello` token, or a non-`Hello`
+    /// frame before authenticating).
+    Unauthorized,
 }
 
 impl ErrorCode {
@@ -165,6 +169,7 @@ impl ErrorCode {
             ErrorCode::UnknownStructure => 6,
             ErrorCode::Unsupported => 7,
             ErrorCode::Internal => 8,
+            ErrorCode::Unauthorized => 9,
         }
     }
 
@@ -179,6 +184,7 @@ impl ErrorCode {
             5 => ErrorCode::Registry,
             6 => ErrorCode::UnknownStructure,
             7 => ErrorCode::Unsupported,
+            9 => ErrorCode::Unauthorized,
             _ => ErrorCode::Internal,
         }
     }
@@ -263,12 +269,18 @@ pub enum Reply {
 pub enum Frame {
     /// Version negotiation; first frame in each direction. A server
     /// rejects a `major` it does not speak with a [`Frame::Error`]
-    /// (code [`ErrorCode::Proto`]) and closes.
+    /// (code [`ErrorCode::Proto`]) and closes. A server configured with an
+    /// authentication token additionally rejects a mismatched or absent
+    /// `token` with [`ErrorCode::Unauthorized`] and closes.
     Hello {
         /// Major protocol version; must match exactly.
         major: u16,
         /// Minor version; informational.
         minor: u16,
+        /// Optional authentication token. Encodes to the original 4-byte
+        /// hello payload when absent, so tokenless peers stay
+        /// wire-compatible with version-1 frames.
+        token: Option<String>,
     },
     /// A tenant-tagged run of turnstile updates. Tenant 0 addresses the
     /// shared catalog (every structure ingests the run); any other tenant
@@ -324,9 +336,16 @@ impl Frame {
 
     fn encode_payload(&self, out: &mut Vec<u8>) {
         match self {
-            Frame::Hello { major, minor } => {
+            Frame::Hello { major, minor, token } => {
                 out.extend_from_slice(&major.to_le_bytes());
                 out.extend_from_slice(&minor.to_le_bytes());
+                // An absent token encodes to nothing: the payload is the
+                // original 4-byte layout, decodable by pre-token peers.
+                if let Some(token) = token {
+                    out.push(1);
+                    out.extend_from_slice(&(token.len() as u64).to_le_bytes());
+                    out.extend_from_slice(token.as_bytes());
+                }
             }
             Frame::UpdateBatch { tenant, updates } => {
                 out.extend_from_slice(&tenant.to_le_bytes());
@@ -416,7 +435,35 @@ impl Frame {
         let mut r = PayloadReader { bytes: payload, pos: 0 };
         let frame = match tag {
             tags::HELLO => {
-                Frame::Hello { major: r.u16("hello major")?, minor: r.u16("hello minor")? }
+                let major = r.u16("hello major")?;
+                let minor = r.u16("hello minor")?;
+                // Token field: absent entirely (the 4-byte layout), or a
+                // presence byte followed by a length-prefixed UTF-8 string.
+                let token = if r.remaining() == 0 {
+                    None
+                } else {
+                    match r.u8("hello token presence")? {
+                        0 => None,
+                        1 => {
+                            let len = r.u64("hello token length")?;
+                            if len > r.remaining() as u64 {
+                                return Err(ProtoError::Malformed {
+                                    context: "hello token length exceeds the payload bytes",
+                                });
+                            }
+                            let bytes = r.raw(len as usize, "hello token")?;
+                            Some(String::from_utf8(bytes.to_vec()).map_err(|_| {
+                                ProtoError::Malformed { context: "hello token is not UTF-8" }
+                            })?)
+                        }
+                        _ => {
+                            return Err(ProtoError::Malformed {
+                                context: "hello token presence byte must be 0 or 1",
+                            })
+                        }
+                    }
+                };
+                Frame::Hello { major, minor, token }
             }
             tags::UPDATE_BATCH => {
                 let tenant = r.u64("batch tenant")?;
@@ -570,7 +617,7 @@ impl<'a> PayloadReader<'a> {
 /// use lps_service::proto::{Frame, FrameCodec};
 ///
 /// let mut wire = Vec::new();
-/// FrameCodec::encode(&Frame::Hello { major: 1, minor: 0 }, &mut wire);
+/// FrameCodec::encode(&Frame::Hello { major: 1, minor: 0, token: None }, &mut wire);
 ///
 /// let mut codec = FrameCodec::new();
 /// // feed the bytes one at a time: Pending until the frame completes
@@ -580,7 +627,7 @@ impl<'a> PayloadReader<'a> {
 ///         decoded = Some(frame);
 ///     }
 /// }
-/// assert_eq!(decoded, Some(Frame::Hello { major: 1, minor: 0 }));
+/// assert_eq!(decoded, Some(Frame::Hello { major: 1, minor: 0, token: None }));
 /// ```
 #[derive(Debug, Default)]
 pub struct FrameCodec {
@@ -694,12 +741,30 @@ mod tests {
     fn two_frames_in_one_feed_drain_in_order() {
         let mut wire = Vec::new();
         FrameCodec::encode(&Frame::Shutdown, &mut wire);
-        FrameCodec::encode(&Frame::Hello { major: 1, minor: 2 }, &mut wire);
+        FrameCodec::encode(&Frame::Hello { major: 1, minor: 2, token: None }, &mut wire);
         let mut codec = FrameCodec::new();
         assert_eq!(codec.feed(&wire).unwrap(), Poll::Ready(Frame::Shutdown));
-        assert_eq!(codec.poll().unwrap(), Poll::Ready(Frame::Hello { major: 1, minor: 2 }));
+        assert_eq!(
+            codec.poll().unwrap(),
+            Poll::Ready(Frame::Hello { major: 1, minor: 2, token: None })
+        );
         assert_eq!(codec.poll().unwrap(), Poll::Pending);
         assert_eq!(codec.buffered(), 0);
+    }
+
+    #[test]
+    fn hello_token_round_trips_and_tokenless_hello_is_four_bytes() {
+        let with = Frame::Hello { major: 1, minor: 0, token: Some("s3cret ✓".to_string()) };
+        let without = Frame::Hello { major: 1, minor: 0, token: None };
+        for frame in [&with, &without] {
+            let mut wire = Vec::new();
+            FrameCodec::encode(frame, &mut wire);
+            let mut codec = FrameCodec::new();
+            assert_eq!(codec.feed(&wire).unwrap(), Poll::Ready(frame.clone()));
+        }
+        let mut wire = Vec::new();
+        FrameCodec::encode(&without, &mut wire);
+        assert_eq!(wire.len(), FRAME_HEADER_LEN + 4, "tokenless hello keeps the v1 layout");
     }
 
     #[test]

@@ -149,6 +149,7 @@ impl RunningServer {
         let core = ServiceCore::new(&config);
         let snapshots = core.snapshot_handle();
         let shutdown = Arc::new(AtomicBool::new(false));
+        let auth_token = config.auth_token.clone().map(Arc::new);
         let (tx, rx) = sync_channel::<Request>(config.queue_depth);
 
         let ingest = {
@@ -157,7 +158,7 @@ impl RunningServer {
         };
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || accept_loop(listener, tx, snapshots, shutdown))
+            std::thread::spawn(move || accept_loop(listener, tx, snapshots, shutdown, auth_token))
         };
         RunningServer { addr, shutdown, acceptor: Some(acceptor), ingest: Some(ingest) }
     }
@@ -249,6 +250,7 @@ fn accept_loop(
     tx: SyncSender<Request>,
     snapshots: SnapshotHandle,
     shutdown: Arc<AtomicBool>,
+    auth_token: Option<Arc<String>>,
 ) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
@@ -257,8 +259,9 @@ fn accept_loop(
                 let tx = tx.clone();
                 let snapshots = snapshots.clone();
                 let shutdown = Arc::clone(&shutdown);
+                let auth_token = auth_token.clone();
                 connections.push(std::thread::spawn(move || {
-                    serve_connection(conn, tx, snapshots, shutdown)
+                    serve_connection(conn, tx, snapshots, shutdown, auth_token)
                 }));
             }
             Ok(None) => std::thread::sleep(ACCEPT_POLL),
@@ -285,10 +288,14 @@ fn serve_connection(
     tx: SyncSender<Request>,
     snapshots: SnapshotHandle,
     shutdown: Arc<AtomicBool>,
+    auth_token: Option<Arc<String>>,
 ) {
     if conn.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
+    // An open server starts authenticated; a tokened one requires a
+    // matching `Hello` before any other frame is served.
+    let mut authed = auth_token.is_none();
     let mut codec = FrameCodec::new();
     let mut chunk = [0u8; 16 * 1024];
     'conn: loop {
@@ -315,7 +322,14 @@ fn serve_connection(
             match step {
                 Ok(Poll::Pending) => break,
                 Ok(Poll::Ready(frame)) => {
-                    if !handle_frame(conn.as_mut(), frame, &tx, &snapshots) {
+                    if !handle_frame(
+                        conn.as_mut(),
+                        frame,
+                        &tx,
+                        &snapshots,
+                        auth_token.as_deref(),
+                        &mut authed,
+                    ) {
                         break 'conn;
                     }
                 }
@@ -339,12 +353,24 @@ fn handle_frame(
     frame: Frame,
     tx: &SyncSender<Request>,
     snapshots: &SnapshotHandle,
+    auth_token: Option<&String>,
+    authed: &mut bool,
 ) -> bool {
+    // A tokened server serves nothing before a successful `Hello`: every
+    // other frame earns a typed rejection and a close.
+    if !*authed && !matches!(frame, Frame::Hello { .. }) {
+        let _ = write_frame(
+            conn,
+            &Frame::Error {
+                code: ErrorCode::Unauthorized,
+                detail: "authenticate with a hello frame first".to_string(),
+            },
+        );
+        return false;
+    }
     match frame {
-        Frame::Hello { major, .. } => {
-            if major == PROTOCOL_VERSION {
-                write_frame(conn, &Frame::Hello { major: PROTOCOL_VERSION, minor: 0 }).is_ok()
-            } else {
+        Frame::Hello { major, token, .. } => {
+            if major != PROTOCOL_VERSION {
                 let _ = write_frame(
                     conn,
                     &Frame::Error {
@@ -354,8 +380,25 @@ fn handle_frame(
                         ),
                     },
                 );
-                false
+                return false;
             }
+            if let Some(required) = auth_token {
+                if token.as_ref() != Some(required) {
+                    // Absent and mismatched tokens are rejected alike; the
+                    // detail never echoes the expected token.
+                    let _ = write_frame(
+                        conn,
+                        &Frame::Error {
+                            code: ErrorCode::Unauthorized,
+                            detail: "hello token is missing or does not match".to_string(),
+                        },
+                    );
+                    return false;
+                }
+                *authed = true;
+            }
+            write_frame(conn, &Frame::Hello { major: PROTOCOL_VERSION, minor: 0, token: None })
+                .is_ok()
         }
         // Live queries: answered from the published snapshot, never
         // entering the ingest queue — ingestion load cannot delay them.

@@ -36,7 +36,13 @@ fn make_frame(
     entries: &[(u64, i64)],
 ) -> Frame {
     match kind % 16 {
-        0 => Frame::Hello { major: structure, minor: index as u16 },
+        // Both hello layouts: the 4-byte tokenless frame and the extended
+        // frame carrying an arbitrary-content authentication token.
+        0 => Frame::Hello {
+            major: structure,
+            minor: index as u16,
+            token: flag.then(|| format!("tok-{tenant:#x} ünïcode ✓")),
+        },
         1 => Frame::UpdateBatch {
             tenant,
             updates: entries.iter().map(|&(i, d)| Update { index: i, delta: d }).collect(),

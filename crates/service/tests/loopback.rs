@@ -205,7 +205,7 @@ fn version_mismatch_in_hello_is_rejected_and_closed() {
 
     let mut stream = TcpStream::connect(addr).expect("connect");
     let mut wire = Vec::new();
-    FrameCodec::encode(&Frame::Hello { major: 99, minor: 0 }, &mut wire);
+    FrameCodec::encode(&Frame::Hello { major: 99, minor: 0, token: None }, &mut wire);
     stream.write_all(&wire).expect("write hello");
 
     let mut codec = FrameCodec::new();
@@ -230,6 +230,70 @@ fn version_mismatch_in_hello_is_rejected_and_closed() {
     assert_eq!(stream.read(&mut chunk).expect("read eof"), 0);
 
     server.stop();
+}
+
+#[test]
+fn auth_token_gates_every_frame_until_a_matching_hello() {
+    let server =
+        RunningServer::bind_tcp("127.0.0.1:0", config().auth_token("open-sesame")).expect("bind");
+    let addr = server.local_addr().expect("address");
+
+    // Absent token: rejected with a typed Unauthorized error, then closed.
+    match ServiceClient::connect_tcp(addr).err() {
+        Some(ServiceError::Remote { code: ErrorCode::Unauthorized, detail }) => {
+            assert!(!detail.contains("open-sesame"), "detail must not leak the token: {detail}");
+        }
+        other => panic!("tokenless handshake should be Unauthorized, got {other:?}"),
+    }
+
+    // Mismatched token: same rejection.
+    match ServiceClient::connect_tcp_with_token(addr, "wrong").err() {
+        Some(ServiceError::Remote { code: ErrorCode::Unauthorized, .. }) => {}
+        other => panic!("mismatched token should be Unauthorized, got {other:?}"),
+    }
+
+    // A non-hello first frame is rejected and the connection closed.
+    {
+        use std::io::{Read, Write};
+        use std::task::Poll;
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut wire = Vec::new();
+        FrameCodec::encode(
+            &Frame::UpdateBatch { tenant: 0, updates: vec![Update { index: 1, delta: 1 }] },
+            &mut wire,
+        );
+        stream.write_all(&wire).expect("write batch");
+        let mut codec = FrameCodec::new();
+        let mut chunk = [0u8; 4096];
+        let reply = loop {
+            if let Poll::Ready(frame) = codec.poll().expect("well-framed reply") {
+                break frame;
+            }
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "server closed before answering");
+            if let Poll::Ready(frame) = codec.feed(&chunk[..n]).expect("well-framed reply") {
+                break frame;
+            }
+        };
+        assert!(
+            matches!(reply, Frame::Error { code: ErrorCode::Unauthorized, .. }),
+            "pre-auth batch should be Unauthorized, got {reply:?}"
+        );
+        assert_eq!(stream.read(&mut chunk).expect("read eof"), 0, "server must hang up");
+    }
+
+    // The matching token authenticates and the connection serves normally.
+    let updates = workload(1_000, 4);
+    let mut reference = CatalogPrototypes::standard(DIM, SEED).count_min;
+    reference.ingest_batch(&updates);
+    let mut client =
+        ServiceClient::connect_tcp_with_token(addr, "open-sesame").expect("authed connect");
+    for batch in updates.chunks(250) {
+        client.send_updates(0, batch).expect("batch accepted");
+    }
+    assert_eq!(client.digest(tags::COUNT_MIN).expect("digest"), reference.state_digest());
+    client.shutdown().expect("shutdown ack");
+    server.join();
 }
 
 #[test]

@@ -230,32 +230,47 @@ impl LinearSketch for CountSketch {
     /// row's `6m` contiguous counters instead of striding across the whole
     /// table per update. Signed-unit buckets keep every counter an exact
     /// integer in f64 for integer workloads, so coalescing is
-    /// state-identical to the sequential loop. Bucket and sign hashes are
-    /// evaluated through the lane-parallel kernels in [`lps_hash::simd`].
+    /// state-identical to the sequential loop.
+    ///
+    /// This is the same rows×keys shape as the AMS sign walk: *many* degree-1
+    /// polynomials evaluated at *one* key per entry. Both hash families are
+    /// transposed into [`lps_hash::simd::PolyBank`]s once per batch and
+    /// evaluated lane-parallel across rows per key; the Kahan accumulation
+    /// below then replays row-major in exactly the original entry order, so
+    /// the float state is bit-identical to the scalar walk (the multiply-shift
+    /// bucket reduction is the one from [`lps_hash::KWiseHash::bucket`]).
     fn process_batch(&mut self, updates: &[lps_stream::Update]) {
         let coalesced = lps_stream::coalesce_updates(updates);
-        let keys: Vec<u64> = coalesced.iter().map(|&(i, _)| i).collect();
-        // Per-row scratch for the lane-parallel hash evaluations; the Kahan
-        // accumulation below replays in exactly the original entry order, so
-        // the float state is bit-identical to the scalar walk.
-        let mut hash_scratch = vec![0u64; keys.len()];
-        let mut buckets = vec![0usize; keys.len()];
-        let mut signs = vec![0u64; keys.len()];
-        for j in 0..self.rows {
+        if coalesced.is_empty() {
+            return;
+        }
+        let rows = self.rows;
+        let bucket_bank = lps_hash::simd::PolyBank::new(
+            self.bucket_hashes.iter().map(|h| h.kwise().coefficients()),
+        );
+        let sign_bank = lps_hash::simd::PolyBank::new(
+            self.sign_hashes.iter().map(|h| h.kwise().coefficients()),
+        );
+        // Entry-major hash matrices: entry `e`'s row-`j` values live at
+        // `e * rows + j`. Batches are chunked upstream (DEFAULT_BATCH_SIZE /
+        // the engine dispatch batch), so the scratch stays batch-bounded.
+        let mut buckets = vec![0usize; coalesced.len() * rows];
+        let mut signs = vec![0u64; coalesced.len() * rows];
+        let mut hash_scratch = vec![0u64; rows];
+        for (e, &(index, _)) in coalesced.iter().enumerate() {
+            debug_assert!(index < self.dimension, "index out of range");
+            bucket_bank.eval_key(index, &mut hash_scratch);
+            for (j, &h) in hash_scratch.iter().enumerate() {
+                buckets[e * rows + j] = ((h as u128 * self.width as u128) >> 61) as usize;
+            }
+            sign_bank.eval_key(index, &mut signs[e * rows..(e + 1) * rows]);
+        }
+        for j in 0..rows {
             let row = &mut self.table[j * self.width..(j + 1) * self.width];
             let comp_row = &mut self.comp[j * self.width..(j + 1) * self.width];
-            self.bucket_hashes[j].kwise().buckets_into(
-                &keys,
-                self.width,
-                &mut hash_scratch,
-                &mut buckets,
-            );
-            self.sign_hashes[j].hash_keys(&keys, &mut signs);
-            for ((&(index, delta), &k), &sign_hash) in
-                coalesced.iter().zip(buckets.iter()).zip(signs.iter())
-            {
-                debug_assert!(index < self.dimension, "index out of range");
-                let sign = if sign_hash & 1 == 1 { 1.0 } else { -1.0 };
+            for (e, &(_, delta)) in coalesced.iter().enumerate() {
+                let k = buckets[e * rows + j];
+                let sign = if signs[e * rows + j] & 1 == 1 { 1.0 } else { -1.0 };
                 kahan_add(&mut row[k], &mut comp_row[k], sign * delta as f64);
             }
         }

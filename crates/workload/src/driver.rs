@@ -1,0 +1,256 @@
+//! The ramping open-loop load driver.
+//!
+//! Each step offers a fixed request rate for a fixed duration using
+//! **open-loop pacing**: request `i` has a precomputed scheduled start
+//! `step_start + i / rps`, and its latency is measured from that
+//! scheduled start — not from when the driver got around to sending it.
+//! A target that falls behind therefore accrues queueing delay into its
+//! percentiles instead of silently slowing the offered rate down
+//! (coordinated omission). The rate then ramps by `increment_rps` until
+//! a step misses its target rate — **saturation** — or `max_rps` is
+//! reached; the last rate the target kept up with is its
+//! `sustainable_max_rps`.
+
+use std::time::{Duration, Instant};
+
+use lps_hash::SeedSequence;
+use lps_service::{Query, ServiceError};
+use lps_stream::Update;
+
+use crate::generators::build_generator;
+use crate::hist::LatencyHistogram;
+use crate::spec::WorkloadSpec;
+use crate::target::WorkloadTarget;
+
+/// A step counts as sustained when it achieves at least this fraction of
+/// its offered rate.
+pub const SUSTAIN_FRACTION: f64 = 0.95;
+
+/// Measured results of one rate step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Offered request rate of this step.
+    pub target_rps: u32,
+    /// Requests offered during the step.
+    pub offered: u64,
+    /// Rate actually achieved (`offered / wall-clock`).
+    pub achieved_rps: f64,
+    /// Whether the step sustained `SUSTAIN_FRACTION` of its target.
+    pub met: bool,
+    /// Median latency, microseconds (scheduled start → completion).
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_us: f64,
+    /// Reads that completed with a typed application error (e.g. a
+    /// saturated sparse-recovery structure declining to decode, or a
+    /// sampler reporting its failure event). These are real, measured
+    /// round-trips — a load test that aborted on the first one could
+    /// never drive a structure past its design envelope on purpose.
+    pub read_errors: u64,
+}
+
+/// The full result of ramping one spec against one target.
+#[derive(Debug, Clone)]
+pub struct WorkloadOutcome {
+    /// The spec's scenario name.
+    pub spec_name: String,
+    /// The target's short name (`"engine"` / `"service"`).
+    pub target: &'static str,
+    /// True when the ramp ended because a step missed its rate (rather
+    /// than exhausting `max_rps` with every step sustained).
+    pub saturated: bool,
+    /// Achieved rate of the last sustained step (0 when even the first
+    /// step missed).
+    pub sustainable_max_rps: f64,
+    /// Total requests issued across all steps.
+    pub total_requests: u64,
+    /// Total stream updates written across all steps.
+    pub total_updates: u64,
+    /// Total reads that completed with a typed application error.
+    pub total_read_errors: u64,
+    /// Per-step measurements, in ramp order.
+    pub steps: Vec<StepReport>,
+}
+
+/// Sleep-then-spin wait to a deadline: coarse sleep while far away (the
+/// OS timer slop is real), spin the final stretch for tight pacing.
+fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(500) {
+            std::thread::sleep(remaining - Duration::from_micros(300));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Pre-resolved read-traffic pool: `(tag, kind)` with cumulative weights.
+struct ReadPool {
+    entries: Vec<(u16, ReadKind, u32)>,
+    total_weight: u64,
+}
+
+#[derive(Clone, Copy)]
+enum ReadKind {
+    Sample,
+    PointEstimate,
+    Duplicates,
+}
+
+impl ReadPool {
+    fn new(spec: &WorkloadSpec) -> Self {
+        let entries: Vec<(u16, ReadKind, u32)> = spec
+            .readable_mix()
+            .iter()
+            .map(|e| {
+                let kind = match e.structure.as_str() {
+                    // The sparse-recovery slot's live query is duplicate
+                    // extraction; the sampler slots answer Sample; the
+                    // point-query sketches answer PointEstimate.
+                    "sparse_recovery" => ReadKind::Duplicates,
+                    "l0_sampler" | "fis_l0" => ReadKind::Sample,
+                    _ => ReadKind::PointEstimate,
+                };
+                (e.tag, kind, e.weight)
+            })
+            .collect();
+        let total_weight = entries.iter().map(|&(_, _, w)| w as u64).sum();
+        ReadPool { entries, total_weight }
+    }
+
+    fn draw(&self, seeds: &mut SeedSequence, dimension: u64) -> Query {
+        debug_assert!(self.total_weight > 0);
+        let mut r = seeds.next_below(self.total_weight);
+        for &(tag, kind, w) in &self.entries {
+            if r < w as u64 {
+                return match kind {
+                    ReadKind::Sample => Query::Sample { structure: tag },
+                    ReadKind::PointEstimate => {
+                        Query::PointEstimate { structure: tag, index: seeds.next_below(dimension) }
+                    }
+                    ReadKind::Duplicates => Query::Duplicates { structure: tag },
+                };
+            }
+            r -= w as u64;
+        }
+        unreachable!("weighted draw exhausted the pool")
+    }
+}
+
+/// A failure that means the target itself is gone (socket torn, framing
+/// poisoned), as opposed to a typed application answer like "that
+/// structure is saturated" — the latter is a completed request.
+fn is_transport_failure(e: &ServiceError) -> bool {
+    matches!(e, ServiceError::Io(_) | ServiceError::Proto(_))
+}
+
+/// Ramp `spec` against `target` until saturation or `max_rps`.
+///
+/// Request randomness (read/write choice, tenant routing, query draws)
+/// and the update stream are all derived from the spec's single seed, so
+/// two runs of the same spec offer identical request sequences — the
+/// only nondeterminism left is the thing being measured.
+///
+/// Writes and transport failures abort the run with the underlying
+/// [`ServiceError`]; reads answered with a typed application error are
+/// counted per step in [`StepReport::read_errors`] and keep the ramp
+/// going (their latency is measured like any other request).
+pub fn run_workload(
+    spec: &WorkloadSpec,
+    target: &mut dyn WorkloadTarget,
+) -> Result<WorkloadOutcome, ServiceError> {
+    let mut generator = build_generator(&spec.generator, spec.dimension, spec.seed);
+    // Traffic decisions draw from an independent child of the master
+    // seed so they never perturb the generator's stream.
+    let mut traffic = SeedSequence::new(spec.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let reads = ReadPool::new(spec);
+    // read_ratio as a threshold over a 16-bit draw keeps this integral.
+    let read_threshold = (spec.read_ratio * 65_536.0) as u64;
+
+    let mut batch = vec![Update { index: 0, delta: 0 }; spec.batch];
+    let mut steps = Vec::new();
+    let mut saturated = false;
+    let mut sustainable = 0.0f64;
+    let mut total_requests = 0u64;
+    let mut total_updates = 0u64;
+    let mut total_read_errors = 0u64;
+
+    let mut rps = spec.ramp.initial_rps;
+    loop {
+        let offered = ((rps as u64 * spec.ramp.step_duration_ms) / 1_000).max(1);
+        let interval_ns = 1_000_000_000u64 / rps as u64;
+        let mut hist = LatencyHistogram::new();
+        let mut read_errors = 0u64;
+
+        let step_start = Instant::now();
+        for i in 0..offered {
+            let scheduled = step_start + Duration::from_nanos(i * interval_ns);
+            wait_until(scheduled);
+            if reads.total_weight > 0 && traffic.next_below(65_536) < read_threshold {
+                match target.read(reads.draw(&mut traffic, spec.dimension)) {
+                    Ok(()) => {}
+                    Err(e) if is_transport_failure(&e) => return Err(e),
+                    Err(_) => read_errors += 1,
+                }
+            } else {
+                generator.fill(&mut batch);
+                let tenant = if spec.tenants == 0 || traffic.next_below(2) == 0 {
+                    0
+                } else {
+                    1 + traffic.next_below(spec.tenants)
+                };
+                target.write(tenant, &batch)?;
+                total_updates += batch.len() as u64;
+            }
+            hist.record(scheduled.elapsed().as_nanos() as u64);
+        }
+        let elapsed = step_start.elapsed().as_secs_f64();
+        let achieved = offered as f64 / elapsed.max(1e-9);
+        let met = achieved >= SUSTAIN_FRACTION * rps as f64;
+        total_requests += offered;
+        total_read_errors += read_errors;
+
+        steps.push(StepReport {
+            target_rps: rps,
+            offered,
+            achieved_rps: achieved,
+            met,
+            p50_us: hist.quantile(0.50) as f64 / 1_000.0,
+            p99_us: hist.quantile(0.99) as f64 / 1_000.0,
+            p999_us: hist.quantile(0.999) as f64 / 1_000.0,
+            max_us: hist.max() as f64 / 1_000.0,
+            read_errors,
+        });
+
+        if met {
+            sustainable = achieved;
+        } else {
+            saturated = true;
+            break;
+        }
+        if rps >= spec.ramp.max_rps {
+            break;
+        }
+        rps = rps.saturating_add(spec.ramp.increment_rps).min(spec.ramp.max_rps);
+    }
+
+    Ok(WorkloadOutcome {
+        spec_name: spec.name.clone(),
+        target: target.name(),
+        saturated,
+        sustainable_max_rps: sustainable,
+        total_requests,
+        total_updates,
+        total_read_errors,
+        steps,
+    })
+}

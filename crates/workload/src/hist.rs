@@ -1,0 +1,152 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Values below `2^SUB_BITS` are recorded exactly; above that, each
+//! power-of-two octave is split into `2^SUB_BITS` sub-buckets, bounding
+//! the relative quantile error at `2^-SUB_BITS` (~3%) while keeping the
+//! whole structure a flat `Vec<u64>` with O(1) recording — the shape
+//! HdrHistogram popularised for coordinated-omission-free load tests.
+
+/// Sub-bucket resolution: 32 sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+
+/// Log-bucketed histogram of non-negative integer samples (here:
+/// nanosecond latencies).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        // 64 octaves × 32 sub-buckets is a fixed 16 KiB; no resizing.
+        LatencyHistogram {
+            buckets: vec![0; (64 - SUB_BITS as usize + 1) << SUB_BITS],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < (1 << SUB_BITS) {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros();
+        let sub = (value >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+        (((exp - SUB_BITS + 1) as usize) << SUB_BITS) | sub as usize
+    }
+
+    /// The representative (lower-bound) value of a bucket.
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < (1 << SUB_BITS) {
+            return idx as u64;
+        }
+        let octave = (idx >> SUB_BITS) as u32 + SUB_BITS - 1;
+        let sub = (idx & ((1 << SUB_BITS) - 1)) as u64;
+        (1u64 << octave) | (sub << (octave - SUB_BITS))
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, within ~3% relative error.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0 / 32.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn quantiles_are_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        // 1..=100_000 uniformly: p50 ≈ 50_000, p99 ≈ 99_000.
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.04, "p50 = {p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.04, "p99 = {p99}");
+        assert_eq!(h.count(), 100_000);
+    }
+
+    #[test]
+    fn bucket_value_is_a_lower_bound_of_its_bucket() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, u64::MAX >> 1, u64::MAX] {
+            let idx = LatencyHistogram::bucket_index(v);
+            let rep = LatencyHistogram::bucket_value(idx);
+            assert!(rep <= v, "representative {rep} exceeds sample {v}");
+            // ...and within one sub-bucket width below it.
+            if v >= 1 << SUB_BITS {
+                assert!((v - rep) as f64 / v as f64 <= 1.0 / (1 << SUB_BITS) as f64 + 1e-9);
+            } else {
+                assert_eq!(rep, v);
+            }
+        }
+    }
+
+    #[test]
+    fn max_is_exact_even_when_bucketed() {
+        let mut h = LatencyHistogram::new();
+        h.record(123_457);
+        assert_eq!(h.max(), 123_457);
+        assert!(h.quantile(1.0) <= 123_457);
+    }
+}

@@ -1,0 +1,669 @@
+//! The declarative workload-description format: a TOML subset parsed into
+//! a typed [`WorkloadSpec`].
+//!
+//! The environment vendors no TOML crate, so the parser here is
+//! hand-rolled in the same spirit as the repo's hand-rolled JSON writer:
+//! a deliberately small, line-oriented subset — `[table]` /
+//! `[[array-of-tables]]` headers, `key = value` pairs, `#` comments, and
+//! string / integer / float / boolean values. That subset covers every
+//! shipped spec under `crates/workload/specs/`; anything outside it is a
+//! typed [`SpecError`], never a panic — the `persist::DecodeError`
+//! discipline applied to configuration.
+//!
+//! ## Spec layout
+//!
+//! ```toml
+//! [workload]
+//! name = "zipf_skew"        # [a-z0-9_-]+ — stamped into BENCH_samplers.json
+//! dimension = 65536         # coordinate space [0, n)
+//! seed = 48879              # single u64 master seed for ALL randomness
+//! read_ratio = 0.2          # fraction of requests that are reads
+//! tenants = 4               # registry tenants fed alongside the catalog
+//! batch = 64                # updates per write request
+//!
+//! [generator]
+//! kind = "zipf"             # uniform | zipf | turnstile | duplicates | collision
+//! alpha = 1.2               # generator-specific knobs
+//!
+//! [ramp]
+//! initial_rps = 200
+//! increment_rps = 200
+//! max_rps = 4000
+//! step_duration_ms = 400
+//!
+//! [[mix]]                   # weighted structure mix for the read traffic
+//! structure = "count_min"
+//! weight = 3
+//!
+//! [[mix]]
+//! structure = "l0_sampler"
+//! weight = 1
+//! ```
+
+use std::path::Path;
+
+use lps_service::CATALOG_STRUCTURES;
+
+/// A parse or validation failure. Total: every malformed spec maps to
+/// exactly one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec file could not be read at all.
+    Unreadable {
+        /// The path that failed.
+        path: String,
+        /// The I/O error text.
+        detail: String,
+    },
+    /// A line the TOML subset cannot parse.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `key = value` pair outside any `[section]`.
+    KeyOutsideSection {
+        /// 1-based line number.
+        line: usize,
+        /// The offending key.
+        key: String,
+    },
+    /// A section this format does not know.
+    UnknownSection {
+        /// The section name as written.
+        section: String,
+    },
+    /// A key this section does not know.
+    UnknownKey {
+        /// The section the key appeared in.
+        section: String,
+        /// The offending key.
+        key: String,
+    },
+    /// A required section or key is absent.
+    Missing {
+        /// `section` or `section.key` that is required.
+        what: String,
+    },
+    /// A section that must appear exactly once appeared again.
+    Duplicate {
+        /// The section (or key) that repeated.
+        what: String,
+    },
+    /// A value parsed but fails its domain check.
+    InvalidValue {
+        /// `section.key` of the value.
+        key: String,
+        /// Why it is out of domain.
+        message: String,
+    },
+    /// `[[mix]]` names a structure outside the service catalog.
+    UnknownStructure {
+        /// The name as written.
+        name: String,
+    },
+    /// `[generator] kind` names no known generator.
+    UnknownGenerator {
+        /// The kind as written.
+        name: String,
+    },
+    /// `read_ratio > 0` but no structure in the mix answers live reads.
+    NoReadableStructure,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Unreadable { path, detail } => {
+                write!(f, "cannot read workload spec {path}: {detail}")
+            }
+            SpecError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            SpecError::KeyOutsideSection { line, key } => {
+                write!(f, "line {line}: key '{key}' appears outside any [section]")
+            }
+            SpecError::UnknownSection { section } => {
+                write!(f, "unknown section [{section}] (expected workload, generator, ramp, mix)")
+            }
+            SpecError::UnknownKey { section, key } => {
+                write!(f, "unknown key '{key}' in section [{section}]")
+            }
+            SpecError::Missing { what } => write!(f, "missing required {what}"),
+            SpecError::Duplicate { what } => write!(f, "{what} must appear exactly once"),
+            SpecError::InvalidValue { key, message } => write!(f, "invalid {key}: {message}"),
+            SpecError::UnknownStructure { name } => {
+                write!(f, "mix structure '{name}' is not in the service catalog")
+            }
+            SpecError::UnknownGenerator { name } => {
+                write!(
+                    f,
+                    "unknown generator kind '{name}' (expected uniform, zipf, turnstile, \
+                     duplicates, collision)"
+                )
+            }
+            SpecError::NoReadableStructure => {
+                write!(
+                    f,
+                    "read_ratio > 0 requires at least one mix structure that answers live \
+                     queries (every catalog structure except 'ams')"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The named update distribution a workload draws from. Every generator is
+/// deterministic from the spec's single `seed` and chunk-boundary
+/// independent (see [`crate::generators`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeneratorSpec {
+    /// Uniform keys, insert-biased signed unit-ish deltas.
+    Uniform,
+    /// Zipf-skewed keys with exponent `alpha`.
+    Zipf {
+        /// Skew exponent (`> 0`; higher is more skewed).
+        alpha: f64,
+    },
+    /// Deletion-heavy turnstile phases: grow, then drain the live mass
+    /// back to near zero, repeatedly.
+    Turnstile {
+        /// When true, no coordinate ever goes below zero (the strict
+        /// turnstile model); when false, occasional blind deletes may
+        /// drive coordinates negative (general model).
+        strict: bool,
+    },
+    /// Duplicate-rich traffic over a small churning key pool.
+    Duplicates {
+        /// Number of distinct keys in the pool.
+        distinct: u64,
+    },
+    /// Adversarial near-collisions: bursts of adjacent keys around
+    /// shifting hot centers.
+    Collision {
+        /// Width of the key cluster around each center.
+        spread: u64,
+    },
+}
+
+impl GeneratorSpec {
+    /// The spec-file `kind` string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GeneratorSpec::Uniform => "uniform",
+            GeneratorSpec::Zipf { .. } => "zipf",
+            GeneratorSpec::Turnstile { .. } => "turnstile",
+            GeneratorSpec::Duplicates { .. } => "duplicates",
+            GeneratorSpec::Collision { .. } => "collision",
+        }
+    }
+}
+
+/// One weighted entry of the structure mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixEntry {
+    /// Catalog structure name (see [`CATALOG_STRUCTURES`]).
+    pub structure: String,
+    /// The structure's `Persist` wire tag.
+    pub tag: u16,
+    /// Relative weight in the read-traffic mix.
+    pub weight: u32,
+}
+
+impl MixEntry {
+    /// Whether this structure answers live (snapshot-served) queries.
+    /// Every catalog structure does except AMS, whose only query kind is
+    /// the ingest-linearized digest.
+    pub fn readable(&self) -> bool {
+        self.structure != "ams"
+    }
+}
+
+/// The ramping load-search schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RampSpec {
+    /// Request rate of the first step.
+    pub initial_rps: u32,
+    /// Rate increase per step.
+    pub increment_rps: u32,
+    /// Rate cap: the search stops here even without saturation.
+    pub max_rps: u32,
+    /// Wall-clock duration of each step.
+    pub step_duration_ms: u64,
+}
+
+/// A fully validated workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Scenario name (`[a-z0-9_-]+`), stamped into the BENCH artifact.
+    pub name: String,
+    /// Coordinate-space dimension of the served catalog.
+    pub dimension: u64,
+    /// The single master seed every generator and traffic decision is
+    /// derived from.
+    pub seed: u64,
+    /// Fraction of requests that are reads (`0.0..=1.0`).
+    pub read_ratio: f64,
+    /// Registry tenants fed alongside the shared catalog (0 = catalog
+    /// only; otherwise writes split between the catalog and tenants
+    /// `1..=tenants`).
+    pub tenants: u64,
+    /// Updates per write request.
+    pub batch: usize,
+    /// The update distribution.
+    pub generator: GeneratorSpec,
+    /// Weighted structure mix for the read traffic.
+    pub mix: Vec<MixEntry>,
+    /// The ramp schedule.
+    pub ramp: RampSpec,
+}
+
+impl WorkloadSpec {
+    /// Read and parse a spec file.
+    pub fn load(path: &Path) -> Result<WorkloadSpec, SpecError> {
+        let text = std::fs::read_to_string(path).map_err(|e| SpecError::Unreadable {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        WorkloadSpec::parse(&text)
+    }
+
+    /// Parse a spec from TOML text.
+    pub fn parse(text: &str) -> Result<WorkloadSpec, SpecError> {
+        build_spec(parse_toml(text)?)
+    }
+
+    /// The mix entries that answer live queries (the read-traffic pool).
+    pub fn readable_mix(&self) -> Vec<&MixEntry> {
+        self.mix.iter().filter(|e| e.readable()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TOML-subset parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Section {
+    name: String,
+    /// True for `[[name]]` array-of-tables headers.
+    array: bool,
+    entries: Vec<(String, Value, usize)>,
+}
+
+/// Strip a `#` comment that is outside any string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, SpecError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(SpecError::Syntax { line, message: "missing value after '='".into() });
+    }
+    if let Some(rest) = raw.strip_prefix('"') {
+        return match rest.strip_suffix('"') {
+            Some(inner) if !inner.contains('"') => Ok(Value::Str(inner.to_string())),
+            _ => Err(SpecError::Syntax { line, message: format!("unterminated string {raw}") }),
+        };
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let numeric: String = raw.chars().filter(|&c| c != '_').collect();
+    if numeric.contains(['.', 'e', 'E']) {
+        return numeric
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| SpecError::Syntax { line, message: format!("'{raw}' is not a float") });
+    }
+    numeric.parse::<i64>().map(Value::Int).map_err(|_| SpecError::Syntax {
+        line,
+        message: format!("'{raw}' is not a value (string, integer, float, or boolean)"),
+    })
+}
+
+fn parse_toml(text: &str) -> Result<Vec<Section>, SpecError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header.strip_suffix("]]").ok_or_else(|| SpecError::Syntax {
+                line: line_no,
+                message: "unterminated [[section]] header".into(),
+            })?;
+            sections.push(Section { name: name.trim().to_string(), array: true, entries: vec![] });
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let name = header.strip_suffix(']').ok_or_else(|| SpecError::Syntax {
+                line: line_no,
+                message: "unterminated [section] header".into(),
+            })?;
+            sections.push(Section { name: name.trim().to_string(), array: false, entries: vec![] });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(SpecError::Syntax {
+                line: line_no,
+                message: format!("expected 'key = value' or a [section] header, found '{line}'"),
+            });
+        };
+        let key = key.trim().to_string();
+        let value = parse_value(value, line_no)?;
+        match sections.last_mut() {
+            Some(section) => section.entries.push((key, value, line_no)),
+            None => return Err(SpecError::KeyOutsideSection { line: line_no, key }),
+        }
+    }
+    Ok(sections)
+}
+
+// ---------------------------------------------------------------------------
+// Typed extraction
+// ---------------------------------------------------------------------------
+
+/// Accessor over one section's entries with typed, totally-checked reads.
+struct Table<'a> {
+    section: &'a str,
+    entries: &'a [(String, Value, usize)],
+}
+
+impl<'a> Table<'a> {
+    fn get(&self, key: &str) -> Option<&'a Value> {
+        self.entries.iter().find(|(k, _, _)| k == key).map(|(_, v, _)| v)
+    }
+
+    fn check_known(&self, known: &[&str]) -> Result<(), SpecError> {
+        for (k, _, _) in self.entries {
+            if !known.contains(&k.as_str()) {
+                return Err(SpecError::UnknownKey {
+                    section: self.section.to_string(),
+                    key: k.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn path(&self, key: &str) -> String {
+        format!("{}.{key}", self.section)
+    }
+
+    fn string(&self, key: &str) -> Result<String, SpecError> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(SpecError::InvalidValue {
+                key: self.path(key),
+                message: format!("expected a string, found a {}", other.type_name()),
+            }),
+            None => Err(SpecError::Missing { what: self.path(key) }),
+        }
+    }
+
+    fn u64_req(&self, key: &str) -> Result<u64, SpecError> {
+        match self.get(key) {
+            Some(value) => self.as_u64(key, value),
+            None => Err(SpecError::Missing { what: self.path(key) }),
+        }
+    }
+
+    fn u64_opt(&self, key: &str, default: u64) -> Result<u64, SpecError> {
+        match self.get(key) {
+            Some(value) => self.as_u64(key, value),
+            None => Ok(default),
+        }
+    }
+
+    fn as_u64(&self, key: &str, value: &Value) -> Result<u64, SpecError> {
+        match value {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            Value::Int(i) => Err(SpecError::InvalidValue {
+                key: self.path(key),
+                message: format!("must be non-negative, found {i}"),
+            }),
+            other => Err(SpecError::InvalidValue {
+                key: self.path(key),
+                message: format!("expected an integer, found a {}", other.type_name()),
+            }),
+        }
+    }
+
+    fn f64_opt(&self, key: &str, default: f64) -> Result<f64, SpecError> {
+        match self.get(key) {
+            Some(Value::Float(v)) => Ok(*v),
+            Some(Value::Int(i)) => Ok(*i as f64),
+            Some(other) => Err(SpecError::InvalidValue {
+                key: self.path(key),
+                message: format!("expected a number, found a {}", other.type_name()),
+            }),
+            None => Ok(default),
+        }
+    }
+
+    fn bool_opt(&self, key: &str, default: bool) -> Result<bool, SpecError> {
+        match self.get(key) {
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(other) => Err(SpecError::InvalidValue {
+                key: self.path(key),
+                message: format!("expected a boolean, found a {}", other.type_name()),
+            }),
+            None => Ok(default),
+        }
+    }
+}
+
+fn single_table<'a>(sections: &'a [Section], name: &'a str) -> Result<Table<'a>, SpecError> {
+    let mut found = None;
+    for s in sections.iter().filter(|s| s.name == name) {
+        if s.array {
+            return Err(SpecError::InvalidValue {
+                key: name.to_string(),
+                message: format!("[{name}] is a table, not an array of tables"),
+            });
+        }
+        if found.is_some() {
+            return Err(SpecError::Duplicate { what: format!("section [{name}]") });
+        }
+        found = Some(Table { section: name, entries: &s.entries });
+    }
+    found.ok_or_else(|| SpecError::Missing { what: format!("section [{name}]") })
+}
+
+fn build_generator(table: &Table<'_>) -> Result<GeneratorSpec, SpecError> {
+    let kind = table.string("kind")?;
+    let spec = match kind.as_str() {
+        "uniform" => {
+            table.check_known(&["kind"])?;
+            GeneratorSpec::Uniform
+        }
+        "zipf" => {
+            table.check_known(&["kind", "alpha"])?;
+            let alpha = table.f64_opt("alpha", 1.1)?;
+            if !(alpha > 0.0 && alpha.is_finite()) {
+                return Err(SpecError::InvalidValue {
+                    key: "generator.alpha".into(),
+                    message: format!("must be a positive finite exponent, found {alpha}"),
+                });
+            }
+            GeneratorSpec::Zipf { alpha }
+        }
+        "turnstile" => {
+            table.check_known(&["kind", "strict"])?;
+            GeneratorSpec::Turnstile { strict: table.bool_opt("strict", true)? }
+        }
+        "duplicates" => {
+            table.check_known(&["kind", "distinct"])?;
+            let distinct = table.u64_opt("distinct", 64)?;
+            if distinct == 0 {
+                return Err(SpecError::InvalidValue {
+                    key: "generator.distinct".into(),
+                    message: "pool must hold at least one key".into(),
+                });
+            }
+            GeneratorSpec::Duplicates { distinct }
+        }
+        "collision" => {
+            table.check_known(&["kind", "spread"])?;
+            let spread = table.u64_opt("spread", 8)?;
+            if spread == 0 {
+                return Err(SpecError::InvalidValue {
+                    key: "generator.spread".into(),
+                    message: "cluster spread must be at least 1".into(),
+                });
+            }
+            GeneratorSpec::Collision { spread }
+        }
+        _ => return Err(SpecError::UnknownGenerator { name: kind }),
+    };
+    Ok(spec)
+}
+
+fn build_spec(sections: Vec<Section>) -> Result<WorkloadSpec, SpecError> {
+    for s in &sections {
+        if !matches!(s.name.as_str(), "workload" | "generator" | "ramp" | "mix") {
+            return Err(SpecError::UnknownSection { section: s.name.clone() });
+        }
+    }
+
+    let workload = single_table(&sections, "workload")?;
+    workload.check_known(&["name", "dimension", "seed", "read_ratio", "tenants", "batch"])?;
+    let name = workload.string("name")?;
+    if name.is_empty()
+        || !name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_-".contains(c))
+    {
+        return Err(SpecError::InvalidValue {
+            key: "workload.name".into(),
+            message: format!("'{name}' must be non-empty and match [a-z0-9_-]+"),
+        });
+    }
+    let dimension = workload.u64_req("dimension")?;
+    if dimension == 0 {
+        return Err(SpecError::InvalidValue {
+            key: "workload.dimension".into(),
+            message: "must be at least 1".into(),
+        });
+    }
+    let seed = workload.u64_req("seed")?;
+    let read_ratio = workload.f64_opt("read_ratio", 0.0)?;
+    if !(0.0..=1.0).contains(&read_ratio) {
+        return Err(SpecError::InvalidValue {
+            key: "workload.read_ratio".into(),
+            message: format!("must be in [0, 1], found {read_ratio}"),
+        });
+    }
+    let tenants = workload.u64_opt("tenants", 0)?;
+    let batch = workload.u64_opt("batch", 64)?;
+    if batch == 0 {
+        return Err(SpecError::InvalidValue {
+            key: "workload.batch".into(),
+            message: "write requests must carry at least one update".into(),
+        });
+    }
+
+    let generator = build_generator(&single_table(&sections, "generator")?)?;
+
+    let ramp_table = single_table(&sections, "ramp")?;
+    ramp_table.check_known(&["initial_rps", "increment_rps", "max_rps", "step_duration_ms"])?;
+    let ramp = RampSpec {
+        initial_rps: ramp_table.u64_req("initial_rps")? as u32,
+        increment_rps: ramp_table.u64_req("increment_rps")? as u32,
+        max_rps: ramp_table.u64_req("max_rps")? as u32,
+        step_duration_ms: ramp_table.u64_req("step_duration_ms")?,
+    };
+    if ramp.initial_rps == 0 || ramp.increment_rps == 0 {
+        return Err(SpecError::InvalidValue {
+            key: "ramp.initial_rps".into(),
+            message: "initial_rps and increment_rps must be at least 1".into(),
+        });
+    }
+    if ramp.max_rps < ramp.initial_rps {
+        return Err(SpecError::InvalidValue {
+            key: "ramp.max_rps".into(),
+            message: format!("must be at least initial_rps ({})", ramp.initial_rps),
+        });
+    }
+    if ramp.step_duration_ms == 0 {
+        return Err(SpecError::InvalidValue {
+            key: "ramp.step_duration_ms".into(),
+            message: "steps must last at least 1 ms".into(),
+        });
+    }
+
+    let mut mix = Vec::new();
+    for s in sections.iter().filter(|s| s.name == "mix") {
+        if !s.array {
+            return Err(SpecError::InvalidValue {
+                key: "mix".into(),
+                message: "mix entries use [[mix]] array-of-tables headers".into(),
+            });
+        }
+        let table = Table { section: "mix", entries: &s.entries };
+        table.check_known(&["structure", "weight"])?;
+        let structure = table.string("structure")?;
+        let Some(&(_, tag)) = CATALOG_STRUCTURES.iter().find(|(n, _)| *n == structure) else {
+            return Err(SpecError::UnknownStructure { name: structure });
+        };
+        let weight = table.u64_opt("weight", 1)? as u32;
+        if weight == 0 {
+            return Err(SpecError::InvalidValue {
+                key: "mix.weight".into(),
+                message: "weights must be at least 1".into(),
+            });
+        }
+        mix.push(MixEntry { structure, tag, weight });
+    }
+    if mix.is_empty() {
+        return Err(SpecError::Missing { what: "at least one [[mix]] entry".into() });
+    }
+
+    let spec = WorkloadSpec {
+        name,
+        dimension,
+        seed,
+        read_ratio,
+        tenants,
+        batch: batch as usize,
+        generator,
+        mix,
+        ramp,
+    };
+    if spec.read_ratio > 0.0 && spec.readable_mix().is_empty() {
+        return Err(SpecError::NoReadableStructure);
+    }
+    Ok(spec)
+}

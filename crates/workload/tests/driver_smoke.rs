@@ -1,0 +1,130 @@
+//! End-to-end driver runs against both targets: the in-process engine
+//! core and the socket service over loopback — the same dual-target path
+//! the `experiments -- workload` subcommand exercises, shrunk to test
+//! scale. Rates here are tiny so even a loaded CI host sustains them;
+//! the assertions are about the *shape* of the outcome (steps, counts,
+//! percentiles), never about this machine's absolute throughput.
+
+use lps_service::{RunningServer, ServiceConfig};
+use lps_workload::{run_workload, EngineTarget, SocketTarget, WorkloadSpec, SUSTAIN_FRACTION};
+
+const TINY: &str = r#"
+[workload]
+name = "tiny"
+dimension = 512
+seed = 11
+read_ratio = 0.3
+tenants = 2
+batch = 8
+
+[generator]
+kind = "turnstile"
+strict = true
+
+[ramp]
+initial_rps = 100
+increment_rps = 100
+max_rps = 200
+step_duration_ms = 80
+
+[[mix]]
+structure = "count_min"
+weight = 2
+
+[[mix]]
+structure = "sparse_recovery"
+weight = 1
+
+[[mix]]
+structure = "l0_sampler"
+weight = 1
+"#;
+
+fn config(spec: &WorkloadSpec) -> ServiceConfig {
+    ServiceConfig::new(spec.dimension, spec.seed).publish_interval(64)
+}
+
+#[test]
+fn the_driver_ramps_the_engine_target_and_reports_every_step() {
+    let spec = WorkloadSpec::parse(TINY).expect("tiny spec");
+    let mut target = EngineTarget::new(&config(&spec));
+    let outcome = run_workload(&spec, &mut target).expect("engine run");
+
+    assert_eq!(outcome.spec_name, "tiny");
+    assert_eq!(outcome.target, "engine");
+    assert!(!outcome.steps.is_empty());
+    // Steps ramp by increment_rps from initial_rps; only the last step
+    // may have missed its rate.
+    for (i, step) in outcome.steps.iter().enumerate() {
+        assert_eq!(step.target_rps, 100 + 100 * i as u32);
+        assert_eq!(step.offered, step.target_rps as u64 * 80 / 1_000);
+        assert!(step.achieved_rps > 0.0);
+        assert!(step.p50_us <= step.p99_us && step.p99_us <= step.p999_us);
+        assert!(step.p999_us <= step.max_us + 1e-9);
+        if i + 1 < outcome.steps.len() {
+            assert!(step.met, "an unmet step must end the ramp");
+        }
+    }
+    let offered: u64 = outcome.steps.iter().map(|s| s.offered).sum();
+    assert_eq!(outcome.total_requests, offered);
+    // Writes reached the core: the engine accepted this run's updates.
+    assert_eq!(target.accepted(), outcome.total_updates);
+    assert!(outcome.total_updates > 0, "no writes were issued");
+
+    // Saturation bookkeeping: saturated ⟺ the last step missed.
+    let last = outcome.steps.last().unwrap();
+    assert_eq!(outcome.saturated, !last.met);
+    if last.met {
+        assert!(outcome.sustainable_max_rps >= SUSTAIN_FRACTION * last.target_rps as f64);
+    }
+}
+
+#[test]
+fn the_same_spec_drives_the_socket_service_over_loopback() {
+    let spec = WorkloadSpec::parse(TINY).expect("tiny spec");
+    let server = RunningServer::bind_tcp("127.0.0.1:0", config(&spec)).expect("bind");
+    let addr = server.local_addr().expect("tcp addr");
+
+    let mut target = SocketTarget::connect(addr, None).expect("connect");
+    let outcome = run_workload(&spec, &mut target).expect("service run");
+    let accepted = target.shutdown().expect("shutdown");
+    server.join();
+
+    assert_eq!(outcome.target, "service");
+    assert!(!outcome.steps.is_empty());
+    assert_eq!(accepted, outcome.total_updates, "server-side accepted count must match");
+    assert!(outcome.total_requests > 0);
+}
+
+#[test]
+fn the_socket_target_authenticates_when_the_server_demands_a_token() {
+    let spec = WorkloadSpec::parse(TINY).expect("tiny spec");
+    let server = RunningServer::bind_tcp("127.0.0.1:0", config(&spec).auth_token("workload-smoke"))
+        .expect("bind");
+    let addr = server.local_addr().expect("tcp addr");
+
+    assert!(SocketTarget::connect(addr, None).is_err(), "tokenless connect must be rejected");
+    let mut target = SocketTarget::connect(addr, Some("workload-smoke")).expect("authed connect");
+    let outcome = run_workload(&spec, &mut target).expect("authed run");
+    assert!(outcome.total_requests > 0);
+    target.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn identical_runs_offer_identical_request_sequences() {
+    // The driver derives every traffic decision from the spec seed, so
+    // two engine runs write the same updates (their cores agree on the
+    // accepted count and on every structure's ingested stream).
+    let spec = WorkloadSpec::parse(TINY).expect("tiny spec");
+    let mut a = EngineTarget::new(&config(&spec));
+    let mut b = EngineTarget::new(&config(&spec));
+    let out_a = run_workload(&spec, &mut a).expect("run a");
+    let out_b = run_workload(&spec, &mut b).expect("run b");
+    // Wall-clock (and thus step counts at saturation) may differ, but as
+    // long as both ramps covered the same steps the streams match.
+    if out_a.steps.len() == out_b.steps.len() {
+        assert_eq!(out_a.total_updates, out_b.total_updates);
+        assert_eq!(a.accepted(), b.accepted());
+    }
+}

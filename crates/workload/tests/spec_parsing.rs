@@ -1,0 +1,198 @@
+//! The spec format is total: every shipped spec parses, and every class
+//! of malformed input maps to its typed [`SpecError`] — never a panic.
+
+use std::path::Path;
+
+use lps_workload::{GeneratorSpec, SpecError, WorkloadSpec};
+
+/// A minimal valid spec to mutate from.
+const BASE: &str = r#"
+[workload]
+name = "base"
+dimension = 1024
+seed = 7
+read_ratio = 0.5
+tenants = 2
+batch = 8
+
+[generator]
+kind = "uniform"
+
+[ramp]
+initial_rps = 100
+increment_rps = 100
+max_rps = 300
+step_duration_ms = 50
+
+[[mix]]
+structure = "count_min"
+weight = 2
+
+[[mix]]
+structure = "l0_sampler"
+"#;
+
+#[test]
+fn the_base_spec_parses() {
+    let spec = WorkloadSpec::parse(BASE).expect("base spec");
+    assert_eq!(spec.name, "base");
+    assert_eq!(spec.dimension, 1024);
+    assert_eq!(spec.generator, GeneratorSpec::Uniform);
+    assert_eq!(spec.mix.len(), 2);
+    assert_eq!(spec.mix[0].weight, 2);
+    // weight defaults to 1 when omitted
+    assert_eq!(spec.mix[1].weight, 1);
+    assert_eq!(spec.ramp.max_rps, 300);
+}
+
+#[test]
+fn every_shipped_spec_parses_and_keeps_its_file_stem_as_name() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("specs dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let spec = WorkloadSpec::load(&path)
+            .unwrap_or_else(|e| panic!("shipped spec {} failed: {e}", path.display()));
+        let stem = path.file_stem().and_then(|s| s.to_str()).expect("utf-8 stem");
+        assert_eq!(spec.name, stem, "spec name must match its file stem");
+        seen += 1;
+    }
+    assert!(seen >= 4, "expected the 3 named scenarios plus smoke, found {seen}");
+}
+
+#[test]
+fn all_generator_kinds_parse() {
+    for (snippet, expected) in [
+        ("kind = \"uniform\"", GeneratorSpec::Uniform),
+        ("kind = \"zipf\"\nalpha = 1.5", GeneratorSpec::Zipf { alpha: 1.5 }),
+        ("kind = \"turnstile\"\nstrict = false", GeneratorSpec::Turnstile { strict: false }),
+        ("kind = \"turnstile\"", GeneratorSpec::Turnstile { strict: true }),
+        ("kind = \"duplicates\"\ndistinct = 9", GeneratorSpec::Duplicates { distinct: 9 }),
+        ("kind = \"collision\"\nspread = 4", GeneratorSpec::Collision { spread: 4 }),
+    ] {
+        let text = BASE.replace("kind = \"uniform\"", snippet);
+        let spec = WorkloadSpec::parse(&text).expect(snippet);
+        assert_eq!(spec.generator, expected, "{snippet}");
+    }
+}
+
+fn expect_err(text: &str) -> SpecError {
+    WorkloadSpec::parse(text).expect_err("spec should be rejected")
+}
+
+#[test]
+fn missing_sections_and_keys_are_typed() {
+    let no_ramp = BASE.replace("[ramp]", "[workload]");
+    assert!(matches!(expect_err(&no_ramp), SpecError::Duplicate { .. }));
+
+    // Dropping the [generator] header leaves its `kind` key inside the
+    // preceding section, which rejects it as unknown there.
+    let no_generator: String =
+        BASE.lines().filter(|l| !l.contains("[generator]")).collect::<Vec<_>>().join("\n");
+    assert_eq!(
+        expect_err(&no_generator),
+        SpecError::UnknownKey { section: "workload".into(), key: "kind".into() }
+    );
+
+    let no_mix: String =
+        BASE.lines().take_while(|l| !l.contains("[[mix]]")).collect::<Vec<_>>().join("\n");
+    assert_eq!(
+        expect_err(&no_mix),
+        SpecError::Missing { what: "at least one [[mix]] entry".into() }
+    );
+
+    let no_name = BASE.replace("name = \"base\"", "");
+    assert_eq!(expect_err(&no_name), SpecError::Missing { what: "workload.name".into() });
+}
+
+#[test]
+fn unknown_names_are_typed() {
+    let bad_section = format!("{BASE}\n[surprise]\nx = 1\n");
+    assert_eq!(expect_err(&bad_section), SpecError::UnknownSection { section: "surprise".into() });
+
+    let bad_key = BASE.replace("seed = 7", "seed = 7\nturbo = true");
+    assert_eq!(
+        expect_err(&bad_key),
+        SpecError::UnknownKey { section: "workload".into(), key: "turbo".into() }
+    );
+
+    let bad_structure = BASE.replace("structure = \"count_min\"", "structure = \"bloom\"");
+    assert_eq!(expect_err(&bad_structure), SpecError::UnknownStructure { name: "bloom".into() });
+
+    let bad_generator = BASE.replace("kind = \"uniform\"", "kind = \"chaos\"");
+    assert_eq!(expect_err(&bad_generator), SpecError::UnknownGenerator { name: "chaos".into() });
+}
+
+#[test]
+fn out_of_domain_values_are_typed() {
+    for (from, to, key) in [
+        ("dimension = 1024", "dimension = 0", "workload.dimension"),
+        ("read_ratio = 0.5", "read_ratio = 1.5", "workload.read_ratio"),
+        ("read_ratio = 0.5", "read_ratio = -0.1", "workload.read_ratio"),
+        ("batch = 8", "batch = 0", "workload.batch"),
+        ("seed = 7", "seed = -3", "workload.seed"),
+        ("initial_rps = 100", "initial_rps = 0", "ramp.initial_rps"),
+        ("max_rps = 300", "max_rps = 50", "ramp.max_rps"),
+        ("step_duration_ms = 50", "step_duration_ms = 0", "ramp.step_duration_ms"),
+        ("weight = 2", "weight = 0", "mix.weight"),
+        ("name = \"base\"", "name = \"Bad Name!\"", "workload.name"),
+        ("seed = 7", "seed = \"seven\"", "workload.seed"),
+    ] {
+        match expect_err(&BASE.replace(from, to)) {
+            SpecError::InvalidValue { key: k, .. } => assert_eq!(k, key, "{to}"),
+            other => panic!("{to}: expected InvalidValue for {key}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn syntax_errors_carry_line_numbers() {
+    match expect_err("[workload]\nname \"no equals\"\n") {
+        SpecError::Syntax { line, .. } => assert_eq!(line, 2),
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+    match expect_err("dimension = 1\n") {
+        SpecError::KeyOutsideSection { line, key } => {
+            assert_eq!((line, key.as_str()), (1, "dimension"));
+        }
+        other => panic!("expected KeyOutsideSection, got {other:?}"),
+    }
+    match expect_err("[workload]\nname = \"unterminated\n") {
+        SpecError::Syntax { line, .. } => assert_eq!(line, 2),
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+}
+
+#[test]
+fn comments_and_underscored_integers_parse() {
+    let text = BASE
+        .replace("dimension = 1024", "dimension = 1_024  # a comment")
+        .replace("name = \"base\"", "name = \"base\" # trailing \" quote in comment");
+    let spec = WorkloadSpec::parse(&text).expect("comments");
+    assert_eq!(spec.dimension, 1024);
+}
+
+#[test]
+fn reads_require_a_readable_structure() {
+    // ams is the one catalog structure with no live query: an ams-only
+    // mix is fine write-only but rejected once read_ratio > 0.
+    let ams_only = BASE
+        .replace("structure = \"count_min\"", "structure = \"ams\"")
+        .replace("\n[[mix]]\nstructure = \"l0_sampler\"\n", "\n");
+    assert_eq!(expect_err(&ams_only), SpecError::NoReadableStructure);
+
+    let write_only = ams_only.replace("read_ratio = 0.5", "read_ratio = 0.0");
+    let spec = WorkloadSpec::parse(&write_only).expect("write-only ams mix");
+    assert!(spec.readable_mix().is_empty());
+}
+
+#[test]
+fn unreadable_paths_are_typed_not_panics() {
+    let err = WorkloadSpec::load(Path::new("/nonexistent/nowhere.toml")).unwrap_err();
+    assert!(matches!(err, SpecError::Unreadable { .. }));
+    // Display is wired for operator-facing messages.
+    assert!(err.to_string().contains("nowhere.toml"));
+}
